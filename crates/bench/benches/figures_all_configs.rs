@@ -1,0 +1,43 @@
+//! Bench target for Figures 8–14: all six parameter sweeps for each of the
+//! remaining seven platform/processor configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rexec_platforms::all_configurations;
+use rexec_sweep::figure::{lambda_hi_for, sweep_figure_paper_grid, SweepParam};
+use std::hint::black_box;
+
+fn sweep_all_params(cfg: &rexec_platforms::Configuration) -> usize {
+    let lambda_hi = lambda_hi_for(cfg);
+    SweepParam::ALL
+        .iter()
+        .map(|&p| {
+            let s = sweep_figure_paper_grid(cfg, p, lambda_hi);
+            assert!(
+                s.feasible_points() > 0,
+                "{} {p}: no feasible point",
+                cfg.name()
+            );
+            s.points.len()
+        })
+        .sum()
+}
+
+fn bench_all_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_8_to_14");
+    group.sample_size(10);
+    // Skip index 0 (Atlas/Crusoe), covered by the figures_atlas_crusoe bench.
+    for (i, cfg) in all_configurations().into_iter().enumerate().skip(1) {
+        let fig = 7 + i; // configs 1..=7 anchor Figures 8..=14
+        group.bench_with_input(
+            BenchmarkId::new(format!("figure_{fig}"), cfg.name()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(sweep_all_params(black_box(cfg))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_configs);
+criterion_main!(benches);

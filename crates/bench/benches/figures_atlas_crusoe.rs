@@ -1,0 +1,38 @@
+//! Bench target for Figures 2–7: the six Atlas/Crusoe parameter sweeps
+//! (C, V, λ, ρ, Pidle, Pio) on the paper's grids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rexec_bench::atlas_crusoe;
+use rexec_sweep::figure::{lambda_hi_for, sweep_figure_paper_grid, SweepParam};
+use std::hint::black_box;
+
+fn assert_figure_shapes() {
+    let cfg = atlas_crusoe();
+    // Figure 2 (C sweep): two speeds never lose to one, saving reaches >25 %.
+    let s = sweep_figure_paper_grid(&cfg, SweepParam::Checkpoint, lambda_hi_for(&cfg));
+    assert!(s.max_saving().unwrap() > 0.25, "Figure 2 headline saving");
+    // Figure 5 (ρ sweep): infeasible at ρ = 1, feasible at 3.5.
+    let s5 = sweep_figure_paper_grid(&cfg, SweepParam::Rho, lambda_hi_for(&cfg));
+    assert!(s5.points.first().unwrap().two_speed.is_none());
+    assert!(s5.points.last().unwrap().two_speed.is_some());
+}
+
+fn bench_figures(c: &mut Criterion) {
+    assert_figure_shapes();
+    let cfg = atlas_crusoe();
+    let lambda_hi = lambda_hi_for(&cfg);
+    let mut group = c.benchmark_group("figures_2_to_7_atlas_crusoe");
+    for (fig, param) in (2u8..=7).zip(SweepParam::ALL) {
+        group.bench_with_input(
+            BenchmarkId::new(format!("figure_{fig}"), param.label()),
+            &param,
+            |b, &param| {
+                b.iter(|| black_box(sweep_figure_paper_grid(black_box(&cfg), param, lambda_hi)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Bench target for the Monte Carlo engine: single patterns, whole
+//! applications, parallel replication throughput, and the Figure 1 trace
+//! rendering (X-mc / F1 in the experiment index).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rexec_bench::hera_xscale;
+use rexec_core::ErrorRates;
+use rexec_sim::{
+    engine::simulate_pattern_traced, render_timeline, simulate_application, simulate_pattern,
+    MonteCarlo, SimConfig, SimRng, TraceRecorder,
+};
+use std::hint::black_box;
+
+fn base_config(lambda: f64) -> SimConfig {
+    let m = hera_xscale().silent_model().unwrap().with_lambda(lambda);
+    SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+
+    for lambda in [1e-6, 1e-4, 1e-3] {
+        let cfg = base_config(lambda);
+        group.bench_with_input(
+            BenchmarkId::new("simulate_pattern", format!("{lambda:.0e}")),
+            &cfg,
+            |b, cfg| {
+                let mut rng = SimRng::new(1);
+                b.iter(|| black_box(simulate_pattern(black_box(cfg), &mut rng)));
+            },
+        );
+    }
+
+    let cfg = base_config(1e-4);
+    group.bench_function("simulate_application_100_patterns", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| black_box(simulate_application(black_box(&cfg), 100.0 * cfg.w, &mut rng)));
+    });
+
+    let trials = 10_000u64;
+    group.throughput(Throughput::Elements(trials));
+    group.bench_function("monte_carlo_parallel_10k", |b| {
+        let mc = MonteCarlo::new(cfg, trials, 7);
+        b.iter(|| black_box(mc.run()));
+    });
+
+    group.bench_function("segmented_pattern_q4", |b| {
+        let cfg = base_config(1e-4);
+        let mut rng = SimRng::new(5);
+        b.iter(|| {
+            black_box(rexec_sim::segmented::simulate_pattern_segmented(
+                black_box(&cfg),
+                4,
+                &mut rng,
+            ))
+        });
+    });
+
+    group.bench_function("monte_carlo_with_histograms_5k", |b| {
+        let mc = MonteCarlo::new(base_config(1e-4), 5_000, 9);
+        b.iter(|| black_box(mc.run_with_histograms()));
+    });
+
+    group.bench_function("figure1_trace_and_render", |b| {
+        let mut traced_cfg = base_config(1e-4);
+        traced_cfg.rates = ErrorRates::new(1e-4, 5e-5).unwrap();
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut tr = TraceRecorder::new(256);
+            let p = simulate_pattern_traced(black_box(&traced_cfg), &mut rng, Some(&mut tr));
+            black_box((p, render_timeline(tr.events())))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Solver micro-benchmarks: the O(K²) BiCrit procedure, Theorem 1 for a
+//! single pair, and the exact numeric cross-check. Verifies the paper's
+//! constant-time claim by scaling the synthetic speed-set size K.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rexec_bench::{hera_xscale, synthetic_solver};
+use rexec_core::{multiverif, numeric, theorem1, ExecutionPlan, ParetoFrontier};
+use std::hint::black_box;
+
+fn bench_solver(c: &mut Criterion) {
+    let cfg = hera_xscale();
+    let solver = cfg.solver().unwrap();
+    let model = *solver.model();
+
+    let mut group = c.benchmark_group("solver");
+
+    group.bench_function("theorem1_single_pair", |b| {
+        b.iter(|| black_box(theorem1::optimal_pattern(black_box(&model), 0.4, 0.8, 3.0)));
+    });
+
+    group.bench_function("rho_min_single_pair", |b| {
+        b.iter(|| black_box(theorem1::rho_min(black_box(&model), 0.4, 0.8)));
+    });
+
+    group.bench_function("bicrit_solve_paper_k5", |b| {
+        b.iter(|| black_box(solver.solve(black_box(3.0))));
+    });
+
+    group.bench_function("bicrit_one_speed_baseline", |b| {
+        b.iter(|| black_box(solver.solve_one_speed(black_box(3.0))));
+    });
+
+    group.bench_function("bicrit_per_sigma1_table", |b| {
+        b.iter(|| black_box(solver.per_sigma1(black_box(3.0))));
+    });
+
+    // O(K²) scaling.
+    for k in [5usize, 10, 20, 40, 80] {
+        let s = synthetic_solver(k).unwrap();
+        group.bench_with_input(BenchmarkId::new("bicrit_solve_scaling", k), &s, |b, s| {
+            b.iter(|| black_box(s.solve(black_box(3.0))));
+        });
+    }
+
+    // Exact numeric solve (golden section on Propositions 2–3) for one pair
+    // and for the full K = 5 set.
+    group.bench_function("exact_pair_optimum", |b| {
+        b.iter(|| black_box(numeric::exact_pair_optimum(black_box(&model), 0.4, 0.8, 3.0)));
+    });
+    let speeds = solver.speeds().clone();
+    group.bench_function("exact_bicrit_solve_k5", |b| {
+        b.iter(|| black_box(numeric::exact_bicrit_solve(black_box(&model), &speeds, 3.0)));
+    });
+
+    // Application-level planning and the Pareto frontier.
+    group.bench_function("execution_plan", |b| {
+        b.iter(|| black_box(ExecutionPlan::solve(black_box(&solver), 3.0, 1e8)));
+    });
+    group.bench_function("pareto_frontier_100", |b| {
+        b.iter(|| black_box(ParetoFrontier::compute(black_box(&solver), 10.0, 100)));
+    });
+
+    // Multi-verification extension (numeric inner optimization, q ≤ 4).
+    group.bench_function("multiverif_optimize_pair_qmax4", |b| {
+        b.iter(|| black_box(multiverif::optimize_pair(black_box(&model), 0.4, 0.4, 3.0, 4)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

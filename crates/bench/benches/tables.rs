@@ -1,0 +1,42 @@
+//! Bench target for the §4.2 tables (Hera/XScale at ρ = 8, 3, 1.775, 1.4).
+//!
+//! Regenerates each table and asserts the paper's values before timing, so
+//! the bench fails loudly if the reproduction drifts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rexec_bench::hera_xscale;
+use rexec_sweep::table_rho::{rho_table, PAPER_RHOS};
+use std::hint::black_box;
+
+fn assert_paper_values() {
+    let cfg = hera_xscale();
+    // ρ = 3: best is (0.4, 0.4), Wopt = 2764, E/W = 416.
+    let t3 = rho_table(&cfg, 3.0);
+    let best = t3.best().expect("rho = 3 feasible");
+    let sol = best.best.unwrap();
+    assert_eq!((best.sigma1, sol.sigma2), (0.4, 0.4));
+    assert!((sol.w_opt - 2764.0).abs() < 1.0);
+    assert!((sol.energy_overhead - 416.0).abs() < 1.0);
+    // ρ = 1.775: best is (0.6, 0.8), Wopt = 4251, E/W = 690.
+    let t = rho_table(&cfg, 1.775);
+    let best = t.best().unwrap();
+    let sol = best.best.unwrap();
+    assert_eq!((best.sigma1, sol.sigma2), (0.6, 0.8));
+    assert!((sol.w_opt - 4251.0).abs() < 1.0);
+    assert!((sol.energy_overhead - 690.0).abs() < 1.0);
+}
+
+fn bench_tables(c: &mut Criterion) {
+    assert_paper_values();
+    let cfg = hera_xscale();
+    let mut group = c.benchmark_group("tables_section_4_2");
+    for rho in PAPER_RHOS {
+        group.bench_with_input(BenchmarkId::new("rho_table", rho), &rho, |b, &rho| {
+            b.iter(|| black_box(rho_table(black_box(&cfg), rho)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

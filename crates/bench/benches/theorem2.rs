@@ -1,0 +1,77 @@
+//! Bench target for the §5 extension experiments: Theorem 2's Θ(λ^{-2/3})
+//! law (X-thm2) and the first-order validity window (X-validity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rexec_core::prelude::*;
+use std::hint::black_box;
+
+fn assert_theorem2_shape() {
+    let pts = theorem2::wopt_samples(300.0, 0.5, 1e-7, 1e-3, 25);
+    let slope = theorem2::loglog_slope(&pts);
+    assert!((slope + 2.0 / 3.0).abs() < 1e-6, "slope {slope}");
+    // Numeric cross-check at λ = 1e-5.
+    let mm = MixedModel::new(
+        ErrorRates::fail_stop_only(1e-5).unwrap(),
+        ResilienceCosts::new(300.0, 0.0, 300.0).unwrap(),
+        PowerModel::new(1550.0, 60.0, 5.0).unwrap(),
+    );
+    let (w_num, _) = numeric::exact_time_minimizer_mixed(&mm, 0.5, 1.0);
+    let w_thm = theorem2::optimal_work(300.0, 1e-5, 0.5);
+    assert!((w_num - w_thm).abs() / w_thm < 0.05);
+}
+
+fn bench_theorem2(c: &mut Criterion) {
+    assert_theorem2_shape();
+    let mut group = c.benchmark_group("section_5_extensions");
+
+    group.bench_function("thm2_wopt_samples_and_slope", |b| {
+        b.iter(|| {
+            let pts = theorem2::wopt_samples(
+                black_box(300.0),
+                black_box(0.5),
+                1e-7,
+                1e-3,
+                25,
+            );
+            black_box(theorem2::loglog_slope(&pts))
+        });
+    });
+
+    let mm = MixedModel::new(
+        ErrorRates::fail_stop_only(1e-5).unwrap(),
+        ResilienceCosts::new(300.0, 0.0, 300.0).unwrap(),
+        PowerModel::new(1550.0, 60.0, 5.0).unwrap(),
+    );
+    group.bench_function("thm2_exact_numeric_minimizer", |b| {
+        b.iter(|| black_box(numeric::exact_time_minimizer_mixed(black_box(&mm), 0.5, 1.0)));
+    });
+
+    group.bench_function("validity_window_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=100 {
+                let f = i as f64 / 100.0;
+                let (lo, hi) = FirstOrder::validity_window(black_box(f));
+                acc += hi - lo;
+            }
+            black_box(acc)
+        });
+    });
+
+    // Mixed-model exact BiCrit (no closed form exists in §5): the numeric
+    // fallback a user would run.
+    let speeds = SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap();
+    let mixed = MixedModel::new(
+        ErrorRates::from_total(1e-5, 0.5).unwrap(),
+        ResilienceCosts::symmetric(300.0, 15.4),
+        PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+    );
+    group.bench_function("mixed_exact_bicrit_solve", |b| {
+        b.iter(|| black_box(numeric::exact_bicrit_solve_mixed(black_box(&mixed), &speeds, 3.0)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem2);
+criterion_main!(benches);

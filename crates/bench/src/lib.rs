@@ -1,0 +1,64 @@
+//! # rexec-bench
+//!
+//! Criterion benchmark harness: **one bench target per paper artifact**
+//! (see DESIGN.md §5 for the experiment index):
+//!
+//! | bench target            | paper artifact                              |
+//! |-------------------------|---------------------------------------------|
+//! | `tables`                | §4.2 tables (ρ = 8, 3, 1.775, 1.4)          |
+//! | `figures_atlas_crusoe`  | Figures 2–7 (Atlas/Crusoe sweeps)           |
+//! | `figures_all_configs`   | Figures 8–14 (seven per-config panels)      |
+//! | `theorem2`              | §5.3 Theorem 2 + §5.2 validity window       |
+//! | `solver`                | O(K²) solver micro-benchmarks               |
+//! | `simulator`             | Monte Carlo engine + Figure 1 traces        |
+//!
+//! Each bench regenerates its artifact (with correctness assertions, so a
+//! regression in the reproduction fails the bench run) and reports the
+//! time to do so.
+//!
+//! This library exposes the shared fixtures.
+
+
+#![warn(missing_docs)]
+use rexec_core::{BiCritSolver, ModelError, SilentModel, SpeedSet};
+use rexec_platforms::{configuration, ConfigId, Configuration, PlatformId, ProcessorId};
+
+/// The Hera/XScale configuration (the §4.2 tables).
+pub fn hera_xscale() -> Configuration {
+    configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    })
+}
+
+/// The Atlas/Crusoe configuration (Figures 2–7).
+pub fn atlas_crusoe() -> Configuration {
+    configuration(ConfigId {
+        platform: PlatformId::Atlas,
+        processor: ProcessorId::TransmetaCrusoe,
+    })
+}
+
+/// A solver with a synthetic `K`-speed set (for scaling benchmarks):
+/// speeds spread uniformly over `[0.2, 1.0]`.
+pub fn synthetic_solver(k: usize) -> Result<BiCritSolver, ModelError> {
+    let model: SilentModel = hera_xscale().silent_model()?;
+    let speeds: Vec<f64> = (0..k)
+        .map(|i| 0.2 + 0.8 * i as f64 / (k.max(2) - 1) as f64)
+        .collect();
+    Ok(BiCritSolver::new(model, SpeedSet::new(speeds)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(hera_xscale().name(), "Hera/XScale");
+        assert_eq!(atlas_crusoe().name(), "Atlas/Crusoe");
+        let s = synthetic_solver(10).unwrap();
+        assert_eq!(s.speeds().len(), 10);
+        assert!(s.solve(3.0).is_some());
+    }
+}

@@ -1,0 +1,270 @@
+//! Argument parsing for `rexec-plan` (no external CLI dependency).
+
+use std::fmt;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Named platform (hera/atlas/coastal/coastal-ssd), if any.
+    pub platform: Option<String>,
+    /// Named processor (xscale/crusoe), if any.
+    pub processor: Option<String>,
+    /// Custom silent-error rate λ (1/s).
+    pub lambda: Option<f64>,
+    /// Custom checkpoint cost C (s).
+    pub checkpoint: Option<f64>,
+    /// Custom verification cost V (s, at full speed).
+    pub verification: Option<f64>,
+    /// Custom recovery cost R (s; defaults to C).
+    pub recovery: Option<f64>,
+    /// Custom cube-law coefficient κ (mW).
+    pub kappa: Option<f64>,
+    /// Custom idle power (mW).
+    pub p_idle: Option<f64>,
+    /// Custom I/O power (mW; defaults to κσ_min³).
+    pub p_io: Option<f64>,
+    /// Custom speed set.
+    pub speeds: Option<Vec<f64>>,
+    /// Performance bound ρ (default 3).
+    pub rho: f64,
+    /// Total application work, enabling the application-level plan.
+    pub w_base: Option<f64>,
+    /// Monte Carlo validation trials (0 = off).
+    pub validate: u64,
+    /// Also print the one-speed baseline.
+    pub compare_one_speed: bool,
+    /// Print the time/energy Pareto frontier with this many sweep points.
+    pub pareto: Option<usize>,
+    /// Print usage and exit.
+    pub help: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            platform: None,
+            processor: None,
+            lambda: None,
+            checkpoint: None,
+            verification: None,
+            recovery: None,
+            kappa: None,
+            p_idle: None,
+            p_io: None,
+            speeds: None,
+            rho: 3.0,
+            w_base: None,
+            validate: 0,
+            compare_one_speed: false,
+            pareto: None,
+            help: false,
+        }
+    }
+}
+
+/// Argument-parsing failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// An option that requires a value was given none.
+    MissingValue(String),
+    /// A value could not be parsed as the expected type.
+    BadValue {
+        /// Offending option.
+        option: String,
+        /// Provided text.
+        value: String,
+    },
+    /// Unrecognized option.
+    UnknownOption(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingValue(o) => write!(f, "option {o} requires a value"),
+            ParseError::BadValue { option, value } => {
+                write!(f, "cannot parse value `{value}` for option {option}")
+            }
+            ParseError::UnknownOption(o) => write!(f, "unknown option {o}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rexec-plan — energy-optimal two-speed checkpointing plans
+
+USAGE:
+  rexec-plan [--platform NAME] [--processor NAME] [custom params] [options]
+
+PUBLISHED CONFIGURATIONS:
+  --platform   hera | atlas | coastal | coastal-ssd
+  --processor  xscale | crusoe
+
+CUSTOM PARAMETERS (override the named configuration, or stand alone):
+  --lambda L        silent-error rate (1/s)
+  --checkpoint C    checkpoint time (s)        --verification V  at full speed (s)
+  --recovery R      recovery time (s, default C)
+  --kappa K         dynamic power K*sigma^3 (mW)
+  --pidle P         static power (mW)          --pio P           I/O power (mW)
+  --speeds a,b,c    normalized DVFS speeds
+
+OPTIONS:
+  --rho RHO         performance bound (default 3)
+  --wbase W         total application work: print the application plan
+  --validate N      cross-check the plan with N Monte Carlo trials
+  --one-speed       also print the one-speed baseline and the saving
+  --pareto N        print the time/energy Pareto frontier (N sweep points)
+  --help            this text
+";
+
+fn take_value(args: &mut std::vec::IntoIter<String>, opt: &str) -> Result<String, ParseError> {
+    args.next().ok_or_else(|| ParseError::MissingValue(opt.to_string()))
+}
+
+fn parse_f64(opt: &str, text: &str) -> Result<f64, ParseError> {
+    text.parse().map_err(|_| ParseError::BadValue {
+        option: opt.to_string(),
+        value: text.to_string(),
+    })
+}
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ParseError> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter().collect::<Vec<_>>().into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--help" | "-h" => out.help = true,
+                "--one-speed" => out.compare_one_speed = true,
+                "--platform" => out.platform = Some(take_value(&mut it, &a)?),
+                "--processor" => out.processor = Some(take_value(&mut it, &a)?),
+                "--lambda" => out.lambda = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
+                "--checkpoint" => {
+                    out.checkpoint = Some(parse_f64(&a, &take_value(&mut it, &a)?)?)
+                }
+                "--verification" => {
+                    out.verification = Some(parse_f64(&a, &take_value(&mut it, &a)?)?)
+                }
+                "--recovery" => out.recovery = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
+                "--kappa" => out.kappa = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
+                "--pidle" => out.p_idle = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
+                "--pio" => out.p_io = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
+                "--rho" => out.rho = parse_f64(&a, &take_value(&mut it, &a)?)?,
+                "--wbase" => out.w_base = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
+                "--validate" => {
+                    let v = take_value(&mut it, &a)?;
+                    out.validate = v.parse().map_err(|_| ParseError::BadValue {
+                        option: a.clone(),
+                        value: v,
+                    })?;
+                }
+                "--pareto" => {
+                    let v = take_value(&mut it, &a)?;
+                    out.pareto = Some(v.parse().map_err(|_| ParseError::BadValue {
+                        option: a.clone(),
+                        value: v,
+                    })?);
+                }
+                "--speeds" => {
+                    let v = take_value(&mut it, &a)?;
+                    let speeds: Result<Vec<f64>, _> = v
+                        .split(',')
+                        .map(|s| parse_f64(&a, s.trim()))
+                        .collect();
+                    out.speeds = Some(speeds?);
+                }
+                other => return Err(ParseError::UnknownOption(other.to_string())),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, ParseError> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.rho, 3.0);
+        assert_eq!(a.validate, 0);
+        assert!(!a.help && !a.compare_one_speed);
+        assert!(a.platform.is_none() && a.speeds.is_none());
+    }
+
+    #[test]
+    fn named_configuration() {
+        let a = parse(&["--platform", "hera", "--processor", "xscale", "--rho", "1.775"]).unwrap();
+        assert_eq!(a.platform.as_deref(), Some("hera"));
+        assert_eq!(a.processor.as_deref(), Some("xscale"));
+        assert_eq!(a.rho, 1.775);
+    }
+
+    #[test]
+    fn custom_parameters_and_speeds() {
+        let a = parse(&[
+            "--lambda", "1e-5", "--checkpoint", "600", "--verification", "30", "--kappa",
+            "2000", "--pidle", "50", "--speeds", "0.25, 0.5,0.75,1.0", "--wbase", "1e8",
+            "--validate", "5000", "--one-speed",
+        ])
+        .unwrap();
+        assert_eq!(a.lambda, Some(1e-5));
+        assert_eq!(a.checkpoint, Some(600.0));
+        assert_eq!(a.speeds, Some(vec![0.25, 0.5, 0.75, 1.0]));
+        assert_eq!(a.w_base, Some(1e8));
+        assert_eq!(a.validate, 5000);
+        assert!(a.compare_one_speed);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(
+            parse(&["--rho"]),
+            Err(ParseError::MissingValue("--rho".into()))
+        );
+        assert_eq!(
+            parse(&["--rho", "abc"]),
+            Err(ParseError::BadValue {
+                option: "--rho".into(),
+                value: "abc".into()
+            })
+        );
+        assert_eq!(
+            parse(&["--frobnicate"]),
+            Err(ParseError::UnknownOption("--frobnicate".into()))
+        );
+        assert_eq!(
+            parse(&["--speeds", "0.5,x"]),
+            Err(ParseError::BadValue {
+                option: "--speeds".into(),
+                value: "x".into()
+            })
+        );
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
+        assert!(USAGE.contains("--pareto"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ParseError::MissingValue("--x".into())
+            .to_string()
+            .contains("--x"));
+        assert!(ParseError::UnknownOption("--y".into())
+            .to_string()
+            .contains("unknown"));
+    }
+}

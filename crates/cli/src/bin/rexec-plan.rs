@@ -1,0 +1,31 @@
+//! `rexec-plan`: energy-optimal two-speed checkpointing plans from the
+//! command line. See `--help` or the crate docs.
+
+use rexec_cli::args::{Args, USAGE};
+use rexec_cli::run::execute;
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return;
+    }
+    match execute(&args) {
+        Ok(outcome) => {
+            println!("{}", outcome.report);
+            if !outcome.feasible {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Builds the model from parsed arguments and renders the plan.
+
+use crate::args::Args;
+use rexec_core::{
+    BiCritSolver, ExecutionPlan, ModelError, ParetoFrontier, PowerModel, ResilienceCosts,
+    SilentModel, SpeedSet,
+};
+use rexec_platforms::{Platform, PlatformId, Processor, ProcessorId};
+use rexec_sim::{MonteCarlo, SimConfig};
+use std::fmt::Write as _;
+
+/// Everything `rexec-plan` computed, ready to print.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The rendered report.
+    pub report: String,
+    /// Whether a feasible plan was found.
+    pub feasible: bool,
+}
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum RunError {
+    /// Bad platform/processor name.
+    UnknownName(String),
+    /// Parameters do not form a valid model.
+    Model(ModelError),
+    /// Neither a named configuration nor enough custom parameters.
+    Underspecified(&'static str),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            RunError::Model(e) => write!(f, "invalid parameters: {e}"),
+            RunError::Underspecified(what) => {
+                write!(f, "missing parameter: {what} (give --platform/--processor or custom values)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ModelError> for RunError {
+    fn from(e: ModelError) -> Self {
+        RunError::Model(e)
+    }
+}
+
+fn platform_by_name(name: &str) -> Result<Platform, RunError> {
+    let id = match name.to_ascii_lowercase().as_str() {
+        "hera" => PlatformId::Hera,
+        "atlas" => PlatformId::Atlas,
+        "coastal" => PlatformId::Coastal,
+        "coastal-ssd" | "coastal_ssd" | "coastalssd" => PlatformId::CoastalSsd,
+        _ => return Err(RunError::UnknownName(name.to_string())),
+    };
+    Ok(Platform::get(id))
+}
+
+fn processor_by_name(name: &str) -> Result<Processor, RunError> {
+    let id = match name.to_ascii_lowercase().as_str() {
+        "xscale" | "intel-xscale" => ProcessorId::IntelXScale,
+        "crusoe" | "transmeta-crusoe" => ProcessorId::TransmetaCrusoe,
+        _ => return Err(RunError::UnknownName(name.to_string())),
+    };
+    Ok(Processor::get(id))
+}
+
+/// Resolves arguments into a solver (named configuration + overrides).
+pub fn build_solver(args: &Args) -> Result<BiCritSolver, RunError> {
+    let platform = args.platform.as_deref().map(platform_by_name).transpose()?;
+    let processor = args
+        .processor
+        .as_deref()
+        .map(processor_by_name)
+        .transpose()?;
+
+    let lambda = args
+        .lambda
+        .or(platform.as_ref().map(|p| p.lambda))
+        .ok_or(RunError::Underspecified("--lambda"))?;
+    let checkpoint = args
+        .checkpoint
+        .or(platform.as_ref().map(|p| p.checkpoint))
+        .ok_or(RunError::Underspecified("--checkpoint"))?;
+    let verification = args
+        .verification
+        .or(platform.as_ref().map(|p| p.verification))
+        .ok_or(RunError::Underspecified("--verification"))?;
+    let recovery = args.recovery.unwrap_or(checkpoint);
+
+    let speeds_vec = args
+        .speeds
+        .clone()
+        .or(processor.as_ref().map(|p| p.speeds.clone()))
+        .ok_or(RunError::Underspecified("--speeds"))?;
+    let speeds = SpeedSet::new(speeds_vec)?;
+
+    let kappa = args
+        .kappa
+        .or(processor.as_ref().map(|p| p.kappa))
+        .ok_or(RunError::Underspecified("--kappa"))?;
+    let p_idle = args
+        .p_idle
+        .or(processor.as_ref().map(|p| p.p_idle))
+        .ok_or(RunError::Underspecified("--pidle"))?;
+    let p_io = args
+        .p_io
+        .unwrap_or_else(|| kappa * speeds.min().powi(3));
+
+    let model = SilentModel::new(
+        lambda,
+        ResilienceCosts::new(checkpoint, verification, recovery)?,
+        PowerModel::new(kappa, p_idle, p_io)?,
+    )?;
+    Ok(BiCritSolver::new(model, speeds))
+}
+
+/// Runs the planner and renders the report.
+pub fn execute(args: &Args) -> Result<Outcome, RunError> {
+    let solver = build_solver(args)?;
+    let m = *solver.model();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "model: lambda = {:.3e}/s, C = {} s, V = {} s, R = {} s",
+        m.lambda, m.costs.checkpoint, m.costs.verification, m.costs.recovery
+    );
+    let _ = writeln!(
+        report,
+        "power: {} sigma^3 + {} mW, Pio = {:.2} mW; speeds {:?}; rho = {}",
+        m.power.kappa,
+        m.power.p_idle,
+        m.power.p_io,
+        solver.speeds().values(),
+        args.rho
+    );
+
+    let Some(best) = solver.solve(args.rho) else {
+        let _ = writeln!(
+            report,
+            "\nINFEASIBLE: no speed pair meets rho = {}; smallest feasible rho is {:.4}",
+            args.rho,
+            solver.min_feasible_rho()
+        );
+        return Ok(Outcome {
+            report,
+            feasible: false,
+        });
+    };
+
+    let _ = writeln!(report, "\n=== optimal two-speed plan ===");
+    let _ = writeln!(
+        report,
+        "sigma1 = {}, sigma2 = {}, Wopt = {:.0} work units",
+        best.sigma1, best.sigma2, best.w_opt
+    );
+    let _ = writeln!(
+        report,
+        "energy overhead E/W = {:.2} mJ/unit, time overhead T/W = {:.4} s/unit",
+        best.energy_overhead, best.time_overhead
+    );
+
+    if args.compare_one_speed {
+        if let Some(one) = solver.solve_one_speed(args.rho) {
+            let saving = 100.0 * (1.0 - best.energy_overhead / one.energy_overhead);
+            let _ = writeln!(
+                report,
+                "one-speed baseline: sigma = {}, Wopt = {:.0}, E/W = {:.2}  (two-speed saves {:.1}%)",
+                one.sigma1, one.w_opt, one.energy_overhead, saving
+            );
+        }
+    }
+
+    if let Some(w_base) = args.w_base {
+        let plan = ExecutionPlan::from_solution(&m, best, w_base);
+        let _ = writeln!(report, "\n{plan}");
+    }
+
+    if args.validate > 0 {
+        let cfg = SimConfig::from_silent_model(&m, best.w_opt, best.sigma1, best.sigma2);
+        let rep = MonteCarlo::new(cfg, args.validate, 0xC0FFEE).validate(
+            m.expected_time(best.w_opt, best.sigma1, best.sigma2),
+            m.expected_energy(best.w_opt, best.sigma1, best.sigma2),
+            3.29,
+        );
+        let _ = writeln!(
+            report,
+            "\nMonte Carlo ({} trials): time rel err {:.4}% [{}], energy rel err {:.4}% [{}]",
+            args.validate,
+            100.0 * rep.time_rel_error(),
+            if rep.time_ok() { "OK" } else { "MISS" },
+            100.0 * rep.energy_rel_error(),
+            if rep.energy_ok() { "OK" } else { "MISS" },
+        );
+    }
+
+    if let Some(n) = args.pareto {
+        let frontier = ParetoFrontier::compute(&solver, (args.rho * 3.0).max(10.0), n.max(2));
+        let _ = writeln!(
+            report,
+            "\ntime/energy Pareto frontier ({} non-dominated points):",
+            frontier.len()
+        );
+        let _ = writeln!(report, "{:>9} {:>12} {:>7} {:>7} {:>10}", "T/W", "E/W", "s1", "s2", "Wopt");
+        for p in &frontier.points {
+            let _ = writeln!(
+                report,
+                "{:>9.4} {:>12.2} {:>7} {:>7} {:>10.0}",
+                p.time_overhead, p.energy_overhead, p.sigma1, p.sigma2, p.w_opt
+            );
+        }
+    }
+
+    Ok(Outcome {
+        report,
+        feasible: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn named_configuration_reproduces_paper_plan() {
+        let out = execute(&parse(&["--platform", "hera", "--processor", "xscale"])).unwrap();
+        assert!(out.feasible);
+        assert!(out.report.contains("sigma1 = 0.4, sigma2 = 0.4"));
+        assert!(out.report.contains("Wopt = 2764"));
+    }
+
+    #[test]
+    fn custom_parameters_stand_alone() {
+        let out = execute(&parse(&[
+            "--lambda", "1e-5", "--checkpoint", "600", "--verification", "30", "--kappa",
+            "2000", "--pidle", "50", "--speeds", "0.25,0.5,0.75,1.0",
+        ]))
+        .unwrap();
+        assert!(out.feasible);
+        assert!(out.report.contains("optimal two-speed plan"));
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_named_configuration() {
+        // Hera with a 10x error rate: pattern must shrink vs 2764.
+        let out = execute(&parse(&[
+            "--platform", "hera", "--processor", "xscale", "--lambda", "3.38e-5",
+        ]))
+        .unwrap();
+        assert!(out.feasible);
+        assert!(!out.report.contains("Wopt = 2764"));
+    }
+
+    #[test]
+    fn infeasible_reports_min_rho() {
+        let out = execute(&parse(&[
+            "--platform", "hera", "--processor", "xscale", "--rho", "1.0",
+        ]))
+        .unwrap();
+        assert!(!out.feasible);
+        assert!(out.report.contains("INFEASIBLE"));
+        assert!(out.report.contains("smallest feasible rho"));
+    }
+
+    #[test]
+    fn one_speed_comparison_and_wbase_plan() {
+        let out = execute(&parse(&[
+            "--platform", "hera", "--processor", "xscale", "--rho", "1.775", "--one-speed",
+            "--wbase", "1e7",
+        ]))
+        .unwrap();
+        assert!(out.report.contains("one-speed baseline"));
+        assert!(out.report.contains("two-speed saves"));
+        assert!(out.report.contains("execution plan for Wbase"));
+    }
+
+    #[test]
+    fn monte_carlo_validation_runs() {
+        let out = execute(&parse(&[
+            "--platform", "hera", "--processor", "xscale", "--validate", "2000",
+        ]))
+        .unwrap();
+        assert!(out.report.contains("Monte Carlo (2000 trials)"));
+        assert!(out.report.contains("[OK]"));
+    }
+
+    #[test]
+    fn pareto_frontier_prints() {
+        let out = execute(&parse(&[
+            "--platform", "hera", "--processor", "xscale", "--pareto", "50",
+        ]))
+        .unwrap();
+        assert!(out.report.contains("Pareto frontier"));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let err = execute(&parse(&["--platform", "jupiter", "--processor", "xscale"]));
+        assert!(matches!(err, Err(RunError::UnknownName(_))));
+        let err2 = execute(&parse(&["--platform", "hera", "--processor", "epyc"]));
+        assert!(matches!(err2, Err(RunError::UnknownName(_))));
+    }
+
+    #[test]
+    fn underspecified_custom_setup_errors() {
+        let err = execute(&parse(&["--lambda", "1e-5"]));
+        assert!(matches!(err, Err(RunError::Underspecified(_))));
+        let msg = format!("{}", err.unwrap_err());
+        assert!(msg.contains("--checkpoint"));
+    }
+
+    #[test]
+    fn default_pio_is_dynamic_power_at_min_speed() {
+        let solver = build_solver(&parse(&[
+            "--lambda", "1e-5", "--checkpoint", "100", "--verification", "10", "--kappa",
+            "1000", "--pidle", "10", "--speeds", "0.5,1.0",
+        ]))
+        .unwrap();
+        assert!((solver.model().power.p_io - 1000.0 * 0.125).abs() < 1e-9);
+    }
+}

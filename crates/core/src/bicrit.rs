@@ -1,0 +1,381 @@
+//! The **BiCrit** solver (paper §3, solution procedure).
+//!
+//! ```text
+//! minimize   E(W, σ₁, σ₂) / W
+//! subject to T(W, σ₁, σ₂) / W ≤ ρ,    σ₁, σ₂ ∈ S
+//! ```
+//!
+//! Procedure (O(K²) over the `K` available speeds):
+//! 1. for each speed pair `(σᵢ, σⱼ)` compute `ρᵢⱼ` (Equation 6) and discard
+//!    pairs with `ρ < ρᵢⱼ`;
+//! 2. for each remaining pair compute `Wopt` (Equation 4) and the
+//!    first-order energy overhead (Equation 3);
+//! 3. return the pair minimizing the energy overhead.
+
+use crate::approx::FirstOrder;
+use crate::pattern::SilentModel;
+use crate::speed::SpeedSet;
+use crate::theorem1::{self, Clamp, SolveError};
+use serde::{Deserialize, Serialize};
+
+/// A fully-solved BiCrit candidate: speed pair, pattern size, overheads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiCritSolution {
+    /// First-execution speed `σ₁`.
+    pub sigma1: f64,
+    /// Re-execution speed `σ₂`.
+    pub sigma2: f64,
+    /// Optimal pattern size `Wopt` (Theorem 1).
+    pub w_opt: f64,
+    /// First-order energy overhead `E(Wopt)/Wopt` (Equation 3) — the
+    /// objective value, as reported in the paper's tables.
+    pub energy_overhead: f64,
+    /// First-order time overhead `T(Wopt)/Wopt` (Equation 2); always `≤ ρ`.
+    pub time_overhead: f64,
+    /// Minimum feasible bound `ρᵢⱼ` for this speed pair (Equation 6).
+    pub rho_min: f64,
+    /// Which constraint bound (if any) clamped `Wopt`.
+    pub clamp: Clamp,
+}
+
+impl BiCritSolution {
+    /// Whether the solution uses two distinct speeds.
+    #[inline]
+    pub fn uses_two_speeds(&self) -> bool {
+        self.sigma1 != self.sigma2
+    }
+
+    /// Exact (non-Taylor) energy overhead of this solution under `model`
+    /// (Proposition 3 evaluated at `Wopt`).
+    pub fn exact_energy_overhead(&self, model: &SilentModel) -> f64 {
+        model.energy_overhead(self.w_opt, self.sigma1, self.sigma2)
+    }
+
+    /// Exact (non-Taylor) time overhead of this solution under `model`
+    /// (Proposition 2 evaluated at `Wopt`).
+    pub fn exact_time_overhead(&self, model: &SilentModel) -> f64 {
+        model.time_overhead(self.w_opt, self.sigma1, self.sigma2)
+    }
+}
+
+/// Row of the paper's §4.2 tables: for a fixed `σ₁`, the best `σ₂` (if any
+/// feasible) with its `Wopt` and energy overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedPairReport {
+    /// The fixed first-execution speed.
+    pub sigma1: f64,
+    /// Best feasible solution with this `σ₁`, or `None` if no `σ₂` makes
+    /// the pair feasible (rendered as dashes in the paper).
+    pub best: Option<BiCritSolution>,
+}
+
+/// BiCrit solver over a discrete speed set.
+#[derive(Debug, Clone)]
+pub struct BiCritSolver {
+    model: SilentModel,
+    speeds: SpeedSet,
+}
+
+impl BiCritSolver {
+    /// Creates a solver for `model` over the available `speeds`.
+    pub fn new(model: SilentModel, speeds: SpeedSet) -> Self {
+        BiCritSolver { model, speeds }
+    }
+
+    /// The underlying analytic model.
+    pub fn model(&self) -> &SilentModel {
+        &self.model
+    }
+
+    /// The available speeds.
+    pub fn speeds(&self) -> &SpeedSet {
+        &self.speeds
+    }
+
+    /// Solves Theorem 1 for one speed pair, returning the full candidate.
+    pub fn solve_pair(&self, s1: f64, s2: f64, rho: f64) -> Result<BiCritSolution, SolveError> {
+        let pat = theorem1::optimal_pattern(&self.model, s1, s2, rho)?;
+        let e = FirstOrder::energy_overhead(&self.model, pat.w_opt, s1, s2);
+        let t = FirstOrder::time_overhead(&self.model, pat.w_opt, s1, s2);
+        Ok(BiCritSolution {
+            sigma1: s1,
+            sigma2: s2,
+            w_opt: pat.w_opt,
+            energy_overhead: e,
+            time_overhead: t,
+            rho_min: theorem1::rho_min(&self.model, s1, s2),
+            clamp: pat.clamp,
+        })
+    }
+
+    /// All feasible candidates under bound `rho`, sorted by increasing
+    /// energy overhead (ties broken towards slower `σ₁`, then slower `σ₂`
+    /// for determinism).
+    pub fn candidates(&self, rho: f64) -> Vec<BiCritSolution> {
+        let mut out: Vec<BiCritSolution> = self
+            .speeds
+            .pairs()
+            .filter_map(|(s1, s2)| self.solve_pair(s1, s2, rho).ok())
+            .collect();
+        out.sort_by(|a, b| {
+            (a.energy_overhead, a.sigma1, a.sigma2)
+                .partial_cmp(&(b.energy_overhead, b.sigma1, b.sigma2))
+                .expect("finite overheads")
+        });
+        out
+    }
+
+    /// Solves BiCrit: the feasible speed pair minimizing the energy
+    /// overhead, or `None` when no pair satisfies `ρ ≥ ρᵢⱼ`.
+    pub fn solve(&self, rho: f64) -> Option<BiCritSolution> {
+        self.candidates(rho).into_iter().next()
+    }
+
+    /// Solves the **one-speed** variant (σ₂ constrained to equal σ₁) — the
+    /// paper's baseline (dotted curves in Figures 2–14).
+    pub fn solve_one_speed(&self, rho: f64) -> Option<BiCritSolution> {
+        self.speeds
+            .diagonal_pairs()
+            .filter_map(|(s, _)| self.solve_pair(s, s, rho).ok())
+            .min_by(|a, b| {
+                (a.energy_overhead, a.sigma1)
+                    .partial_cmp(&(b.energy_overhead, b.sigma1))
+                    .expect("finite overheads")
+            })
+    }
+
+    /// The paper's §4.2 table: for each `σ₁` in the speed set, the best
+    /// feasible `σ₂` with its `Wopt` and energy overhead (or `None`).
+    pub fn per_sigma1(&self, rho: f64) -> Vec<SpeedPairReport> {
+        self.speeds
+            .iter()
+            .map(|s1| {
+                let best = self
+                    .speeds
+                    .iter()
+                    .filter_map(|s2| self.solve_pair(s1, s2, rho).ok())
+                    .min_by(|a, b| {
+                        (a.energy_overhead, a.sigma2)
+                            .partial_cmp(&(b.energy_overhead, b.sigma2))
+                            .expect("finite overheads")
+                    });
+                SpeedPairReport { sigma1: s1, best }
+            })
+            .collect()
+    }
+
+    /// Smallest bound for which *any* speed pair is feasible:
+    /// `min over (i,j) of ρᵢⱼ`.
+    pub fn min_feasible_rho(&self) -> f64 {
+        self.speeds
+            .pairs()
+            .map(|(s1, s2)| theorem1::rho_min(&self.model, s1, s2))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Relative energy saving of the two-speed optimum over the one-speed
+    /// optimum at bound `rho`, in `[0, 1)`; `None` if either is infeasible.
+    pub fn two_speed_saving(&self, rho: f64) -> Option<f64> {
+        let two = self.solve(rho)?;
+        let one = self.solve_one_speed(rho)?;
+        Some(1.0 - two.energy_overhead / one.energy_overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ResilienceCosts;
+    use crate::power::PowerModel;
+
+    fn hera_xscale_solver() -> BiCritSolver {
+        let model = SilentModel::new(
+            3.38e-6,
+            ResilienceCosts::symmetric(300.0, 15.4),
+            PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        )
+        .unwrap();
+        let speeds = SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap();
+        BiCritSolver::new(model, speeds)
+    }
+
+    /// One expected row: σ1, and (best σ2, Wopt, E/W) if feasible.
+    type PaperRow = (f64, Option<(f64, f64, f64)>);
+
+    /// The paper's four Hera/XScale tables (§4.2), transcribed.
+    fn paper_table(rho: f64) -> Vec<PaperRow> {
+        #[allow(clippy::redundant_guards)]
+        match rho {
+            r if r == 8.0 => vec![
+                (0.15, Some((0.4, 1711.0, 466.0))),
+                (0.4, Some((0.4, 2764.0, 416.0))),
+                (0.6, Some((0.4, 3639.0, 674.0))),
+                (0.8, Some((0.4, 4627.0, 1082.0))),
+                (1.0, Some((0.4, 5742.0, 1625.0))),
+            ],
+            r if r == 3.0 => vec![
+                (0.15, None),
+                (0.4, Some((0.4, 2764.0, 416.0))),
+                (0.6, Some((0.4, 3639.0, 674.0))),
+                (0.8, Some((0.4, 4627.0, 1082.0))),
+                (1.0, Some((0.4, 5742.0, 1625.0))),
+            ],
+            r if r == 1.775 => vec![
+                (0.15, None),
+                (0.4, None),
+                (0.6, Some((0.8, 4251.0, 690.0))),
+                (0.8, Some((0.4, 4627.0, 1082.0))),
+                (1.0, Some((0.4, 5742.0, 1625.0))),
+            ],
+            r if r == 1.4 => vec![
+                (0.15, None),
+                (0.4, None),
+                (0.6, None),
+                (0.8, Some((0.4, 4627.0, 1082.0))),
+                (1.0, Some((0.4, 5742.0, 1625.0))),
+            ],
+            _ => unreachable!(),
+        }
+    }
+
+    fn check_table(rho: f64) {
+        let solver = hera_xscale_solver();
+        let got = solver.per_sigma1(rho);
+        let want = paper_table(rho);
+        assert_eq!(got.len(), want.len());
+        for (g, (s1, expect)) in got.iter().zip(&want) {
+            assert_eq!(g.sigma1, *s1);
+            match (g.best, expect) {
+                (None, None) => {}
+                (Some(sol), Some((s2, w, e))) => {
+                    assert_eq!(sol.sigma2, *s2, "ρ={rho} σ1={s1}: best σ2");
+                    assert!(
+                        (sol.w_opt - w).abs() < 1.0,
+                        "ρ={rho} σ1={s1}: Wopt {} vs paper {w}",
+                        sol.w_opt
+                    );
+                    assert!(
+                        (sol.energy_overhead - e).abs() < 1.0,
+                        "ρ={rho} σ1={s1}: E/W {} vs paper {e}",
+                        sol.energy_overhead
+                    );
+                }
+                (got, want) => panic!("ρ={rho} σ1={s1}: {got:?} vs paper {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_table_rho_8() {
+        check_table(8.0);
+    }
+
+    #[test]
+    fn reproduces_paper_table_rho_3() {
+        check_table(3.0);
+    }
+
+    #[test]
+    fn reproduces_paper_table_rho_1_775() {
+        check_table(1.775);
+    }
+
+    #[test]
+    fn reproduces_paper_table_rho_1_4() {
+        check_table(1.4);
+    }
+
+    #[test]
+    fn overall_best_at_rho_3_is_04_04() {
+        let solver = hera_xscale_solver();
+        let best = solver.solve(3.0).unwrap();
+        assert_eq!((best.sigma1, best.sigma2), (0.4, 0.4));
+        assert!(!best.uses_two_speeds());
+    }
+
+    #[test]
+    fn overall_best_at_rho_1_775_uses_two_speeds() {
+        let solver = hera_xscale_solver();
+        let best = solver.solve(1.775).unwrap();
+        assert_eq!((best.sigma1, best.sigma2), (0.6, 0.8));
+        assert!(best.uses_two_speeds());
+    }
+
+    #[test]
+    fn infeasible_when_rho_below_min() {
+        let solver = hera_xscale_solver();
+        let rho_star = solver.min_feasible_rho();
+        assert!(solver.solve(rho_star * 0.999).is_none());
+        assert!(solver.solve(rho_star * 1.001).is_some());
+    }
+
+    #[test]
+    fn two_speed_never_worse_than_one_speed() {
+        let solver = hera_xscale_solver();
+        for rho in [1.2, 1.4, 1.775, 2.0, 2.5, 3.0, 5.0, 8.0] {
+            if let (Some(two), Some(one)) = (solver.solve(rho), solver.solve_one_speed(rho)) {
+                assert!(
+                    two.energy_overhead <= one.energy_overhead + 1e-9,
+                    "ρ={rho}: two-speed {} > one-speed {}",
+                    two.energy_overhead,
+                    one.energy_overhead
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solutions_respect_the_bound() {
+        let solver = hera_xscale_solver();
+        for rho in [1.4, 1.775, 3.0, 8.0] {
+            for cand in solver.candidates(rho) {
+                assert!(
+                    cand.time_overhead <= rho * (1.0 + 1e-9),
+                    "ρ={rho}: candidate ({},{}) violates bound: {}",
+                    cand.sigma1,
+                    cand.sigma2,
+                    cand.time_overhead
+                );
+                assert!(cand.rho_min <= rho * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_by_energy() {
+        let solver = hera_xscale_solver();
+        let cands = solver.candidates(3.0);
+        assert!(!cands.is_empty());
+        for w in cands.windows(2) {
+            assert!(w[0].energy_overhead <= w[1].energy_overhead);
+        }
+    }
+
+    #[test]
+    fn exact_overheads_close_to_first_order() {
+        let solver = hera_xscale_solver();
+        let best = solver.solve(3.0).unwrap();
+        let m = solver.model();
+        let exact_e = best.exact_energy_overhead(m);
+        let exact_t = best.exact_time_overhead(m);
+        assert!((exact_e - best.energy_overhead).abs() / exact_e < 1e-2);
+        assert!((exact_t - best.time_overhead).abs() / exact_t < 1e-2);
+    }
+
+    #[test]
+    fn one_speed_solution_is_diagonal() {
+        let solver = hera_xscale_solver();
+        let one = solver.solve_one_speed(3.0).unwrap();
+        assert_eq!(one.sigma1, one.sigma2);
+    }
+
+    #[test]
+    fn saving_nonnegative_where_defined() {
+        let solver = hera_xscale_solver();
+        for rho in [1.4, 1.775, 3.0, 8.0] {
+            if let Some(s) = solver.two_speed_saving(rho) {
+                assert!((0.0..1.0).contains(&(s + 1e-12)), "ρ={rho}: saving {s}");
+            }
+        }
+    }
+}

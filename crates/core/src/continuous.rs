@@ -1,0 +1,244 @@
+//! Continuous-speed relaxation of BiCrit.
+//!
+//! The paper works with a *discrete* speed set (DVFS steps). Relaxing the
+//! speeds to a continuous interval `[σ_min, σ_max]` answers two practical
+//! questions: how much energy do the discrete steps leave on the table,
+//! and where would an ideal processor operate? The relaxation is solved
+//! by nested golden-section search — the energy overhead at the optimal
+//! `W` is well-behaved (unimodal in each speed over the ranges of
+//! interest), and every candidate is verified against the performance
+//! bound, so the result is a certified feasible point (and, empirically,
+//! matches the discrete optimum as the grid refines; see the tests).
+
+use crate::approx::FirstOrder;
+use crate::pattern::SilentModel;
+use crate::theorem1;
+use serde::{Deserialize, Serialize};
+
+/// Solution of the continuous relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContinuousSolution {
+    /// Optimal first-execution speed.
+    pub sigma1: f64,
+    /// Optimal re-execution speed.
+    pub sigma2: f64,
+    /// Optimal pattern size (Theorem 1 at the optimal pair).
+    pub w_opt: f64,
+    /// Energy overhead at the optimum.
+    pub energy_overhead: f64,
+    /// Time overhead at the optimum (≤ ρ).
+    pub time_overhead: f64,
+}
+
+/// Energy overhead of the best pattern for a pair, or `+∞` if infeasible.
+fn pair_objective(m: &SilentModel, s1: f64, s2: f64, rho: f64) -> f64 {
+    match theorem1::optimal_pattern(m, s1, s2, rho) {
+        Ok(p) => FirstOrder::energy_overhead(m, p.w_opt, s1, s2),
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// Solves the continuous relaxation over `σ₁, σ₂ ∈ [sigma_min, sigma_max]`.
+///
+/// Pattern search: a coarse grid seeds the basin, then the grid window
+/// shrinks around the incumbent (robust to the infeasibility plateau that
+/// breaks line-search methods at tight bounds). Resolution after the
+/// shrink rounds is ~1e-5 of the speed range. Returns `None` when the
+/// bound is infeasible even at `σ_max`.
+pub fn solve(
+    m: &SilentModel,
+    sigma_min: f64,
+    sigma_max: f64,
+    rho: f64,
+) -> Option<ContinuousSolution> {
+    assert!(
+        sigma_min > 0.0 && sigma_max > sigma_min,
+        "need 0 < sigma_min < sigma_max"
+    );
+    // Feasibility requires roughly 1/σ1 < ρ; bail early if hopeless.
+    if theorem1::rho_min(m, sigma_max, sigma_max) > rho {
+        return None;
+    }
+    let grid = 25usize;
+    // Seed pass: coarse grid over the full square; keep several seeds
+    // spread across the square (the feasibility boundary creates several
+    // local basins at tight bounds, so single-start refinement can miss
+    // the global optimum).
+    let range = sigma_max - sigma_min;
+    let coarse_step = range / (grid - 1) as f64;
+    let mut cells: Vec<(f64, f64, f64)> = vec![]; // (objective, s1, s2)
+    for i in 0..grid {
+        for j in 0..grid {
+            let s1 = sigma_min + coarse_step * i as f64;
+            let s2 = sigma_min + coarse_step * j as f64;
+            let e = pair_objective(m, s1, s2, rho);
+            if e.is_finite() {
+                cells.push((e, s1, s2));
+            }
+        }
+    }
+    if cells.is_empty() {
+        return None;
+    }
+    cells.sort_by(|a, b| a.partial_cmp(b).expect("finite objectives"));
+    // Seeds: the best cell plus the best cells at least 2 coarse steps away
+    // from every already-chosen seed.
+    let mut seeds: Vec<(f64, f64)> = vec![];
+    for &(_, s1, s2) in &cells {
+        if seeds.len() >= 6 {
+            break;
+        }
+        if seeds
+            .iter()
+            .all(|&(a, b)| (a - s1).abs() > 2.0 * coarse_step || (b - s2).abs() > 2.0 * coarse_step)
+        {
+            seeds.push((s1, s2));
+        }
+    }
+
+    // Refinement pass per seed: shrinking grid window.
+    let mut best = (f64::INFINITY, seeds[0].0, seeds[0].1);
+    for &(seed1, seed2) in &seeds {
+        let mut center = (seed1, seed2);
+        let mut half = 2.0 * coarse_step;
+        let mut local = (pair_objective(m, seed1, seed2, rho), seed1, seed2);
+        for _round in 0..8 {
+            let lo1 = (center.0 - half).max(sigma_min);
+            let hi1 = (center.0 + half).min(sigma_max);
+            let lo2 = (center.1 - half).max(sigma_min);
+            let hi2 = (center.1 + half).min(sigma_max);
+            let step1 = (hi1 - lo1) / (grid - 1) as f64;
+            let step2 = (hi2 - lo2) / (grid - 1) as f64;
+            for i in 0..grid {
+                for j in 0..grid {
+                    let s1 = lo1 + step1 * i as f64;
+                    let s2 = lo2 + step2 * j as f64;
+                    let e = pair_objective(m, s1, s2, rho);
+                    if e < local.0 {
+                        local = (e, s1, s2);
+                    }
+                }
+            }
+            center = (local.1, local.2);
+            half /= 3.0;
+            if half < 1e-6 {
+                break;
+            }
+        }
+        if local.0 < best.0 {
+            best = local;
+        }
+    }
+    if !best.0.is_finite() {
+        return None;
+    }
+    let (s1, s2) = (best.1, best.2);
+    let pat = theorem1::optimal_pattern(m, s1, s2, rho).ok()?;
+    Some(ContinuousSolution {
+        sigma1: s1,
+        sigma2: s2,
+        w_opt: pat.w_opt,
+        energy_overhead: FirstOrder::energy_overhead(m, pat.w_opt, s1, s2),
+        time_overhead: FirstOrder::time_overhead(m, pat.w_opt, s1, s2),
+    })
+}
+
+/// Energy left on the table by a discrete speed set relative to the
+/// continuous relaxation over the same range, in `[0, 1)`. `None` when
+/// either problem is infeasible.
+pub fn discretization_gap(
+    m: &SilentModel,
+    speeds: &crate::speed::SpeedSet,
+    rho: f64,
+) -> Option<f64> {
+    let discrete = crate::bicrit::BiCritSolver::new(*m, speeds.clone()).solve(rho)?;
+    let cont = solve(m, speeds.min(), speeds.max(), rho)?;
+    Some(1.0 - cont.energy_overhead / discrete.energy_overhead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicrit::BiCritSolver;
+    use crate::cost::ResilienceCosts;
+    use crate::power::PowerModel;
+    use crate::speed::SpeedSet;
+
+    fn hera_xscale() -> SilentModel {
+        SilentModel::new(
+            3.38e-6,
+            ResilienceCosts::symmetric(300.0, 15.4),
+            PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn continuous_never_worse_than_discrete() {
+        let m = hera_xscale();
+        let speeds = SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap();
+        for rho in [1.4, 1.775, 3.0, 8.0] {
+            let discrete = BiCritSolver::new(m, speeds.clone()).solve(rho).unwrap();
+            let cont = solve(&m, 0.15, 1.0, rho).unwrap();
+            assert!(
+                cont.energy_overhead <= discrete.energy_overhead * (1.0 + 1e-9),
+                "rho={rho}: continuous {} vs discrete {}",
+                cont.energy_overhead,
+                discrete.energy_overhead
+            );
+            assert!(cont.time_overhead <= rho * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn dense_grid_converges_to_continuous() {
+        let m = hera_xscale();
+        let rho = 3.0;
+        let cont = solve(&m, 0.15, 1.0, rho).unwrap();
+        // 171-point uniform grid over [0.15, 1].
+        let dense: Vec<f64> = (0..171).map(|i| 0.15 + 0.005 * i as f64).collect();
+        let discrete = BiCritSolver::new(m, SpeedSet::new(dense).unwrap())
+            .solve(rho)
+            .unwrap();
+        assert!(
+            (discrete.energy_overhead - cont.energy_overhead).abs()
+                / cont.energy_overhead
+                < 3e-3,
+            "dense grid {} vs continuous {}",
+            discrete.energy_overhead,
+            cont.energy_overhead
+        );
+        assert!((discrete.sigma1 - cont.sigma1).abs() < 0.02);
+    }
+
+    #[test]
+    fn continuous_optimum_is_interior_for_loose_bounds() {
+        // With ρ = 8 the energy-optimal speed on Hera/XScale is strictly
+        // between the extremes (σ ≈ 0.34: the Pidle/κ balance point).
+        let m = hera_xscale();
+        let cont = solve(&m, 0.15, 1.0, 8.0).unwrap();
+        assert!(cont.sigma1 > 0.2 && cont.sigma1 < 0.6, "σ1 = {}", cont.sigma1);
+        assert!(cont.sigma2 > 0.2 && cont.sigma2 < 0.6, "σ2 = {}", cont.sigma2);
+    }
+
+    #[test]
+    fn infeasible_bound_returns_none() {
+        let m = hera_xscale();
+        assert!(solve(&m, 0.15, 1.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn discretization_gap_is_small_but_positive() {
+        let m = hera_xscale();
+        let speeds = SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap();
+        let gap = discretization_gap(&m, &speeds, 3.0).unwrap();
+        assert!((0.0..0.1).contains(&gap), "gap = {gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma_min")]
+    fn invalid_range_panics() {
+        let m = hera_xscale();
+        let _ = solve(&m, 1.0, 0.5, 3.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Time-only optimization (the classical problem, used as a baseline).
+//!
+//! Minimizes the expected *time* per unit of work over the pattern size and
+//! speed pair, with no energy objective. To first order, for a fixed pair
+//! the minimum is `ρᵢⱼ` (Equation 6) attained at the minimizer of the time
+//! coefficients; over pairs, the fastest speeds win, but the structure is
+//! kept general so that the solver is also usable with restricted sets.
+
+use crate::approx::FirstOrder;
+use crate::pattern::SilentModel;
+use crate::speed::SpeedSet;
+use serde::{Deserialize, Serialize};
+
+/// Result of the time-only optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinTimeSolution {
+    /// First-execution speed.
+    pub sigma1: f64,
+    /// Re-execution speed.
+    pub sigma2: f64,
+    /// Time-optimal pattern size.
+    pub w_opt: f64,
+    /// Achieved first-order time overhead (= `ρᵢⱼ` of the chosen pair).
+    pub time_overhead: f64,
+    /// First-order energy overhead at the time-optimal point (for
+    /// comparison with BiCrit solutions).
+    pub energy_overhead: f64,
+}
+
+/// Solver for the time-only problem over a discrete speed set.
+#[derive(Debug, Clone)]
+pub struct MinTimeSolver {
+    model: SilentModel,
+    speeds: SpeedSet,
+}
+
+impl MinTimeSolver {
+    /// Creates a solver.
+    pub fn new(model: SilentModel, speeds: SpeedSet) -> Self {
+        MinTimeSolver { model, speeds }
+    }
+
+    /// The underlying analytic model.
+    pub fn model(&self) -> &SilentModel {
+        &self.model
+    }
+
+    /// The available speeds.
+    pub fn speeds(&self) -> &SpeedSet {
+        &self.speeds
+    }
+
+    /// Time-optimal pattern size and overhead for a fixed pair: the
+    /// minimizer of Equation (2). Returns `None` when `λ = 0` (unbounded).
+    pub fn solve_pair(&self, s1: f64, s2: f64) -> Option<MinTimeSolution> {
+        let co = FirstOrder::time_coefficients(&self.model, s1, s2);
+        let w = co.minimizer();
+        if !w.is_finite() || w <= 0.0 {
+            return None;
+        }
+        Some(MinTimeSolution {
+            sigma1: s1,
+            sigma2: s2,
+            w_opt: w,
+            time_overhead: co.eval(w),
+            energy_overhead: FirstOrder::energy_overhead(&self.model, w, s1, s2),
+        })
+    }
+
+    /// Best pair for expected time (ties to slower speeds for determinism).
+    pub fn solve(&self) -> Option<MinTimeSolution> {
+        self.speeds
+            .pairs()
+            .filter_map(|(s1, s2)| self.solve_pair(s1, s2))
+            .min_by(|a, b| {
+                (a.time_overhead, a.sigma1, a.sigma2)
+                    .partial_cmp(&(b.time_overhead, b.sigma1, b.sigma2))
+                    .expect("finite overheads")
+            })
+    }
+
+    /// Best single-speed (σ₂ = σ₁) solution for expected time.
+    pub fn solve_one_speed(&self) -> Option<MinTimeSolution> {
+        self.speeds
+            .diagonal_pairs()
+            .filter_map(|(s, _)| self.solve_pair(s, s))
+            .min_by(|a, b| {
+                (a.time_overhead, a.sigma1)
+                    .partial_cmp(&(b.time_overhead, b.sigma1))
+                    .expect("finite overheads")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ResilienceCosts;
+    use crate::power::PowerModel;
+    use crate::theorem1;
+
+    fn solver() -> MinTimeSolver {
+        let model = SilentModel::new(
+            3.38e-6,
+            ResilienceCosts::symmetric(300.0, 15.4),
+            PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        )
+        .unwrap();
+        MinTimeSolver::new(model, SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap())
+    }
+
+    #[test]
+    fn fastest_speeds_minimize_time() {
+        let best = solver().solve().unwrap();
+        assert_eq!(best.sigma1, 1.0);
+        assert_eq!(best.sigma2, 1.0);
+    }
+
+    #[test]
+    fn pair_overhead_equals_rho_min() {
+        let s = solver();
+        for (s1, s2) in [(0.4, 0.4), (0.6, 1.0), (1.0, 0.15)] {
+            let sol = s.solve_pair(s1, s2).unwrap();
+            let rho = theorem1::rho_min(s.model(), s1, s2);
+            assert!(
+                (sol.time_overhead - rho).abs() < 1e-12,
+                "({s1},{s2}): {} vs {rho}",
+                sol.time_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn one_speed_no_better_than_two_speed() {
+        let s = solver();
+        let two = s.solve().unwrap();
+        let one = s.solve_one_speed().unwrap();
+        assert!(two.time_overhead <= one.time_overhead + 1e-12);
+        assert_eq!(one.sigma1, one.sigma2);
+    }
+
+    #[test]
+    fn lambda_zero_yields_none() {
+        let m = solver().model().with_lambda(0.0);
+        let s = MinTimeSolver::new(m, SpeedSet::new(vec![0.5, 1.0]).unwrap());
+        assert!(s.solve().is_none());
+        assert_eq!(s.speeds().len(), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Time/energy Pareto frontier of the bi-criteria problem.
+//!
+//! BiCrit fixes a bound `ρ` and minimizes energy; sweeping `ρ` from its
+//! smallest feasible value upward traces the full trade-off curve between
+//! expected time per work unit and expected energy per work unit. Each
+//! frontier point records which speed pair and pattern size achieve it —
+//! making visible the paper's observation that *many* speed pairs are
+//! optimal somewhere along the curve.
+
+use crate::bicrit::BiCritSolver;
+use serde::{Deserialize, Serialize};
+
+/// One point of the time/energy trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// The performance bound that generated this point.
+    pub rho: f64,
+    /// Achieved time overhead `T/W` (≤ `rho`).
+    pub time_overhead: f64,
+    /// Achieved energy overhead `E/W`.
+    pub energy_overhead: f64,
+    /// First-execution speed.
+    pub sigma1: f64,
+    /// Re-execution speed.
+    pub sigma2: f64,
+    /// Optimal pattern size.
+    pub w_opt: f64,
+}
+
+/// The computed frontier: non-dominated `(time, energy)` points, sorted by
+/// increasing time overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoFrontier {
+    /// Frontier points, ascending in time overhead.
+    pub points: Vec<ParetoPoint>,
+}
+
+impl ParetoFrontier {
+    /// Traces the frontier by sweeping `n` bounds geometrically from the
+    /// smallest feasible `ρ` up to `rho_max`, then pruning dominated
+    /// points.
+    ///
+    /// Returns an empty frontier when even `rho_max` is infeasible.
+    pub fn compute(solver: &BiCritSolver, rho_max: f64, n: usize) -> ParetoFrontier {
+        assert!(n >= 2, "need at least two sweep points");
+        let rho_min = solver.min_feasible_rho() * (1.0 + 1e-9);
+        if !rho_min.is_finite() || rho_min > rho_max {
+            return ParetoFrontier { points: vec![] };
+        }
+        let ratio = (rho_max / rho_min).ln();
+        let mut raw: Vec<ParetoPoint> = (0..n)
+            .filter_map(|i| {
+                let rho = rho_min * (ratio * i as f64 / (n - 1) as f64).exp();
+                solver.solve(rho).map(|s| ParetoPoint {
+                    rho,
+                    time_overhead: s.time_overhead,
+                    energy_overhead: s.energy_overhead,
+                    sigma1: s.sigma1,
+                    sigma2: s.sigma2,
+                    w_opt: s.w_opt,
+                })
+            })
+            .collect();
+        raw.sort_by(|a, b| {
+            (a.time_overhead, a.energy_overhead)
+                .partial_cmp(&(b.time_overhead, b.energy_overhead))
+                .expect("finite overheads")
+        });
+        // Prune: keep points whose energy strictly improves on everything
+        // faster (standard staircase filter).
+        let mut points: Vec<ParetoPoint> = Vec::with_capacity(raw.len());
+        let mut best_energy = f64::INFINITY;
+        for p in raw {
+            if p.energy_overhead < best_energy * (1.0 - 1e-12) {
+                best_energy = p.energy_overhead;
+                points.push(p);
+            }
+        }
+        ParetoFrontier { points }
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier is empty (problem infeasible at every bound).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The distinct speed pairs appearing on the frontier, in order of
+    /// first appearance (slow → fast end).
+    pub fn speed_pairs(&self) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = vec![];
+        for p in &self.points {
+            let pair = (p.sigma1, p.sigma2);
+            if out.last() != Some(&pair) && !out.contains(&pair) {
+                out.push(pair);
+            }
+        }
+        out
+    }
+
+    /// True iff no point dominates another (both overheads ≤, one <).
+    pub fn is_non_dominated(&self) -> bool {
+        for (i, a) in self.points.iter().enumerate() {
+            for b in self.points.iter().skip(i + 1) {
+                let a_dom = a.time_overhead <= b.time_overhead
+                    && a.energy_overhead <= b.energy_overhead;
+                let b_dom = b.time_overhead <= a.time_overhead
+                    && b.energy_overhead <= a.energy_overhead;
+                if a_dom || b_dom {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ResilienceCosts;
+    use crate::pattern::SilentModel;
+    use crate::power::PowerModel;
+    use crate::speed::SpeedSet;
+
+    fn solver() -> BiCritSolver {
+        let model = SilentModel::new(
+            3.38e-6,
+            ResilienceCosts::symmetric(300.0, 15.4),
+            PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        )
+        .unwrap();
+        BiCritSolver::new(model, SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap())
+    }
+
+    #[test]
+    fn frontier_is_non_dominated_and_monotone() {
+        let f = ParetoFrontier::compute(&solver(), 10.0, 200);
+        assert!(f.len() >= 5, "expected a rich frontier, got {}", f.len());
+        assert!(f.is_non_dominated());
+        for w in f.points.windows(2) {
+            assert!(w[1].time_overhead > w[0].time_overhead);
+            assert!(w[1].energy_overhead < w[0].energy_overhead);
+        }
+    }
+
+    #[test]
+    fn frontier_points_respect_their_bound() {
+        let f = ParetoFrontier::compute(&solver(), 10.0, 100);
+        for p in &f.points {
+            assert!(p.time_overhead <= p.rho * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn multiple_speed_pairs_appear_along_the_frontier() {
+        // The paper's §4.2 point: different ρ values elect different pairs.
+        let f = ParetoFrontier::compute(&solver(), 10.0, 400);
+        let pairs = f.speed_pairs();
+        assert!(
+            pairs.len() >= 3,
+            "expected several optimal pairs along the frontier: {pairs:?}"
+        );
+        // The slow end (loose ρ) is the energy-optimal pair (0.4, 0.4).
+        assert!(pairs.contains(&(0.4, 0.4)));
+        // No pair with σ1 = 0.15 is ever on the frontier.
+        assert!(pairs.iter().all(|&(s1, _)| s1 != 0.15));
+    }
+
+    #[test]
+    fn infeasible_everywhere_gives_empty_frontier() {
+        let s = solver();
+        let f = ParetoFrontier::compute(&s, s.min_feasible_rho() * 0.5, 10);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn fastest_end_approaches_min_feasible_rho() {
+        let s = solver();
+        let f = ParetoFrontier::compute(&s, 10.0, 200);
+        let fastest = &f.points[0];
+        assert!(fastest.time_overhead <= s.min_feasible_rho() * 1.05);
+    }
+}

@@ -1,0 +1,195 @@
+//! Application-level execution planning.
+//!
+//! The BiCrit solver optimizes a single *pattern*; a real application has
+//! a total amount of work `Wbase` (§2.3). An [`ExecutionPlan`] lifts the
+//! pattern optimum to the application: number of patterns, expected
+//! makespan and energy (`Ttotal ≈ T(W)/W · Wbase`,
+//! `Etotal ≈ E(W)/W · Wbase`), and the expected number of errors along
+//! the way.
+
+use crate::bicrit::{BiCritSolution, BiCritSolver};
+use crate::pattern::SilentModel;
+use serde::{Deserialize, Serialize};
+
+/// A complete plan for executing `Wbase` units of work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Total application work (work units).
+    pub w_base: f64,
+    /// The pattern-level optimum this plan is built on.
+    pub pattern: BiCritSolution,
+    /// Number of full patterns (the last may be fractional).
+    pub patterns: f64,
+    /// Expected makespan `Ttotal` (s), exact expectations.
+    pub expected_makespan: f64,
+    /// Expected energy `Etotal` (mJ), exact expectations.
+    pub expected_energy: f64,
+    /// Expected number of detected silent errors over the whole run.
+    pub expected_errors: f64,
+}
+
+impl ExecutionPlan {
+    /// Builds the plan for `w_base` work from a pattern solution under
+    /// `model` (exact Propositions 2–3 evaluated at the pattern optimum).
+    pub fn from_solution(model: &SilentModel, sol: BiCritSolution, w_base: f64) -> ExecutionPlan {
+        assert!(w_base > 0.0, "application work must be positive");
+        let patterns = w_base / sol.w_opt;
+        let t_pat = model.expected_time(sol.w_opt, sol.sigma1, sol.sigma2);
+        let e_pat = model.expected_energy(sol.w_opt, sol.sigma1, sol.sigma2);
+        // Expected detected errors per pattern = expected executions − 1.
+        let errs = model.expected_executions(sol.w_opt, sol.sigma1, sol.sigma2) - 1.0;
+        ExecutionPlan {
+            w_base,
+            pattern: sol,
+            patterns,
+            expected_makespan: patterns * t_pat,
+            expected_energy: patterns * e_pat,
+            expected_errors: patterns * errs,
+        }
+    }
+
+    /// Convenience: solve BiCrit and plan in one call.
+    ///
+    /// Returns `None` when no speed pair satisfies the bound.
+    pub fn solve(solver: &BiCritSolver, rho: f64, w_base: f64) -> Option<ExecutionPlan> {
+        let sol = solver.solve(rho)?;
+        Some(ExecutionPlan::from_solution(solver.model(), sol, w_base))
+    }
+
+    /// Effective slowdown versus an ideal error-free, full-speed,
+    /// checkpoint-free execution (`Wbase` seconds).
+    pub fn slowdown(&self) -> f64 {
+        self.expected_makespan / self.w_base
+    }
+
+    /// Average power drawn over the run (mW).
+    pub fn average_power(&self) -> f64 {
+        self.expected_energy / self.expected_makespan
+    }
+}
+
+impl std::fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "execution plan for Wbase = {:.3e} work units", self.w_base)?;
+        writeln!(
+            f,
+            "  speeds        : first execution at {}, re-executions at {}",
+            self.pattern.sigma1, self.pattern.sigma2
+        )?;
+        writeln!(
+            f,
+            "  pattern       : W = {:.0} work units + verification + checkpoint",
+            self.pattern.w_opt
+        )?;
+        writeln!(f, "  patterns      : {:.1}", self.patterns)?;
+        writeln!(
+            f,
+            "  exp. makespan : {:.3e} s  (slowdown {:.3} vs ideal)",
+            self.expected_makespan,
+            self.slowdown()
+        )?;
+        writeln!(
+            f,
+            "  exp. energy   : {:.3e} mJ  (avg power {:.1} mW)",
+            self.expected_energy,
+            self.average_power()
+        )?;
+        write!(
+            f,
+            "  exp. errors   : {:.2} detected silent errors",
+            self.expected_errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ResilienceCosts;
+    use crate::power::PowerModel;
+    use crate::speed::SpeedSet;
+
+    fn solver() -> BiCritSolver {
+        let model = SilentModel::new(
+            3.38e-6,
+            ResilienceCosts::symmetric(300.0, 15.4),
+            PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        )
+        .unwrap();
+        BiCritSolver::new(model, SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap())
+    }
+
+    #[test]
+    fn plan_scales_linearly_with_w_base() {
+        let s = solver();
+        let a = ExecutionPlan::solve(&s, 3.0, 1e6).unwrap();
+        let b = ExecutionPlan::solve(&s, 3.0, 2e6).unwrap();
+        assert!((b.expected_makespan / a.expected_makespan - 2.0).abs() < 1e-12);
+        assert!((b.expected_energy / a.expected_energy - 2.0).abs() < 1e-12);
+        assert!((b.patterns / a.patterns - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_overheads_match_exact_pattern_overheads() {
+        let s = solver();
+        let plan = ExecutionPlan::solve(&s, 3.0, 1e7).unwrap();
+        let m = s.model();
+        let sol = plan.pattern;
+        let t_ov = m.time_overhead(sol.w_opt, sol.sigma1, sol.sigma2);
+        let e_ov = m.energy_overhead(sol.w_opt, sol.sigma1, sol.sigma2);
+        assert!((plan.slowdown() - t_ov).abs() < 1e-9 * t_ov);
+        assert!(
+            (plan.expected_energy / plan.w_base - e_ov).abs() < 1e-9 * e_ov
+        );
+    }
+
+    #[test]
+    fn plan_respects_bound_in_exact_terms_approximately() {
+        // First-order bound ρ = 3 ⇒ exact slowdown within ~1 % of 3 at most.
+        let s = solver();
+        let plan = ExecutionPlan::solve(&s, 3.0, 1e6).unwrap();
+        assert!(plan.slowdown() <= 3.0 * 1.01);
+    }
+
+    #[test]
+    fn infeasible_bound_gives_none() {
+        let s = solver();
+        assert!(ExecutionPlan::solve(&s, 1.0, 1e6).is_none());
+    }
+
+    #[test]
+    fn expected_errors_are_positive_and_sane() {
+        let s = solver();
+        let plan = ExecutionPlan::solve(&s, 3.0, 1e8).unwrap();
+        // λW/σ ≈ 0.023 per pattern, ~36k patterns → hundreds of errors.
+        assert!(plan.expected_errors > 100.0);
+        assert!(plan.expected_errors < plan.patterns);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = solver();
+        let plan = ExecutionPlan::solve(&s, 3.0, 1e6).unwrap();
+        let text = plan.to_string();
+        assert!(text.contains("execution plan"));
+        assert!(text.contains("re-executions at 0.4"));
+        assert!(text.contains("exp. makespan"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_w_base_panics() {
+        let s = solver();
+        let sol = s.solve(3.0).unwrap();
+        ExecutionPlan::from_solution(s.model(), sol, 0.0);
+    }
+
+    #[test]
+    fn average_power_between_idle_and_max() {
+        let s = solver();
+        let plan = ExecutionPlan::solve(&s, 3.0, 1e6).unwrap();
+        let p = plan.average_power();
+        assert!(p > s.model().power.p_idle);
+        assert!(p < s.model().power.compute_power(1.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Numerically robust quadratic-equation solver.
+//!
+//! Theorem 1 reduces the performance constraint `T(W)/W ≤ ρ` to a quadratic
+//! inequality `aW² + bW + c ≤ 0` with `a, c > 0`; the feasible region is the
+//! interval between the two real roots. The textbook formula
+//! `(−b ± √(b²−4ac)) / 2a` loses precision when `b² ≫ 4ac`, so the smaller
+//! root is computed via Vieta's formulas.
+
+/// Real roots of `a·x² + b·x + c = 0`, ascending.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Roots {
+    /// No real root (negative discriminant), or degenerate with no solution.
+    None,
+    /// A single (double or linear) root.
+    One(f64),
+    /// Two distinct roots `(smaller, larger)`.
+    Two(f64, f64),
+}
+
+/// Solves `a·x² + b·x + c = 0` robustly.
+///
+/// Handles the degenerate linear case `a == 0` and uses the
+/// cancellation-free evaluation `q = −(b + sign(b)·√disc)/2`,
+/// `x₁ = q/a`, `x₂ = c/q`.
+pub fn solve_quadratic(a: f64, b: f64, c: f64) -> Roots {
+    if a == 0.0 {
+        if b == 0.0 {
+            return Roots::None; // constant equation: either no or infinitely many roots
+        }
+        return Roots::One(-c / b);
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Roots::None;
+    }
+    if disc == 0.0 {
+        return Roots::One(-b / (2.0 * a));
+    }
+    let sqrt_disc = disc.sqrt();
+    let q = -0.5 * (b + b.signum() * sqrt_disc);
+    let (x1, x2) = if q == 0.0 {
+        // b == 0: symmetric roots.
+        let r = sqrt_disc / (2.0 * a);
+        (-r, r)
+    } else {
+        (q / a, c / q)
+    };
+    if x1 <= x2 {
+        Roots::Two(x1, x2)
+    } else {
+        Roots::Two(x2, x1)
+    }
+}
+
+impl Roots {
+    /// The two roots as an ordered pair, collapsing `One` to equal values.
+    pub fn pair(self) -> Option<(f64, f64)> {
+        match self {
+            Roots::None => None,
+            Roots::One(x) => Some((x, x)),
+            Roots::Two(x1, x2) => Some((x1, x2)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_root(a: f64, b: f64, c: f64, x: f64) {
+        let v = a * x * x + b * x + c;
+        let scale = (a * x * x).abs().max((b * x).abs()).max(c.abs()).max(1.0);
+        assert!(v.abs() <= 1e-9 * scale, "residual {v} for root {x}");
+    }
+
+    #[test]
+    fn simple_roots() {
+        match solve_quadratic(1.0, -3.0, 2.0) {
+            Roots::Two(x1, x2) => {
+                assert!((x1 - 1.0).abs() < 1e-12);
+                assert!((x2 - 2.0).abs() < 1e-12);
+            }
+            r => panic!("expected two roots, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn no_real_roots() {
+        assert_eq!(solve_quadratic(1.0, 0.0, 1.0), Roots::None);
+    }
+
+    #[test]
+    fn double_root() {
+        assert_eq!(solve_quadratic(1.0, -2.0, 1.0), Roots::One(1.0));
+    }
+
+    #[test]
+    fn linear_case() {
+        assert_eq!(solve_quadratic(0.0, 2.0, -4.0), Roots::One(2.0));
+        assert_eq!(solve_quadratic(0.0, 0.0, 1.0), Roots::None);
+    }
+
+    #[test]
+    fn symmetric_case_b_zero() {
+        match solve_quadratic(1.0, 0.0, -4.0) {
+            Roots::Two(x1, x2) => {
+                assert!((x1 + 2.0).abs() < 1e-12);
+                assert!((x2 - 2.0).abs() < 1e-12);
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn extreme_cancellation_is_handled() {
+        // b² ≫ 4ac: naive formula would return 0 for the small root.
+        let (a, b, c) = (1.0, -1e8, 1.0);
+        match solve_quadratic(a, b, c) {
+            Roots::Two(x1, x2) => {
+                assert_root(a, b, c, x1);
+                assert_root(a, b, c, x2);
+                assert!(x1 > 0.0, "small root must be positive, got {x1}");
+                assert!((x1 - 1e-8).abs() < 1e-16);
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn theorem1_shaped_coefficients() {
+        // Shape from Theorem 1: a = λ/(σ1σ2), b negative, c = C + V/σ1.
+        let a = 3.38e-6 / 0.16;
+        let b = 2.5 - 3.0; // 1/σ1 + small terms − ρ
+        let c = 300.0 + 38.5;
+        match solve_quadratic(a, b, c) {
+            Roots::Two(x1, x2) => {
+                assert_root(a, b, c, x1);
+                assert_root(a, b, c, x2);
+                assert!(x1 > 0.0 && x2 > x1);
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn pair_collapses_one() {
+        assert_eq!(solve_quadratic(1.0, -2.0, 1.0).pair(), Some((1.0, 1.0)));
+        assert_eq!(solve_quadratic(1.0, 0.0, 1.0).pair(), None);
+    }
+}

@@ -1,0 +1,355 @@
+//! Theorem 1 — closed-form optimal pattern size for **BiCrit**.
+//!
+//! For a fixed speed pair `(σ₁, σ₂)` and performance bound `ρ`, the
+//! first-order constraint `T(W)/W ≤ ρ` is the quadratic inequality
+//! `aW² + bW + c ≤ 0` with
+//!
+//! ```text
+//! a = λ/(σ₁σ₂),   b = 1/σ₁ + λ(R/σ₁ + V/(σ₁σ₂)) − ρ,   c = C + V/σ₁
+//! ```
+//!
+//! * if `b > −2√(ac)` there is no positive solution → **infeasible**;
+//! * otherwise the feasible sizes form `[W₁, W₂]` and, the energy overhead
+//!   being convex in `W` with unconstrained minimizer `Wₑ` (Equation 5),
+//!   the optimum is the clamp `Wopt = min(max(W₁, Wₑ), W₂)` (Equation 4).
+//!
+//! The smallest bound for which the pair is feasible is (Equation 6)
+//!
+//! ```text
+//! ρᵢⱼ = 1/σᵢ + 2√((C + V/σᵢ)·λ/(σᵢσⱼ)) + λ(R/σᵢ + V/(σᵢσⱼ))
+//! ```
+
+use crate::approx::FirstOrder;
+use crate::pattern::SilentModel;
+use crate::quadratic::{solve_quadratic, Roots};
+use serde::{Deserialize, Serialize};
+
+/// Which bound (if any) clamped the optimal pattern size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Clamp {
+    /// `Wₑ` lies inside the feasible interval; the performance bound is
+    /// inactive.
+    Unconstrained,
+    /// `Wₑ < W₁`: the pattern had to be *lengthened* to meet the bound.
+    AtLower,
+    /// `Wₑ > W₂`: the pattern had to be *shortened* to meet the bound.
+    AtUpper,
+}
+
+/// Solution of Theorem 1 for a single speed pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalPattern {
+    /// Optimal pattern size `Wopt` (Equation 4).
+    pub w_opt: f64,
+    /// Unconstrained energy minimizer `Wₑ` (Equation 5).
+    pub w_e: f64,
+    /// Feasible interval `[W₁, W₂]` from the performance constraint.
+    pub interval: (f64, f64),
+    /// Which bound, if any, is active at `Wopt`.
+    pub clamp: Clamp,
+}
+
+/// Failure modes of the closed-form solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveError {
+    /// No positive `W` satisfies the performance bound (`ρ < ρᵢⱼ`).
+    Infeasible,
+    /// `λ = 0`: the overhead decreases monotonically in `W`, so no finite
+    /// optimal pattern exists (checkpointing is pointless without errors).
+    Unbounded,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "performance bound rho is below rho_ij"),
+            SolveError::Unbounded => write!(f, "lambda = 0: optimal pattern size is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Unconstrained first-order energy minimizer `Wₑ` (Equation 5).
+pub fn energy_minimizer(m: &SilentModel, s1: f64, s2: f64) -> f64 {
+    FirstOrder::energy_coefficients(m, s1, s2).minimizer()
+}
+
+/// Feasible interval `[W₁, W₂]` of pattern sizes satisfying
+/// `T(W)/W ≤ ρ` to first order, or `Err(Infeasible)`.
+///
+/// With `λ = 0` the constraint is linear and the interval is
+/// `[W₁, +∞)` (or infeasible if even `W → ∞` violates the bound).
+pub fn feasible_interval(
+    m: &SilentModel,
+    s1: f64,
+    s2: f64,
+    rho: f64,
+) -> Result<(f64, f64), SolveError> {
+    let t = FirstOrder::time_coefficients(m, s1, s2);
+    let a = t.linear;
+    let b = t.constant - rho;
+    let c = t.inverse;
+    if a == 0.0 {
+        // λ = 0: bW + c ≤ 0.
+        if b < 0.0 {
+            return Ok((-c / b, f64::INFINITY));
+        }
+        if b == 0.0 && c <= 0.0 {
+            return Ok((0.0, f64::INFINITY));
+        }
+        return Err(SolveError::Infeasible);
+    }
+    match solve_quadratic(a, b, c) {
+        Roots::None => Err(SolveError::Infeasible),
+        Roots::One(w) => {
+            if w > 0.0 {
+                Ok((w, w))
+            } else {
+                Err(SolveError::Infeasible)
+            }
+        }
+        Roots::Two(w1, w2) => {
+            if w2 <= 0.0 {
+                Err(SolveError::Infeasible)
+            } else {
+                Ok((w1.max(0.0), w2))
+            }
+        }
+    }
+}
+
+/// Theorem 1: the optimal pattern size `Wopt = min(max(W₁, Wₑ), W₂)` for a
+/// fixed speed pair under performance bound `rho`.
+///
+/// # Errors
+/// * [`SolveError::Infeasible`] if `ρ < ρᵢⱼ` for this pair;
+/// * [`SolveError::Unbounded`] if `λ = 0` (no finite optimum exists).
+pub fn optimal_pattern(
+    m: &SilentModel,
+    s1: f64,
+    s2: f64,
+    rho: f64,
+) -> Result<OptimalPattern, SolveError> {
+    if m.lambda == 0.0 {
+        return Err(SolveError::Unbounded);
+    }
+    let (w1, w2) = feasible_interval(m, s1, s2, rho)?;
+    let w_e = energy_minimizer(m, s1, s2);
+    let (w_opt, clamp) = if w_e < w1 {
+        (w1, Clamp::AtLower)
+    } else if w_e > w2 {
+        (w2, Clamp::AtUpper)
+    } else {
+        (w_e, Clamp::Unconstrained)
+    };
+    Ok(OptimalPattern {
+        w_opt,
+        w_e,
+        interval: (w1, w2),
+        clamp,
+    })
+}
+
+/// Minimum feasible performance bound `ρᵢⱼ` for a speed pair (Equation 6).
+///
+/// Any `ρ ≥ ρᵢⱼ` admits a solution for `(σᵢ, σⱼ)`; any `ρ < ρᵢⱼ` does not.
+pub fn rho_min(m: &SilentModel, s1: f64, s2: f64) -> f64 {
+    let l = m.lambda;
+    let (c, v, r) = (m.costs.checkpoint, m.costs.verification, m.costs.recovery);
+    1.0 / s1 + 2.0 * ((c + v / s1) * l / (s1 * s2)).sqrt() + l * (r / s1 + v / (s1 * s2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ResilienceCosts;
+    use crate::power::PowerModel;
+
+    fn hera_xscale() -> SilentModel {
+        SilentModel::new(
+            3.38e-6,
+            ResilienceCosts::symmetric(300.0, 15.4),
+            PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rho_min_equals_minimum_of_first_order_time_overhead() {
+        let m = hera_xscale();
+        for (s1, s2) in [(0.4, 0.4), (0.15, 1.0), (0.8, 0.6)] {
+            let co = FirstOrder::time_coefficients(&m, s1, s2);
+            assert!(
+                (rho_min(&m, s1, s2) - co.min_value()).abs() < 1e-12,
+                "({s1},{s2})"
+            );
+        }
+    }
+
+    #[test]
+    fn rho_at_rho_min_is_feasible_with_degenerate_interval() {
+        let m = hera_xscale();
+        let (s1, s2) = (0.4, 0.8);
+        let rho = rho_min(&m, s1, s2);
+        let (w1, w2) = feasible_interval(&m, s1, s2, rho * (1.0 + 1e-12)).unwrap();
+        // Interval collapses around √(z/y) of the *time* coefficients.
+        let t = FirstOrder::time_coefficients(&m, s1, s2);
+        let w_star = t.minimizer();
+        assert!(w1 <= w_star && w_star <= w2);
+        assert!((w2 - w1) / w_star < 1e-4);
+    }
+
+    #[test]
+    fn slightly_below_rho_min_is_infeasible() {
+        let m = hera_xscale();
+        let (s1, s2) = (0.4, 0.8);
+        let rho = rho_min(&m, s1, s2);
+        assert_eq!(
+            feasible_interval(&m, s1, s2, rho * (1.0 - 1e-9)),
+            Err(SolveError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn paper_rho3_sigma_04_is_unconstrained() {
+        // Hera/XScale, ρ = 3, σ1 = σ2 = 0.4: Wopt = We = 2764.
+        let m = hera_xscale();
+        let sol = optimal_pattern(&m, 0.4, 0.4, 3.0).unwrap();
+        assert_eq!(sol.clamp, Clamp::Unconstrained);
+        assert!((sol.w_opt - 2764.0).abs() < 1.0);
+        assert!((sol.w_opt - sol.w_e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_rho3_sigma_015_is_infeasible() {
+        // 1/0.15 ≈ 6.67 > 3, so σ1 = 0.15 cannot meet ρ = 3.
+        let m = hera_xscale();
+        for s2 in [0.15, 0.4, 0.6, 0.8, 1.0] {
+            assert_eq!(
+                optimal_pattern(&m, 0.15, s2, 3.0),
+                Err(SolveError::Infeasible),
+                "σ2 = {s2}"
+            );
+        }
+    }
+
+    #[test]
+    fn returned_w_opt_satisfies_the_constraint() {
+        let m = hera_xscale();
+        for rho in [1.4, 1.775, 3.0, 8.0] {
+            for (s1, s2) in m_speeds() {
+                if let Ok(sol) = optimal_pattern(&m, s1, s2, rho) {
+                    let t = FirstOrder::time_overhead(&m, sol.w_opt, s1, s2);
+                    assert!(
+                        t <= rho * (1.0 + 1e-9),
+                        "ρ={rho} ({s1},{s2}): T/W = {t}"
+                    );
+                    assert!(sol.w_opt > 0.0);
+                }
+            }
+        }
+    }
+
+    fn m_speeds() -> Vec<(f64, f64)> {
+        let speeds = [0.15, 0.4, 0.6, 0.8, 1.0];
+        let mut v = vec![];
+        for &a in &speeds {
+            for &b in &speeds {
+                v.push((a, b));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn clamp_at_lower_when_we_below_interval() {
+        // Large C makes Wₑ big... instead force AtLower with a tiny ρ close
+        // to ρᵢⱼ and an energy minimizer below the time window.
+        // Use high Pio so Wₑ (energy) > W time minimizer: pick the opposite —
+        // construct directly: zero-ish κ so energy favors small W? Simplest
+        // robust check: scan pairs/ρ until both clamp kinds are observed.
+        let m = hera_xscale();
+        let mut seen_lower = false;
+        let mut seen_upper = false;
+        let mut seen_unconstrained = false;
+        for rho in [1.3, 1.4, 1.5, 1.775, 2.0, 3.0, 8.0] {
+            for (s1, s2) in m_speeds() {
+                if let Ok(sol) = optimal_pattern(&m, s1, s2, rho) {
+                    match sol.clamp {
+                        Clamp::AtLower => seen_lower = true,
+                        Clamp::AtUpper => seen_upper = true,
+                        Clamp::Unconstrained => seen_unconstrained = true,
+                    }
+                    // The clamp flag must be consistent with the geometry.
+                    match sol.clamp {
+                        Clamp::AtLower => {
+                            assert!(sol.w_e < sol.interval.0);
+                            assert_eq!(sol.w_opt, sol.interval.0);
+                        }
+                        Clamp::AtUpper => {
+                            assert!(sol.w_e > sol.interval.1);
+                            assert_eq!(sol.w_opt, sol.interval.1);
+                        }
+                        Clamp::Unconstrained => {
+                            assert_eq!(sol.w_opt, sol.w_e);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(seen_unconstrained, "expected some unconstrained optima");
+        assert!(
+            seen_lower || seen_upper,
+            "expected at least one clamped optimum across the scan"
+        );
+    }
+
+    #[test]
+    fn lambda_zero_is_unbounded() {
+        let m = hera_xscale().with_lambda(0.0);
+        assert_eq!(optimal_pattern(&m, 0.4, 0.4, 3.0), Err(SolveError::Unbounded));
+        // Feasibility itself is fine: [−c/b, ∞).
+        let (w1, w2) = feasible_interval(&m, 0.4, 0.4, 3.0).unwrap();
+        assert!(w1 > 0.0);
+        assert!(w2.is_infinite());
+    }
+
+    #[test]
+    fn lambda_zero_infeasible_when_speed_too_slow() {
+        let m = hera_xscale().with_lambda(0.0);
+        // 1/0.15 > 3 even without errors.
+        assert_eq!(
+            feasible_interval(&m, 0.15, 0.4, 3.0),
+            Err(SolveError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn clamped_solution_is_boundary_optimal() {
+        // Wherever the clamp is active, moving further inside the interval
+        // must not reduce the (convex) first-order energy overhead.
+        let m = hera_xscale();
+        for rho in [1.4, 1.775] {
+            for (s1, s2) in m_speeds() {
+                if let Ok(sol) = optimal_pattern(&m, s1, s2, rho) {
+                    let co = FirstOrder::energy_coefficients(&m, s1, s2);
+                    let (w1, w2) = sol.interval;
+                    let inner = match sol.clamp {
+                        Clamp::AtLower => Some(w1 * 1.01),
+                        Clamp::AtUpper => Some(w2 * 0.99),
+                        Clamp::Unconstrained => None,
+                    };
+                    if let Some(w_in) = inner {
+                        if w_in > w1 && w_in < w2 {
+                            assert!(
+                                co.eval(sol.w_opt) <= co.eval(w_in) + 1e-9,
+                                "clamped point must beat interior probe"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

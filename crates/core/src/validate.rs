@@ -1,0 +1,98 @@
+//! Input validation shared across the crate.
+
+use std::fmt;
+
+/// Errors produced when constructing model parameters from invalid inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter that must be finite and non-negative was not.
+    NonNegative {
+        /// Human-readable parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A parameter that must be finite and strictly positive was not.
+    Positive {
+        /// Human-readable parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A speed set was empty after validation.
+    EmptySpeedSet,
+    /// Error-rate split fractions must satisfy `0 ≤ f ≤ 1`.
+    InvalidFraction {
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonNegative { name, value } => {
+                write!(f, "parameter `{name}` must be finite and >= 0, got {value}")
+            }
+            ModelError::Positive { name, value } => {
+                write!(f, "parameter `{name}` must be finite and > 0, got {value}")
+            }
+            ModelError::EmptySpeedSet => write!(f, "speed set must contain at least one speed"),
+            ModelError::InvalidFraction { value } => {
+                write!(f, "fraction must lie in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Checks that `value` is finite and non-negative.
+pub(crate) fn non_negative(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::NonNegative { name, value })
+    }
+}
+
+/// Checks that `value` is finite and strictly positive.
+pub(crate) fn positive(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::Positive { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_negative_accepts_zero() {
+        assert_eq!(non_negative("x", 0.0), Ok(0.0));
+    }
+
+    #[test]
+    fn non_negative_rejects_negative_and_nan() {
+        assert!(non_negative("x", -1.0).is_err());
+        assert!(non_negative("x", f64::NAN).is_err());
+        assert!(non_negative("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn positive_rejects_zero() {
+        assert!(positive("x", 0.0).is_err());
+        assert_eq!(positive("x", 1.5), Ok(1.5));
+    }
+
+    #[test]
+    fn display_messages_mention_parameter() {
+        let err = positive("lambda", -3.0).unwrap_err();
+        assert!(err.to_string().contains("lambda"));
+        assert!(ModelError::EmptySpeedSet.to_string().contains("speed set"));
+        let frac = ModelError::InvalidFraction { value: 2.0 };
+        assert!(frac.to_string().contains("[0, 1]"));
+    }
+}

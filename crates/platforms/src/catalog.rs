@@ -1,0 +1,135 @@
+//! Catalog of the paper's eight virtual configurations.
+
+use crate::config::Configuration;
+use crate::platform::{Platform, PlatformId};
+use crate::processor::{Processor, ProcessorId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a virtual configuration (platform × processor), named
+/// after the paper figure it anchors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfigId {
+    /// The platform half.
+    pub platform: PlatformId,
+    /// The processor half.
+    pub processor: ProcessorId,
+}
+
+impl ConfigId {
+    /// The eight configurations in the order the paper presents them:
+    /// Atlas/Crusoe first (Figures 2–7), then the XScale column (Figures
+    /// 8–11), then the remaining Crusoe rows (Figures 12–14).
+    pub const ALL: [ConfigId; 8] = [
+        ConfigId {
+            platform: PlatformId::Atlas,
+            processor: ProcessorId::TransmetaCrusoe,
+        },
+        ConfigId {
+            platform: PlatformId::Hera,
+            processor: ProcessorId::IntelXScale,
+        },
+        ConfigId {
+            platform: PlatformId::Atlas,
+            processor: ProcessorId::IntelXScale,
+        },
+        ConfigId {
+            platform: PlatformId::Coastal,
+            processor: ProcessorId::IntelXScale,
+        },
+        ConfigId {
+            platform: PlatformId::CoastalSsd,
+            processor: ProcessorId::IntelXScale,
+        },
+        ConfigId {
+            platform: PlatformId::Hera,
+            processor: ProcessorId::TransmetaCrusoe,
+        },
+        ConfigId {
+            platform: PlatformId::Coastal,
+            processor: ProcessorId::TransmetaCrusoe,
+        },
+        ConfigId {
+            platform: PlatformId::CoastalSsd,
+            processor: ProcessorId::TransmetaCrusoe,
+        },
+    ];
+
+    /// The paper figure whose sweeps this configuration anchors
+    /// (Figures 2–7 all show Atlas/Crusoe; 8–14 show one config each).
+    pub fn figure(&self) -> &'static str {
+        match (self.platform, self.processor) {
+            (PlatformId::Atlas, ProcessorId::TransmetaCrusoe) => "Figures 2-7",
+            (PlatformId::Hera, ProcessorId::IntelXScale) => "Figure 8",
+            (PlatformId::Atlas, ProcessorId::IntelXScale) => "Figure 9",
+            (PlatformId::Coastal, ProcessorId::IntelXScale) => "Figure 10",
+            (PlatformId::CoastalSsd, ProcessorId::IntelXScale) => "Figure 11",
+            (PlatformId::Hera, ProcessorId::TransmetaCrusoe) => "Figure 12",
+            (PlatformId::Coastal, ProcessorId::TransmetaCrusoe) => "Figure 13",
+            (PlatformId::CoastalSsd, ProcessorId::TransmetaCrusoe) => "Figure 14",
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}",
+            self.platform.name(),
+            self.processor.short_name()
+        )
+    }
+}
+
+/// Builds the configuration for an id, with paper defaults.
+pub fn configuration(id: ConfigId) -> Configuration {
+    Configuration::new(Platform::get(id.platform), Processor::get(id.processor))
+}
+
+/// All eight virtual configurations, in paper order.
+pub fn all_configurations() -> Vec<Configuration> {
+    ConfigId::ALL.iter().map(|&id| configuration(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_distinct_configurations() {
+        let all = all_configurations();
+        assert_eq!(all.len(), 8);
+        let mut names: Vec<String> = all.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn atlas_crusoe_is_first() {
+        assert_eq!(all_configurations()[0].name(), "Atlas/Crusoe");
+    }
+
+    #[test]
+    fn figures_cover_2_through_14() {
+        let figs: Vec<_> = ConfigId::ALL.iter().map(|c| c.figure()).collect();
+        assert_eq!(figs[0], "Figures 2-7");
+        assert_eq!(figs[7], "Figure 14");
+    }
+
+    #[test]
+    fn every_configuration_solves_at_default_rho() {
+        for c in all_configurations() {
+            let solver = c.solver().unwrap();
+            let best = solver.solve(Configuration::DEFAULT_RHO);
+            assert!(best.is_some(), "{} must be feasible at ρ = 3", c.name());
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for id in ConfigId::ALL {
+            assert_eq!(id.to_string(), configuration(id).name());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! A virtual configuration = platform × processor (paper §4.1).
+
+use crate::platform::Platform;
+use crate::processor::Processor;
+use rexec_core::{BiCritSolver, ModelError, PowerModel, SilentModel, SpeedSet};
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's eight virtual configurations: a platform (error rate
+/// and resilience costs) combined with a processor (speeds and power).
+///
+/// The paper defaults are applied: `R = C`, `Pio = κ·σ_min³` and `ρ = 3`
+/// (the performance bound is a property of the experiment, not stored
+/// here — see [`Configuration::DEFAULT_RHO`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Platform parameters (λ, C, V).
+    pub platform: Platform,
+    /// Processor parameters (speeds, κ, Pidle).
+    pub processor: Processor,
+    /// Dynamic I/O power actually in effect (defaults to `κσ_min³`).
+    pub p_io: f64,
+}
+
+impl Configuration {
+    /// The paper's default performance bound, `ρ = 3`.
+    pub const DEFAULT_RHO: f64 = 3.0;
+
+    /// Combines a platform and a processor with the default I/O power.
+    pub fn new(platform: Platform, processor: Processor) -> Configuration {
+        let p_io = processor.default_p_io();
+        Configuration {
+            platform,
+            processor,
+            p_io,
+        }
+    }
+
+    /// Configuration name as used in figure captions, e.g. "Atlas/Crusoe".
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}",
+            self.platform.id.name(),
+            self.processor.id.short_name()
+        )
+    }
+
+    /// The power model of this configuration.
+    pub fn power_model(&self) -> Result<PowerModel, ModelError> {
+        PowerModel::new(self.processor.kappa, self.processor.p_idle, self.p_io)
+    }
+
+    /// The silent-error analytic model of this configuration.
+    pub fn silent_model(&self) -> Result<SilentModel, ModelError> {
+        SilentModel::new(
+            self.platform.lambda,
+            self.platform.costs(),
+            self.power_model()?,
+        )
+    }
+
+    /// The validated speed set of this configuration.
+    pub fn speed_set(&self) -> Result<SpeedSet, ModelError> {
+        self.processor.speed_set()
+    }
+
+    /// A ready-to-use BiCrit solver for this configuration.
+    pub fn solver(&self) -> Result<BiCritSolver, ModelError> {
+        Ok(BiCritSolver::new(self.silent_model()?, self.speed_set()?))
+    }
+
+    /// Sweep helper: a copy with a different I/O power.
+    #[must_use]
+    pub fn with_p_io(mut self, p_io: f64) -> Self {
+        self.p_io = p_io;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformId;
+    use crate::processor::ProcessorId;
+
+    fn hera_xscale() -> Configuration {
+        Configuration::new(
+            Platform::get(PlatformId::Hera),
+            Processor::get(ProcessorId::IntelXScale),
+        )
+    }
+
+    #[test]
+    fn name_formatting() {
+        assert_eq!(hera_xscale().name(), "Hera/XScale");
+        let ac = Configuration::new(
+            Platform::get(PlatformId::Atlas),
+            Processor::get(ProcessorId::TransmetaCrusoe),
+        );
+        assert_eq!(ac.name(), "Atlas/Crusoe");
+    }
+
+    #[test]
+    fn solver_reproduces_paper_optimum() {
+        let best = hera_xscale().solver().unwrap().solve(3.0).unwrap();
+        assert_eq!((best.sigma1, best.sigma2), (0.4, 0.4));
+        assert!((best.w_opt - 2764.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn default_io_power_flows_through() {
+        let c = hera_xscale();
+        let pm = c.power_model().unwrap();
+        assert!((pm.p_io - 1550.0 * 0.15f64.powi(3)).abs() < 1e-12);
+        let c2 = c.with_p_io(1000.0);
+        assert_eq!(c2.power_model().unwrap().p_io, 1000.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = hera_xscale();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Configuration = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

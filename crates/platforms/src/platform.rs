@@ -1,0 +1,135 @@
+//! Platform parameters (paper Table 1, values from Moody et al. \[18\]).
+
+use rexec_core::ResilienceCosts;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the paper's four platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformId {
+    /// LLNL Hera: λ = 3.38e-6, C = 300 s, V = 15.4 s.
+    Hera,
+    /// LLNL Atlas: λ = 7.78e-6, C = 439 s, V = 9.1 s.
+    Atlas,
+    /// LLNL Coastal: λ = 2.01e-6, C = 1051 s, V = 4.5 s.
+    Coastal,
+    /// LLNL Coastal with SSDs: λ = 2.01e-6, C = 2500 s, V = 180 s.
+    CoastalSsd,
+}
+
+impl PlatformId {
+    /// All four platforms, in the paper's table order.
+    pub const ALL: [PlatformId; 4] = [
+        PlatformId::Hera,
+        PlatformId::Atlas,
+        PlatformId::Coastal,
+        PlatformId::CoastalSsd,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformId::Hera => "Hera",
+            PlatformId::Atlas => "Atlas",
+            PlatformId::Coastal => "Coastal",
+            PlatformId::CoastalSsd => "Coastal SSD",
+        }
+    }
+}
+
+impl std::fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A platform: error rate plus resilience costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Which published platform this is.
+    pub id: PlatformId,
+    /// Silent-error rate `λ` (1/s).
+    pub lambda: f64,
+    /// Checkpoint time `C` (s).
+    pub checkpoint: f64,
+    /// Verification time `V` at full speed (s).
+    pub verification: f64,
+}
+
+impl Platform {
+    /// The published parameters for `id` (paper Table 1).
+    pub fn get(id: PlatformId) -> Platform {
+        let (lambda, checkpoint, verification) = match id {
+            PlatformId::Hera => (3.38e-6, 300.0, 15.4),
+            PlatformId::Atlas => (7.78e-6, 439.0, 9.1),
+            PlatformId::Coastal => (2.01e-6, 1051.0, 4.5),
+            PlatformId::CoastalSsd => (2.01e-6, 2500.0, 180.0),
+        };
+        Platform {
+            id,
+            lambda,
+            checkpoint,
+            verification,
+        }
+    }
+
+    /// Resilience costs with the paper default `R = C`.
+    pub fn costs(&self) -> ResilienceCosts {
+        ResilienceCosts::symmetric(self.checkpoint, self.verification)
+    }
+
+    /// Platform MTBF `µ = 1/λ` (s).
+    pub fn mtbf(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let hera = Platform::get(PlatformId::Hera);
+        assert_eq!(hera.lambda, 3.38e-6);
+        assert_eq!(hera.checkpoint, 300.0);
+        assert_eq!(hera.verification, 15.4);
+        let atlas = Platform::get(PlatformId::Atlas);
+        assert_eq!((atlas.lambda, atlas.checkpoint, atlas.verification), (7.78e-6, 439.0, 9.1));
+        let coastal = Platform::get(PlatformId::Coastal);
+        assert_eq!(
+            (coastal.lambda, coastal.checkpoint, coastal.verification),
+            (2.01e-6, 1051.0, 4.5)
+        );
+        let ssd = Platform::get(PlatformId::CoastalSsd);
+        assert_eq!((ssd.lambda, ssd.checkpoint, ssd.verification), (2.01e-6, 2500.0, 180.0));
+    }
+
+    #[test]
+    fn costs_are_symmetric() {
+        for id in PlatformId::ALL {
+            let p = Platform::get(id);
+            let c = p.costs();
+            assert_eq!(c.recovery, c.checkpoint, "{id}");
+        }
+    }
+
+    #[test]
+    fn mtbf_is_reciprocal() {
+        let p = Platform::get(PlatformId::Coastal);
+        assert!((p.mtbf() - 1.0 / 2.01e-6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PlatformId::Hera.to_string(), "Hera");
+        assert_eq!(PlatformId::CoastalSsd.to_string(), "Coastal SSD");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Platform::get(PlatformId::Atlas);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

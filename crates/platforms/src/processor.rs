@@ -1,0 +1,145 @@
+//! Processor parameters (paper Table 2, values from Rizvandi et al. \[20\]).
+
+use rexec_core::{ModelError, SpeedSet};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the paper's two DVFS processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessorId {
+    /// Intel XScale: speeds {0.15, 0.4, 0.6, 0.8, 1}, P(σ) = 1550σ³ + 60 mW.
+    IntelXScale,
+    /// Transmeta Crusoe: speeds {0.45, 0.6, 0.8, 0.9, 1}, P(σ) = 5756σ³ + 4.4 mW.
+    TransmetaCrusoe,
+}
+
+impl ProcessorId {
+    /// Both processors, in the paper's table order.
+    pub const ALL: [ProcessorId; 2] = [ProcessorId::IntelXScale, ProcessorId::TransmetaCrusoe];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessorId::IntelXScale => "Intel XScale",
+            ProcessorId::TransmetaCrusoe => "Transmeta Crusoe",
+        }
+    }
+
+    /// Short name used in figure captions ("XScale", "Crusoe").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ProcessorId::IntelXScale => "XScale",
+            ProcessorId::TransmetaCrusoe => "Crusoe",
+        }
+    }
+}
+
+impl std::fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A DVFS processor: normalized speed set and cube-law power parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Which published processor this is.
+    pub id: ProcessorId,
+    /// Normalized speeds, ascending.
+    pub speeds: Vec<f64>,
+    /// Cube-law coefficient `κ` of `P(σ) = κσ³ + Pidle` (mW).
+    pub kappa: f64,
+    /// Static power `Pidle` (mW).
+    pub p_idle: f64,
+}
+
+impl Processor {
+    /// The published parameters for `id` (paper Table 2).
+    pub fn get(id: ProcessorId) -> Processor {
+        match id {
+            ProcessorId::IntelXScale => Processor {
+                id,
+                speeds: vec![0.15, 0.4, 0.6, 0.8, 1.0],
+                kappa: 1550.0,
+                p_idle: 60.0,
+            },
+            ProcessorId::TransmetaCrusoe => Processor {
+                id,
+                speeds: vec![0.45, 0.6, 0.8, 0.9, 1.0],
+                kappa: 5756.0,
+                p_idle: 4.4,
+            },
+        }
+    }
+
+    /// Validated [`SpeedSet`] of this processor.
+    pub fn speed_set(&self) -> Result<SpeedSet, ModelError> {
+        SpeedSet::new(self.speeds.clone())
+    }
+
+    /// Total power at speed `σ`: `κσ³ + Pidle` (mW).
+    pub fn power(&self, sigma: f64) -> f64 {
+        self.kappa * sigma.powi(3) + self.p_idle
+    }
+
+    /// Slowest available speed.
+    pub fn min_speed(&self) -> f64 {
+        self.speeds
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The paper's default I/O power for this processor: the dynamic CPU
+    /// power at the slowest speed, `κ·σ_min³` (mW).
+    pub fn default_p_io(&self) -> f64 {
+        self.kappa * self.min_speed().powi(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let x = Processor::get(ProcessorId::IntelXScale);
+        assert_eq!(x.speeds, vec![0.15, 0.4, 0.6, 0.8, 1.0]);
+        assert!((x.power(1.0) - 1610.0).abs() < 1e-9);
+        let c = Processor::get(ProcessorId::TransmetaCrusoe);
+        assert_eq!(c.speeds, vec![0.45, 0.6, 0.8, 0.9, 1.0]);
+        assert!((c.power(1.0) - 5760.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_io_power() {
+        let x = Processor::get(ProcessorId::IntelXScale);
+        assert!((x.default_p_io() - 1550.0 * 0.15f64.powi(3)).abs() < 1e-12);
+        let c = Processor::get(ProcessorId::TransmetaCrusoe);
+        assert!((c.default_p_io() - 5756.0 * 0.45f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_sets_validate() {
+        for id in ProcessorId::ALL {
+            let p = Processor::get(id);
+            let s = p.speed_set().unwrap();
+            assert_eq!(s.len(), 5);
+            assert_eq!(s.max(), 1.0);
+            assert_eq!(s.min(), p.min_speed());
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ProcessorId::IntelXScale.short_name(), "XScale");
+        assert_eq!(ProcessorId::TransmetaCrusoe.to_string(), "Transmeta Crusoe");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Processor::get(ProcessorId::TransmetaCrusoe);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Processor = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,112 @@
+//! Energy metering: accumulates time-at-power over a simulated execution.
+
+use rexec_core::PowerModel;
+
+/// Accumulates energy (mJ) from timed phases at known power states.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    power: PowerModel,
+    compute_mj: f64,
+    io_mj: f64,
+    compute_s: f64,
+    io_s: f64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter for a power model.
+    pub fn new(power: PowerModel) -> Self {
+        EnergyMeter {
+            power,
+            compute_mj: 0.0,
+            io_mj: 0.0,
+            compute_s: 0.0,
+            io_s: 0.0,
+        }
+    }
+
+    /// Meters `t` seconds of computation (or verification) at speed `sigma`.
+    #[inline]
+    pub fn add_compute(&mut self, t: f64, sigma: f64) {
+        self.compute_mj += t * self.power.compute_power(sigma);
+        self.compute_s += t;
+    }
+
+    /// Meters `t` seconds of I/O (checkpoint or recovery).
+    #[inline]
+    pub fn add_io(&mut self, t: f64) {
+        self.io_mj += t * self.power.io_power();
+        self.io_s += t;
+    }
+
+    /// Total energy so far (mJ).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.compute_mj + self.io_mj
+    }
+
+    /// Energy spent computing (mJ).
+    #[inline]
+    pub fn compute_energy(&self) -> f64 {
+        self.compute_mj
+    }
+
+    /// Energy spent on I/O (mJ).
+    #[inline]
+    pub fn io_energy(&self) -> f64 {
+        self.io_mj
+    }
+
+    /// Wall-clock seconds metered so far (compute + I/O).
+    #[inline]
+    pub fn elapsed(&self) -> f64 {
+        self.compute_s + self.io_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> EnergyMeter {
+        EnergyMeter::new(PowerModel::new(1550.0, 60.0, 5.0).unwrap())
+    }
+
+    #[test]
+    fn compute_energy_matches_power_law() {
+        let mut m = meter();
+        m.add_compute(10.0, 0.5);
+        let expected = 10.0 * (1550.0 * 0.125 + 60.0);
+        assert!((m.total() - expected).abs() < 1e-9);
+        assert!((m.compute_energy() - expected).abs() < 1e-9);
+        assert_eq!(m.io_energy(), 0.0);
+    }
+
+    #[test]
+    fn io_energy_uses_io_power() {
+        let mut m = meter();
+        m.add_io(300.0);
+        assert!((m.total() - 300.0 * 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let mut m = meter();
+        m.add_compute(5.0, 1.0);
+        m.add_io(2.0);
+        m.add_compute(3.0, 0.4);
+        assert!((m.elapsed() - 10.0).abs() < 1e-12);
+        assert!(
+            (m.total()
+                - (5.0 * 1610.0 + 2.0 * 65.0 + 3.0 * (1550.0 * 0.064 + 60.0)))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn fresh_meter_is_zero() {
+        let m = meter();
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.elapsed(), 0.0);
+    }
+}

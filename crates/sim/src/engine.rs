@@ -1,0 +1,446 @@
+//! The execution engine: simulates patterns and whole applications.
+//!
+//! One *attempt* of a pattern at speed `σ`:
+//!
+//! 1. draw a fail-stop arrival `tᶠ ~ Exp(λᶠ)` over the `(W+V)/σ` phase and
+//!    a silent arrival `tˢ ~ Exp(λˢ)` over the `W/σ` sub-phase;
+//! 2. if `tᶠ < (W+V)/σ` the attempt aborts at `tᶠ` (compute power drawn for
+//!    `tᶠ` seconds), followed by a recovery — regardless of any latent
+//!    silent error, which is wiped by the rollback;
+//! 3. otherwise the full `(W+V)/σ` elapses; the verification detects a
+//!    silent error iff `tˢ < W/σ`, triggering a recovery;
+//! 4. otherwise the verification passes and the pattern checkpoints.
+//!
+//! The first attempt runs at `σ₁`; every further attempt runs at `σ₂`.
+
+use crate::energy::EnergyMeter;
+use crate::events::{Event, EventKind};
+use crate::rng::SimRng;
+use crate::trace::TraceRecorder;
+use rexec_core::{ErrorRates, PowerModel, ResilienceCosts};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Pattern size `W` (work units).
+    pub w: f64,
+    /// First-execution speed `σ₁`.
+    pub sigma1: f64,
+    /// Re-execution speed `σ₂`.
+    pub sigma2: f64,
+    /// Error rates (silent and/or fail-stop).
+    pub rates: ErrorRates,
+    /// Checkpoint / verification / recovery costs.
+    pub costs: ResilienceCosts,
+    /// Power parameters.
+    pub power: PowerModel,
+}
+
+impl SimConfig {
+    /// Convenience constructor from a silent-error analytic model.
+    pub fn from_silent_model(
+        m: &rexec_core::SilentModel,
+        w: f64,
+        sigma1: f64,
+        sigma2: f64,
+    ) -> Self {
+        SimConfig {
+            w,
+            sigma1,
+            sigma2,
+            rates: ErrorRates::silent_only(m.lambda).expect("validated lambda"),
+            costs: m.costs,
+            power: m.power,
+        }
+    }
+
+    /// Convenience constructor from a mixed-error analytic model.
+    pub fn from_mixed_model(
+        m: &rexec_core::MixedModel,
+        w: f64,
+        sigma1: f64,
+        sigma2: f64,
+    ) -> Self {
+        SimConfig {
+            w,
+            sigma1,
+            sigma2,
+            rates: m.rates,
+            costs: m.costs,
+            power: m.power,
+        }
+    }
+}
+
+/// Outcome of simulating one pattern to successful checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternOutcome {
+    /// Wall-clock time from pattern start to checkpoint completion (s).
+    pub time: f64,
+    /// Energy consumed (mJ).
+    pub energy: f64,
+    /// Number of executions (1 = no error).
+    pub attempts: u32,
+    /// Silent errors detected by verifications.
+    pub silent_errors: u32,
+    /// Fail-stop interrupts.
+    pub fail_stop_errors: u32,
+}
+
+/// What ended one attempt.
+enum AttemptEnd {
+    /// Verification passed.
+    Success,
+    /// Fail-stop interrupt mid-phase.
+    FailStop,
+    /// Verification detected a silent error.
+    SilentDetected,
+}
+
+/// Simulates one attempt of the pattern at `sigma`, metering time/energy.
+fn run_attempt(
+    cfg: &SimConfig,
+    sigma: f64,
+    clock: &mut f64,
+    meter: &mut EnergyMeter,
+    rng: &mut SimRng,
+    trace: &mut Option<&mut TraceRecorder>,
+) -> AttemptEnd {
+    let work_t = cfg.w / sigma;
+    let verify_t = cfg.costs.verification / sigma;
+    let phase = work_t + verify_t;
+    let t_fail = rng.exponential(cfg.rates.fail_stop);
+    let t_silent = rng.exponential(cfg.rates.silent);
+
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.record(Event::new(*clock, EventKind::WorkStart { speed: sigma }));
+        if t_silent < work_t && t_fail >= phase {
+            tr.record(Event::new(*clock + t_silent, EventKind::SilentErrorStruck));
+        }
+    }
+
+    if t_fail < phase {
+        // Interrupted mid-phase: t_fail seconds of compute power are lost.
+        *clock += t_fail;
+        meter.add_compute(t_fail, sigma);
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(Event::new(*clock, EventKind::FailStopError));
+        }
+        return AttemptEnd::FailStop;
+    }
+
+    // Full computation + verification.
+    *clock += work_t;
+    meter.add_compute(work_t, sigma);
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.record(Event::new(*clock, EventKind::VerificationStart { speed: sigma }));
+    }
+    *clock += verify_t;
+    meter.add_compute(verify_t, sigma);
+
+    if t_silent < work_t {
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(Event::new(*clock, EventKind::VerificationFailed));
+        }
+        AttemptEnd::SilentDetected
+    } else {
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(Event::new(*clock, EventKind::VerificationOk));
+        }
+        AttemptEnd::Success
+    }
+}
+
+/// Performs a recovery, metering its time and I/O energy.
+fn run_recovery(
+    cfg: &SimConfig,
+    clock: &mut f64,
+    meter: &mut EnergyMeter,
+    trace: &mut Option<&mut TraceRecorder>,
+) {
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.record(Event::new(*clock, EventKind::RecoveryStart));
+    }
+    *clock += cfg.costs.recovery;
+    meter.add_io(cfg.costs.recovery);
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.record(Event::new(*clock, EventKind::RecoveryDone));
+    }
+}
+
+/// Hard cap on executions of a single pattern. With a sensible
+/// configuration the expected attempt count is small; hitting this cap
+/// means the per-attempt success probability `e^{−λW/σ₂}` is so close to
+/// zero that the pattern will effectively never complete — a modelling
+/// error (pattern far too large for the error rate), so we fail loudly
+/// instead of looping forever.
+pub const MAX_ATTEMPTS: u32 = 10_000_000;
+
+/// Simulates one pattern until it checkpoints successfully, optionally
+/// recording a trace.
+///
+/// # Panics
+/// After [`MAX_ATTEMPTS`] failed executions (success probability ≈ 0).
+pub fn simulate_pattern_traced(
+    cfg: &SimConfig,
+    rng: &mut SimRng,
+    mut trace: Option<&mut TraceRecorder>,
+) -> PatternOutcome {
+    let mut clock = 0.0;
+    let mut meter = EnergyMeter::new(cfg.power);
+    let mut attempts = 0u32;
+    let mut silent = 0u32;
+    let mut fail_stop = 0u32;
+
+    loop {
+        let sigma = if attempts == 0 { cfg.sigma1 } else { cfg.sigma2 };
+        assert!(
+            attempts < MAX_ATTEMPTS,
+            "pattern never completes: success probability e^(-lambda*W/sigma2) \
+             is ~0 for W = {}, sigma2 = {}, rates = {:?}",
+            cfg.w,
+            cfg.sigma2,
+            cfg.rates
+        );
+        attempts += 1;
+        match run_attempt(cfg, sigma, &mut clock, &mut meter, rng, &mut trace) {
+            AttemptEnd::Success => break,
+            AttemptEnd::FailStop => {
+                fail_stop += 1;
+                run_recovery(cfg, &mut clock, &mut meter, &mut trace);
+            }
+            AttemptEnd::SilentDetected => {
+                silent += 1;
+                run_recovery(cfg, &mut clock, &mut meter, &mut trace);
+            }
+        }
+    }
+
+    // Verified: checkpoint.
+    if let Some(tr) = trace.as_mut() {
+        tr.record(Event::new(clock, EventKind::CheckpointStart));
+    }
+    clock += cfg.costs.checkpoint;
+    meter.add_io(cfg.costs.checkpoint);
+    if let Some(tr) = trace.as_mut() {
+        tr.record(Event::new(clock, EventKind::CheckpointDone));
+    }
+
+    PatternOutcome {
+        time: clock,
+        energy: meter.total(),
+        attempts,
+        silent_errors: silent,
+        fail_stop_errors: fail_stop,
+    }
+}
+
+/// Simulates one pattern until it checkpoints successfully.
+pub fn simulate_pattern(cfg: &SimConfig, rng: &mut SimRng) -> PatternOutcome {
+    simulate_pattern_traced(cfg, rng, None)
+}
+
+/// Outcome of simulating a whole divisible-load application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppOutcome {
+    /// Total wall-clock time (s).
+    pub makespan: f64,
+    /// Total energy (mJ).
+    pub energy: f64,
+    /// Number of patterns executed (⌈Wbase/W⌉; the last may be short).
+    pub patterns: u64,
+    /// Total executions across all patterns.
+    pub attempts: u64,
+    /// Total silent errors detected.
+    pub silent_errors: u64,
+    /// Total fail-stop interrupts.
+    pub fail_stop_errors: u64,
+}
+
+impl AppOutcome {
+    /// Expected-makespan overhead per unit of work, `makespan / Wbase`.
+    pub fn time_overhead(&self, w_base: f64) -> f64 {
+        self.makespan / w_base
+    }
+
+    /// Energy overhead per unit of work, `energy / Wbase`.
+    pub fn energy_overhead(&self, w_base: f64) -> f64 {
+        self.energy / w_base
+    }
+}
+
+/// Simulates a divisible-load application of `w_base` total work, divided
+/// into patterns of `cfg.w` (the final pattern takes the remainder).
+pub fn simulate_application(cfg: &SimConfig, w_base: f64, rng: &mut SimRng) -> AppOutcome {
+    assert!(w_base > 0.0 && cfg.w > 0.0, "work sizes must be positive");
+    let mut remaining = w_base;
+    let mut out = AppOutcome {
+        makespan: 0.0,
+        energy: 0.0,
+        patterns: 0,
+        attempts: 0,
+        silent_errors: 0,
+        fail_stop_errors: 0,
+    };
+    while remaining > 0.0 {
+        let chunk = remaining.min(cfg.w);
+        let mut c = *cfg;
+        c.w = chunk;
+        let p = simulate_pattern(&c, rng);
+        out.makespan += p.time;
+        out.energy += p.energy;
+        out.patterns += 1;
+        out.attempts += u64::from(p.attempts);
+        out.silent_errors += u64::from(p.silent_errors);
+        out.fail_stop_errors += u64::from(p.fail_stop_errors);
+        remaining -= chunk;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rexec_core::{ErrorRates, PowerModel, ResilienceCosts};
+
+    fn cfg(rates: ErrorRates) -> SimConfig {
+        SimConfig {
+            w: 2764.0,
+            sigma1: 0.4,
+            sigma2: 0.4,
+            rates,
+            costs: ResilienceCosts::symmetric(300.0, 15.4),
+            power: PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        }
+    }
+
+    #[test]
+    fn error_free_pattern_is_deterministic() {
+        let c = cfg(ErrorRates::new(0.0, 0.0).unwrap());
+        let mut rng = SimRng::new(1);
+        let p = simulate_pattern(&c, &mut rng);
+        assert_eq!(p.attempts, 1);
+        assert_eq!(p.silent_errors, 0);
+        assert_eq!(p.fail_stop_errors, 0);
+        let expected_t = (2764.0 + 15.4) / 0.4 + 300.0;
+        assert!((p.time - expected_t).abs() < 1e-9);
+        let expected_e = (2764.0 + 15.4) / 0.4 * c.power.compute_power(0.4)
+            + 300.0 * c.power.io_power();
+        assert!((p.energy - expected_e).abs() < 1e-6);
+    }
+
+    #[test]
+    fn every_error_adds_a_recovery() {
+        // With a huge silent rate, each attempt until the last detects an
+        // error; time must equal attempts·phase + (attempts−1)·R + C.
+        let mut c = cfg(ErrorRates::silent_only(1e-3).unwrap());
+        c.sigma2 = 0.8;
+        let mut rng = SimRng::new(99);
+        for _ in 0..200 {
+            let p = simulate_pattern(&c, &mut rng);
+            let phase1 = (c.w + c.costs.verification) / c.sigma1;
+            let phase2 = (c.w + c.costs.verification) / c.sigma2;
+            let n = p.attempts as f64;
+            let expected =
+                phase1 + (n - 1.0) * phase2 + (n - 1.0) * c.costs.recovery + c.costs.checkpoint;
+            assert!(
+                (p.time - expected).abs() < 1e-6,
+                "attempts={n}: {} vs {expected}",
+                p.time
+            );
+            assert_eq!(p.silent_errors, p.attempts - 1);
+        }
+    }
+
+    #[test]
+    fn fail_stop_attempts_are_shorter_than_full_phase() {
+        let c = SimConfig {
+            rates: ErrorRates::fail_stop_only(1e-3).unwrap(),
+            ..cfg(ErrorRates::new(0.0, 0.0).unwrap())
+        };
+        let mut rng = SimRng::new(7);
+        let mut saw_failure = false;
+        for _ in 0..100 {
+            let p = simulate_pattern(&c, &mut rng);
+            if p.fail_stop_errors > 0 {
+                saw_failure = true;
+                // Time must be strictly less than the all-full-phases bound.
+                let phase1 = (c.w + c.costs.verification) / c.sigma1;
+                let phase2 = (c.w + c.costs.verification) / c.sigma2;
+                let n = p.attempts as f64;
+                let upper = phase1
+                    + (n - 1.0) * phase2
+                    + (n - 1.0) * c.costs.recovery
+                    + c.costs.checkpoint;
+                assert!(p.time < upper);
+            }
+        }
+        assert!(saw_failure, "λf = 1e-3 must produce failures over 100 runs");
+    }
+
+    #[test]
+    fn reexecution_speed_is_used_after_first_failure() {
+        // σ2 ≫ σ1 with frequent failures: average time with fast σ2 must
+        // be lower than with slow σ2. (λW/σ2 stays ≤ 3.7 so the slow
+        // variant still completes in ~40 attempts on average.)
+        let mut slow = cfg(ErrorRates::silent_only(2e-4).unwrap());
+        slow.sigma2 = 0.15;
+        let mut fast = slow;
+        fast.sigma2 = 1.0;
+        let n = 1500;
+        let avg = |c: &SimConfig, seed| {
+            let mut rng = SimRng::new(seed);
+            (0..n).map(|_| simulate_pattern(c, &mut rng).time).sum::<f64>() / n as f64
+        };
+        assert!(avg(&fast, 3) < avg(&slow, 3));
+    }
+
+    #[test]
+    fn application_splits_into_patterns() {
+        let c = cfg(ErrorRates::new(0.0, 0.0).unwrap());
+        let mut rng = SimRng::new(1);
+        let app = simulate_application(&c, 10.0 * c.w, &mut rng);
+        assert_eq!(app.patterns, 10);
+        let single = simulate_pattern(&c, &mut SimRng::new(1));
+        assert!((app.makespan - 10.0 * single.time).abs() < 1e-6);
+        assert!((app.energy - 10.0 * single.energy).abs() < 1e-3);
+    }
+
+    #[test]
+    fn application_handles_remainder_pattern() {
+        let c = cfg(ErrorRates::new(0.0, 0.0).unwrap());
+        let mut rng = SimRng::new(1);
+        let app = simulate_application(&c, 2.5 * c.w, &mut rng);
+        assert_eq!(app.patterns, 3);
+        // Last pattern is half-size: same C/V but half the work time.
+        let full = (c.w + c.costs.verification) / c.sigma1 + c.costs.checkpoint;
+        let half = (0.5 * c.w + c.costs.verification) / c.sigma1 + c.costs.checkpoint;
+        assert!((app.makespan - (2.0 * full + half)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overheads_divide_by_base_work() {
+        let c = cfg(ErrorRates::new(0.0, 0.0).unwrap());
+        let mut rng = SimRng::new(1);
+        let w_base = 4.0 * c.w;
+        let app = simulate_application(&c, w_base, &mut rng);
+        assert!((app.time_overhead(w_base) * w_base - app.makespan).abs() < 1e-9);
+        assert!((app.energy_overhead(w_base) * w_base - app.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_seeds_identical_outcomes() {
+        let c = cfg(ErrorRates::new(1e-4, 5e-5).unwrap());
+        let a = simulate_pattern(&c, &mut SimRng::new(1234));
+        let b = simulate_pattern(&c, &mut SimRng::new(1234));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn application_rejects_zero_work() {
+        let c = cfg(ErrorRates::new(0.0, 0.0).unwrap());
+        simulate_application(&c, 0.0, &mut SimRng::new(1));
+    }
+}

@@ -1,0 +1,99 @@
+//! Event vocabulary of the simulated execution (for traces and debugging).
+
+use serde::{Deserialize, Serialize};
+
+/// What happened at a point of the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Computation of a `W` chunk started at the given speed.
+    WorkStart {
+        /// DVFS speed of this attempt.
+        speed: f64,
+    },
+    /// A silent error struck (latent — execution continues).
+    SilentErrorStruck,
+    /// A fail-stop error struck (execution aborts immediately).
+    FailStopError,
+    /// Verification started at the given speed.
+    VerificationStart {
+        /// DVFS speed of this attempt.
+        speed: f64,
+    },
+    /// Verification passed: the pattern output is correct.
+    VerificationOk,
+    /// Verification detected a silent error.
+    VerificationFailed,
+    /// Checkpoint started.
+    CheckpointStart,
+    /// Checkpoint completed; the pattern is committed.
+    CheckpointDone,
+    /// Recovery (rollback to the last checkpoint) started.
+    RecoveryStart,
+    /// Recovery completed.
+    RecoveryDone,
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation time (s) at which the event occurred.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(time: f64, kind: EventKind) -> Self {
+        Event { time, kind }
+    }
+
+    /// Short label used by the ASCII timeline renderer.
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            EventKind::WorkStart { .. } => "W",
+            EventKind::SilentErrorStruck => "*",
+            EventKind::FailStopError => "X",
+            EventKind::VerificationStart { .. } => "V",
+            EventKind::VerificationOk => "v+",
+            EventKind::VerificationFailed => "v-",
+            EventKind::CheckpointStart => "C",
+            EventKind::CheckpointDone => "c.",
+            EventKind::RecoveryStart => "R",
+            EventKind::RecoveryDone => "r.",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinctive() {
+        let kinds = [
+            EventKind::WorkStart { speed: 1.0 },
+            EventKind::SilentErrorStruck,
+            EventKind::FailStopError,
+            EventKind::VerificationStart { speed: 1.0 },
+            EventKind::VerificationOk,
+            EventKind::VerificationFailed,
+            EventKind::CheckpointStart,
+            EventKind::CheckpointDone,
+            EventKind::RecoveryStart,
+            EventKind::RecoveryDone,
+        ];
+        let mut labels: Vec<_> = kinds.iter().map(|k| Event::new(0.0, *k).label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Event::new(12.5, EventKind::WorkStart { speed: 0.4 });
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,252 @@
+//! Log-bucketed histogram for outcome distributions.
+//!
+//! Means tell you what the paper's expectations predict; tails tell you
+//! what an operator experiences. This histogram uses geometrically spaced
+//! buckets (constant relative resolution, like HdrHistogram's log-linear
+//! scheme but simpler), supporting quantile queries over pattern times and
+//! energies spanning many decades.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric-bucket histogram over `(0, +∞)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Smallest representable value (values below clamp into bucket 0).
+    min_value: f64,
+    /// Relative bucket width (e.g. 0.01 → 1 % resolution).
+    resolution: f64,
+    /// log(1 + resolution), cached.
+    log_base: f64,
+    counts: Vec<u64>,
+    total: u64,
+    /// Exact running extremes (not bucketed).
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `resolution` relative accuracy (must be in
+    /// `(0, 1]`) for values ≥ `min_value` (> 0).
+    pub fn new(min_value: f64, resolution: f64) -> Self {
+        assert!(min_value > 0.0, "min_value must be positive");
+        assert!(
+            resolution > 0.0 && resolution <= 1.0,
+            "resolution must be in (0, 1]"
+        );
+        Histogram {
+            min_value,
+            resolution,
+            log_base: (1.0 + resolution).ln(),
+            counts: Vec::new(),
+            total: 0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Default histogram: 1 % relative resolution from 1e-3 up.
+    pub fn with_default_resolution() -> Self {
+        Histogram::new(1e-3, 0.01)
+    }
+
+    fn bucket_of(&self, value: f64) -> usize {
+        if value <= self.min_value {
+            return 0;
+        }
+        ((value / self.min_value).ln() / self.log_base) as usize + 1
+    }
+
+    /// Lower edge of a bucket.
+    fn bucket_low(&self, index: usize) -> f64 {
+        if index == 0 {
+            0.0
+        } else {
+            self.min_value * (self.log_base * (index - 1) as f64).exp()
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "histogram values must be finite and non-negative, got {value}"
+        );
+        let b = self.bucket_of(value);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.min_seen = self.min_seen.min(value);
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Merges another histogram (must share parameters).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.min_value, other.min_value, "parameter mismatch");
+        assert_eq!(self.resolution, other.resolution, "parameter mismatch");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact smallest recorded value.
+    pub fn min(&self) -> f64 {
+        self.min_seen
+    }
+
+    /// Exact largest recorded value.
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Value at quantile `q ∈ \[0, 1\]` (within the relative resolution).
+    /// Returns `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(self.min_seen);
+        }
+        if q >= 1.0 {
+            return Some(self.max_seen);
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                // Midpoint of the bucket, clamped to observed extremes.
+                let lo = self.bucket_low(i);
+                let hi = self.bucket_low(i + 1);
+                let mid = 0.5 * (lo + hi);
+                return Some(mid.clamp(self.min_seen, self.max_seen));
+            }
+        }
+        Some(self.max_seen)
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn quantiles_of_uniform_grid() {
+        let mut h = Histogram::new(1.0, 0.01);
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 500.0).abs() / 500.0 < 0.02, "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 990.0).abs() / 990.0 < 0.02, "p99 = {p99}");
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1000.0));
+    }
+
+    #[test]
+    fn resolution_bounds_relative_error() {
+        let mut h = Histogram::new(1e-3, 0.01);
+        for _ in 0..100 {
+            h.record(12345.678);
+        }
+        let med = h.median().unwrap();
+        assert!((med - 12345.678).abs() / 12345.678 < 0.01, "median {med}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new(1.0, 0.05);
+        let mut b = Histogram::new(1.0, 0.05);
+        let mut all = Histogram::new(1.0, 0.05);
+        let mut rng = SimRng::new(5);
+        for i in 0..2000 {
+            let v = rng.exponential(0.001);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn exponential_quantiles_match_theory() {
+        // Exp(λ): quantile q = −ln(1−q)/λ.
+        let lambda = 1e-4;
+        let mut h = Histogram::new(1e-2, 0.01);
+        let mut rng = SimRng::new(77);
+        let n = 200_000;
+        for _ in 0..n {
+            h.record(rng.exponential(lambda));
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let expect = -(1.0f64 - q).ln() / lambda;
+            let got = h.quantile(q).unwrap();
+            assert!(
+                (got - expect).abs() / expect < 0.03,
+                "q = {q}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::with_default_resolution();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn zero_values_clamp_into_first_bucket() {
+        let mut h = Histogram::new(1.0, 0.1);
+        h.record(0.0);
+        h.record(0.5);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0.0);
+        assert!(h.median().unwrap() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Histogram::with_default_resolution().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter mismatch")]
+    fn merge_rejects_mismatched_parameters() {
+        let mut a = Histogram::new(1.0, 0.01);
+        let b = Histogram::new(1.0, 0.02);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,305 @@
+//! Parallel Monte Carlo replication and analytic-vs-sampled validation.
+
+use crate::engine::{simulate_pattern, SimConfig};
+use crate::histogram::Histogram;
+use crate::rng::SimRng;
+use crate::stats::Stats;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated result of many independent pattern simulations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Pattern completion time (s).
+    pub time: Stats,
+    /// Pattern energy (mJ).
+    pub energy: Stats,
+    /// Executions per pattern.
+    pub attempts: Stats,
+}
+
+impl Summary {
+    fn push(&mut self, p: &crate::engine::PatternOutcome) {
+        self.time.push(p.time);
+        self.energy.push(p.energy);
+        self.attempts.push(f64::from(p.attempts));
+    }
+
+    fn merge(mut self, other: Summary) -> Summary {
+        self.time.merge(&other.time);
+        self.energy.merge(&other.energy);
+        self.attempts.merge(&other.attempts);
+        self
+    }
+}
+
+/// Monte Carlo driver: replicates a pattern simulation `trials` times,
+/// in parallel, with per-trial independent RNG streams derived from a
+/// master seed (bit-reproducible regardless of thread count).
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    /// Simulation configuration.
+    pub config: SimConfig,
+    /// Number of independent replications.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl MonteCarlo {
+    /// Creates a driver.
+    pub fn new(config: SimConfig, trials: u64, seed: u64) -> Self {
+        MonteCarlo {
+            config,
+            trials,
+            seed,
+        }
+    }
+
+    /// Runs all replications in parallel and aggregates.
+    pub fn run(&self) -> Summary {
+        const CHUNK: u64 = 256;
+        let chunks: Vec<(u64, u64)> = (0..self.trials)
+            .step_by(CHUNK as usize)
+            .map(|start| (start, (start + CHUNK).min(self.trials)))
+            .collect();
+        chunks
+            .into_par_iter()
+            .map(|(start, end)| {
+                let mut s = Summary::default();
+                for i in start..end {
+                    let mut rng = SimRng::for_trial(self.seed, i);
+                    s.push(&simulate_pattern(&self.config, &mut rng));
+                }
+                s
+            })
+            .reduce(Summary::default, Summary::merge)
+    }
+
+    /// Runs all replications in parallel, additionally collecting full
+    /// time/energy distributions (1 % relative resolution). Returns
+    /// `(summary, time_histogram, energy_histogram)`.
+    pub fn run_with_histograms(&self) -> (Summary, Histogram, Histogram) {
+        const CHUNK: u64 = 256;
+        let chunks: Vec<(u64, u64)> = (0..self.trials)
+            .step_by(CHUNK as usize)
+            .map(|start| (start, (start + CHUNK).min(self.trials)))
+            .collect();
+        chunks
+            .into_par_iter()
+            .map(|(start, end)| {
+                let mut s = Summary::default();
+                let mut th = Histogram::with_default_resolution();
+                let mut eh = Histogram::with_default_resolution();
+                for i in start..end {
+                    let mut rng = SimRng::for_trial(self.seed, i);
+                    let p = simulate_pattern(&self.config, &mut rng);
+                    s.push(&p);
+                    th.record(p.time);
+                    eh.record(p.energy);
+                }
+                (s, th, eh)
+            })
+            .reduce(
+                || {
+                    (
+                        Summary::default(),
+                        Histogram::with_default_resolution(),
+                        Histogram::with_default_resolution(),
+                    )
+                },
+                |(sa, mut tha, mut eha), (sb, thb, ehb)| {
+                    tha.merge(&thb);
+                    eha.merge(&ehb);
+                    (sa.merge(sb), tha, eha)
+                },
+            )
+    }
+
+    /// Runs sequentially (for determinism tests and tiny workloads).
+    pub fn run_sequential(&self) -> Summary {
+        let mut s = Summary::default();
+        for i in 0..self.trials {
+            let mut rng = SimRng::for_trial(self.seed, i);
+            s.push(&simulate_pattern(&self.config, &mut rng));
+        }
+        s
+    }
+
+    /// Runs and compares the sampled means against analytic expectations.
+    pub fn validate(&self, expected_time: f64, expected_energy: f64, z: f64) -> ValidationReport {
+        let summary = self.run();
+        ValidationReport {
+            summary,
+            expected_time,
+            expected_energy,
+            z,
+        }
+    }
+}
+
+/// Sampled-vs-analytic comparison at `z` standard errors.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// The sampled summary.
+    pub summary: Summary,
+    /// Analytic expected pattern time.
+    pub expected_time: f64,
+    /// Analytic expected pattern energy.
+    pub expected_energy: f64,
+    /// Number of standard errors for the acceptance interval.
+    pub z: f64,
+}
+
+impl ValidationReport {
+    /// Whether the analytic time lies inside the sampled CI.
+    pub fn time_ok(&self) -> bool {
+        self.summary.time.contains(self.expected_time, self.z)
+    }
+
+    /// Whether the analytic energy lies inside the sampled CI.
+    pub fn energy_ok(&self) -> bool {
+        self.summary.energy.contains(self.expected_energy, self.z)
+    }
+
+    /// Both checks.
+    pub fn ok(&self) -> bool {
+        self.time_ok() && self.energy_ok()
+    }
+
+    /// Relative gap between sampled mean time and the analytic value.
+    pub fn time_rel_error(&self) -> f64 {
+        (self.summary.time.mean() - self.expected_time).abs() / self.expected_time
+    }
+
+    /// Relative gap between sampled mean energy and the analytic value.
+    pub fn energy_rel_error(&self) -> f64 {
+        (self.summary.energy.mean() - self.expected_energy).abs() / self.expected_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rexec_core::{ErrorRates, MixedModel, PowerModel, ResilienceCosts, SilentModel};
+
+    fn silent_model(lambda: f64) -> SilentModel {
+        SilentModel::new(
+            lambda,
+            ResilienceCosts::symmetric(300.0, 15.4),
+            PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let m = silent_model(1e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        let mc = MonteCarlo::new(cfg, 2000, 42);
+        let par = mc.run();
+        let seq = mc.run_sequential();
+        assert_eq!(par.time.count(), seq.time.count());
+        assert!((par.time.mean() - seq.time.mean()).abs() < 1e-9);
+        assert!((par.energy.mean() - seq.energy.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histograms_are_consistent_with_summary() {
+        let m = silent_model(1e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        let mc = MonteCarlo::new(cfg, 5000, 42);
+        let (summary, th, eh) = mc.run_with_histograms();
+        assert_eq!(th.count(), summary.time.count());
+        assert_eq!(eh.count(), summary.energy.count());
+        // Exact extremes agree; histogram median sits between them.
+        assert_eq!(th.min(), summary.time.min());
+        assert_eq!(th.max(), summary.time.max());
+        let med = th.median().unwrap();
+        assert!(summary.time.min() <= med && med <= summary.time.max());
+        // With λW/σ1 ≈ 0.7 the distribution is multi-modal (0, 1, 2…
+        // re-executions): p95 must exceed the error-free completion time.
+        let error_free = (2764.0 + 15.4) / 0.4 + 300.0;
+        assert!(th.quantile(0.95).unwrap() > error_free);
+        // And the summary mean must be consistent with the histogram's
+        // coarse view (between p25 and p75 would be too strict for a
+        // skewed distribution; use min/max envelope).
+        assert!(summary.time.mean() > th.min() && summary.time.mean() < th.max());
+    }
+
+    #[test]
+    fn sampled_time_matches_proposition_2() {
+        // λW/σ ≈ 0.7: errors are frequent, so the two-speed structure is
+        // heavily exercised.
+        let m = silent_model(1e-4);
+        let (w, s1, s2) = (2764.0, 0.4, 0.8);
+        let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
+        let mc = MonteCarlo::new(cfg, 60_000, 7);
+        let report = mc.validate(
+            m.expected_time(w, s1, s2),
+            m.expected_energy(w, s1, s2),
+            3.5,
+        );
+        assert!(
+            report.ok(),
+            "time: sampled {} vs analytic {} (rel {:.4}); energy: sampled {} vs analytic {} (rel {:.4})",
+            report.summary.time.mean(),
+            report.expected_time,
+            report.time_rel_error(),
+            report.summary.energy.mean(),
+            report.expected_energy,
+            report.energy_rel_error()
+        );
+    }
+
+    #[test]
+    fn sampled_attempts_match_expected_executions() {
+        let m = silent_model(2e-4);
+        let (w, s1, s2) = (2000.0, 0.4, 1.0);
+        let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
+        let summary = MonteCarlo::new(cfg, 40_000, 11).run();
+        let expected = m.expected_executions(w, s1, s2);
+        assert!(
+            summary.attempts.contains(expected, 3.5),
+            "sampled {} vs analytic {expected}",
+            summary.attempts.mean()
+        );
+    }
+
+    #[test]
+    fn sampled_mixed_model_matches_propositions_4_and_5() {
+        let mm = MixedModel::new(
+            ErrorRates::new(8e-5, 5e-5).unwrap(),
+            ResilienceCosts::symmetric(300.0, 15.4),
+            PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        );
+        let (w, s1, s2) = (3000.0, 0.6, 1.0);
+        let cfg = SimConfig::from_mixed_model(&mm, w, s1, s2);
+        let mc = MonteCarlo::new(cfg, 60_000, 13);
+        let report = mc.validate(
+            mm.expected_time(w, s1, s2),
+            mm.expected_energy(w, s1, s2),
+            3.5,
+        );
+        assert!(
+            report.ok(),
+            "time rel {:.4}, energy rel {:.4}",
+            report.time_rel_error(),
+            report.energy_rel_error()
+        );
+    }
+
+    #[test]
+    fn validation_fails_for_wrong_expectation() {
+        let m = silent_model(1e-4);
+        let (w, s1, s2) = (2764.0, 0.4, 0.4);
+        let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
+        let mc = MonteCarlo::new(cfg, 10_000, 3);
+        let report = mc.validate(
+            m.expected_time(w, s1, s2) * 1.2,
+            m.expected_energy(w, s1, s2),
+            3.0,
+        );
+        assert!(!report.time_ok());
+    }
+}

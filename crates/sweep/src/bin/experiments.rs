@@ -1,0 +1,86 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--out DIR] [IDS...]
+//!
+//!   IDS      experiment ids to run (default: all), e.g.
+//!            T-rho3 F1 F2 ... F14 X-thm2 X-validity X-mc X-ablation
+//!   --out    directory for CSV datasets (default: results/)
+//! ```
+
+use rexec_sweep::experiments::{all_experiment_ids, run_experiment, ExperimentId};
+use std::path::PathBuf;
+
+fn parse_id(s: &str) -> Option<ExperimentId> {
+    match s {
+        "T-rho8" => Some(ExperimentId::TableRho(8.0)),
+        "T-rho3" => Some(ExperimentId::TableRho(3.0)),
+        "T-rho1_775" | "T-rho1.775" => Some(ExperimentId::TableRho(1.775)),
+        "T-rho1_4" | "T-rho1.4" => Some(ExperimentId::TableRho(1.4)),
+        "F1" => Some(ExperimentId::Figure1),
+        "X-thm2" => Some(ExperimentId::Theorem2),
+        "X-validity" => Some(ExperimentId::ValidityWindow),
+        "X-mc" => Some(ExperimentId::MonteCarloValidation),
+        "X-ablation" => Some(ExperimentId::ExactVsFirstOrder),
+        "X-pairs" => Some(ExperimentId::OptimalPairRegions),
+        "X-robust" => Some(ExperimentId::LambdaRobustness),
+        "X-pareto" => Some(ExperimentId::Pareto),
+        "X-multiverif" => Some(ExperimentId::MultiVerification),
+        "X-continuous" => Some(ExperimentId::ContinuousSpeeds),
+        "X-heatmap" => Some(ExperimentId::Heatmap),
+        _ => {
+            let n: u8 = s.strip_prefix('F')?.parse().ok()?;
+            match n {
+                2..=7 => Some(ExperimentId::Figure(n)),
+                8..=14 => Some(ExperimentId::FigureConfig(n)),
+                _ => None,
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<ExperimentId> = vec![];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--out DIR] [IDS...]\n\
+                     ids: T-rho8 T-rho3 T-rho1.775 T-rho1.4 F1..F14 \
+                     X-thm2 X-validity X-mc X-ablation X-pairs X-robust X-pareto X-multiverif X-continuous X-heatmap"
+                );
+                return;
+            }
+            other => match parse_id(other) {
+                Some(id) => ids.push(id),
+                None => {
+                    eprintln!("unknown experiment id: {other}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if ids.is_empty() {
+        ids = all_experiment_ids();
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    for id in ids {
+        let r = run_experiment(id);
+        println!("================================================================");
+        println!("[{}] {}", r.id, r.title);
+        println!("================================================================");
+        println!("{}", r.report);
+        for (name, csv) in &r.datasets {
+            let path = out_dir.join(format!("{name}.csv"));
+            std::fs::write(&path, csv).expect("write dataset");
+            println!("  dataset written: {}", path.display());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,861 @@
+//! Experiment registry: one entry per paper artifact (tables and figures)
+//! plus the §5 extension studies and the validation/ablation experiments
+//! documented in DESIGN.md.
+
+use crate::figure::{lambda_hi_for, sweep_figure_paper_grid, FigureSeries, SweepParam};
+use crate::render::{fmt_num, Table};
+use crate::series::to_csv;
+use crate::table_rho::{rho_table, PAPER_RHOS};
+use rexec_core::prelude::*;
+use rexec_platforms::{all_configurations, configuration, ConfigId, Configuration};
+use rexec_platforms::{PlatformId, ProcessorId};
+use rexec_sim::{render_timeline, MonteCarlo, SimConfig, SimRng, TraceRecorder};
+use std::fmt::Write as _;
+
+/// Identifier of a runnable experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExperimentId {
+    /// §4.2 table at the given bound (8, 3, 1.775 or 1.4).
+    TableRho(f64),
+    /// Figure 1: simulated execution timelines (schematic reproduction).
+    Figure1,
+    /// Figures 2–7: one Atlas/Crusoe sweep each (C, V, λ, ρ, Pidle, Pio).
+    Figure(u8),
+    /// Figures 8–14: all six sweeps for one of the other configurations.
+    FigureConfig(u8),
+    /// §5.3 Theorem 2: the λ^{-2/3} checkpointing law.
+    Theorem2,
+    /// §5.2: validity window of the first-order approximation.
+    ValidityWindow,
+    /// Monte Carlo validation of Propositions 2–5.
+    MonteCarloValidation,
+    /// Ablation: Theorem 1 (first-order closed form) vs exact numeric
+    /// optimization.
+    ExactVsFirstOrder,
+    /// §4.2 claim: which speed pairs win as ρ varies (optimal-pair map).
+    OptimalPairRegions,
+    /// Robustness: energy penalty of planning with a misestimated λ.
+    LambdaRobustness,
+    /// Time/energy Pareto frontier per configuration.
+    Pareto,
+    /// Extension: several verifications per checkpoint (q ≥ 1), combined
+    /// with two-speed re-execution.
+    MultiVerification,
+    /// Extension: continuous-speed relaxation and the discretization gap.
+    ContinuousSpeeds,
+    /// 2-D map of the optimal pair over (λ, ρ).
+    Heatmap,
+}
+
+/// A rendered experiment: human-readable report plus CSV datasets.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Short id, e.g. "T-rho3" or "F4".
+    pub id: String,
+    /// Title describing the paper artifact.
+    pub title: String,
+    /// Human-readable report (ASCII tables / summaries).
+    pub report: String,
+    /// Named CSV datasets (filename stem → contents).
+    pub datasets: Vec<(String, String)>,
+}
+
+fn hera_xscale() -> Configuration {
+    configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    })
+}
+
+fn atlas_crusoe() -> Configuration {
+    configuration(ConfigId {
+        platform: PlatformId::Atlas,
+        processor: ProcessorId::TransmetaCrusoe,
+    })
+}
+
+/// Maps figure numbers 2–7 to the Atlas/Crusoe sweep parameter.
+fn figure_param(n: u8) -> SweepParam {
+    match n {
+        2 => SweepParam::Checkpoint,
+        3 => SweepParam::Verification,
+        4 => SweepParam::Lambda,
+        5 => SweepParam::Rho,
+        6 => SweepParam::PIdle,
+        7 => SweepParam::PIo,
+        _ => panic!("figures 2-7 are the Atlas/Crusoe sweeps, got {n}"),
+    }
+}
+
+/// Maps figure numbers 8–14 to their configuration.
+fn figure_config(n: u8) -> Configuration {
+    let id = match n {
+        8 => (PlatformId::Hera, ProcessorId::IntelXScale),
+        9 => (PlatformId::Atlas, ProcessorId::IntelXScale),
+        10 => (PlatformId::Coastal, ProcessorId::IntelXScale),
+        11 => (PlatformId::CoastalSsd, ProcessorId::IntelXScale),
+        12 => (PlatformId::Hera, ProcessorId::TransmetaCrusoe),
+        13 => (PlatformId::Coastal, ProcessorId::TransmetaCrusoe),
+        14 => (PlatformId::CoastalSsd, ProcessorId::TransmetaCrusoe),
+        _ => panic!("figures 8-14 are the per-configuration panels, got {n}"),
+    };
+    configuration(ConfigId {
+        platform: id.0,
+        processor: id.1,
+    })
+}
+
+/// Summarizes one figure series as a few key rows.
+fn series_summary(s: &FigureSeries) -> String {
+    let mut t = Table::new(vec![
+        "x", "sigma1", "sigma2", "Wopt(2)", "E/W(2)", "sigma", "Wopt(1)", "E/W(1)", "saving",
+    ]);
+    let n = s.points.len();
+    let picks: Vec<usize> = [0, n / 4, n / 2, 3 * n / 4, n - 1]
+        .into_iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for &i in &picks {
+        let p = &s.points[i];
+        let (a, b, c, d) = p.two_speed.map_or(
+            ("-".into(), "-".into(), "-".into(), "-".into()),
+            |x| {
+                (
+                    fmt_num(x.sigma1, 2),
+                    fmt_num(x.sigma2, 2),
+                    fmt_num(x.w_opt.round(), 0),
+                    fmt_num(x.energy_overhead, 1),
+                )
+            },
+        );
+        let (e, f, g) = p.one_speed.map_or(("-".into(), "-".into(), "-".into()), |x| {
+            (
+                fmt_num(x.sigma1, 2),
+                fmt_num(x.w_opt.round(), 0),
+                fmt_num(x.energy_overhead, 1),
+            )
+        });
+        let sv = p
+            .saving()
+            .map_or("-".into(), |v| format!("{:.1}%", 100.0 * v));
+        t.row(vec![fmt_num(p.x, 4), a, b, c, d, e, f, g, sv]);
+    }
+    let mut out = t.render();
+    if let Some(max) = s.max_saving() {
+        let _ = writeln!(
+            out,
+            "max two-speed saving over this sweep: {:.1}% ({} of {} points use two distinct speeds)",
+            100.0 * max,
+            s.two_distinct_speed_points(),
+            s.points.len()
+        );
+    }
+    out
+}
+
+fn run_table(rho: f64) -> ExperimentResult {
+    let t = rho_table(&hera_xscale(), rho);
+    ExperimentResult {
+        id: format!("T-rho{}", fmt_num(rho, 3).replace('.', "_")),
+        title: format!("Section 4.2 table, Hera/XScale, rho = {}", fmt_num(rho, 3)),
+        report: t.render(),
+        datasets: vec![],
+    }
+}
+
+fn run_figure1() -> ExperimentResult {
+    // Reproduce the three schematic executions of Figure 1 from real
+    // simulated traces: error-free, fail-stop, and silent-error patterns
+    // with σ2 = 2σ1.
+    let costs = ResilienceCosts::symmetric(100.0, 20.0);
+    let power = PowerModel::new(1550.0, 60.0, 5.0).unwrap();
+    let mut report = String::new();
+    let mut render_case = |name: &str, rates: ErrorRates, want_errors: bool| {
+        let cfg = SimConfig {
+            w: 1000.0,
+            sigma1: 0.5,
+            sigma2: 1.0,
+            rates,
+            costs,
+            power,
+        };
+        for seed in 0..1000 {
+            let mut tr = TraceRecorder::new(128);
+            let p = rexec_sim::engine::simulate_pattern_traced(
+                &cfg,
+                &mut SimRng::new(seed),
+                Some(&mut tr),
+            );
+            let had_errors = p.attempts > 1;
+            if had_errors == want_errors && p.attempts <= 2 {
+                let _ = writeln!(report, "({name})  {}", render_timeline(tr.events()));
+                return;
+            }
+        }
+        let _ = writeln!(report, "({name})  <no matching trace found>");
+    };
+    render_case("a: no error", ErrorRates::new(0.0, 0.0).unwrap(), false);
+    render_case(
+        "b: fail-stop error",
+        ErrorRates::fail_stop_only(5e-4).unwrap(),
+        true,
+    );
+    render_case(
+        "c: silent error",
+        ErrorRates::silent_only(5e-4).unwrap(),
+        true,
+    );
+    report.push_str(
+        "\nLegend: [W σ=s ...] one attempt at speed s; * silent error struck (latent);\n\
+         X fail-stop interrupt; |V verification (v+ pass / v- fail); |R recovery; |C checkpoint.\n\
+         As in Figure 1, re-executions run at σ2 = 2σ1.\n",
+    );
+    ExperimentResult {
+        id: "F1".into(),
+        title: "Figure 1: periodic pattern timelines (simulated)".into(),
+        report,
+        datasets: vec![],
+    }
+}
+
+fn run_figure_2_to_7(n: u8) -> ExperimentResult {
+    let cfg = atlas_crusoe();
+    let param = figure_param(n);
+    let s = sweep_figure_paper_grid(&cfg, param, lambda_hi_for(&cfg));
+    ExperimentResult {
+        id: format!("F{n}"),
+        title: format!("Figure {n}: Atlas/Crusoe, sweep of {}", param.label()),
+        report: series_summary(&s),
+        datasets: vec![(format!("fig{n}_atlas_crusoe_{}", param.label()), to_csv(&s))],
+    }
+}
+
+fn run_figure_config(n: u8) -> ExperimentResult {
+    let cfg = figure_config(n);
+    let mut report = String::new();
+    let mut datasets = vec![];
+    for param in SweepParam::ALL {
+        let s = sweep_figure_paper_grid(&cfg, param, lambda_hi_for(&cfg));
+        let _ = writeln!(report, "--- sweep of {} ---", param.label());
+        report.push_str(&series_summary(&s));
+        report.push('\n');
+        datasets.push((
+            format!(
+                "fig{n}_{}_{}",
+                cfg.name().to_lowercase().replace(['/', ' '], "_"),
+                param.label()
+            ),
+            to_csv(&s),
+        ));
+    }
+    ExperimentResult {
+        id: format!("F{n}"),
+        title: format!("Figure {n}: {}, all six sweeps", cfg.name()),
+        report,
+        datasets,
+    }
+}
+
+fn run_theorem2() -> ExperimentResult {
+    let c = 300.0;
+    let sigma = 0.5;
+    let pts = theorem2::wopt_samples(c, sigma, 1e-7, 1e-3, 25);
+    let slope = theorem2::loglog_slope(&pts);
+    let yd_pts: Vec<(f64, f64)> = pts
+        .iter()
+        .map(|&(l, _)| (l, daly::young_daly_work(c, l, sigma)))
+        .collect();
+    let yd_slope = theorem2::loglog_slope(&yd_pts);
+
+    // Numeric cross-check on the exact mixed model at three rates.
+    let mut t = Table::new(vec!["lambda", "Wopt (Thm 2)", "Wopt (exact numeric)", "rel err"]);
+    for &lambda in &[1e-6, 1e-5, 1e-4] {
+        let mm = MixedModel::new(
+            ErrorRates::fail_stop_only(lambda).unwrap(),
+            ResilienceCosts::new(c, 0.0, c).unwrap(),
+            PowerModel::new(1550.0, 60.0, 5.0).unwrap(),
+        );
+        let (w_num, _) = numeric::exact_time_minimizer_mixed(&mm, sigma, 2.0 * sigma);
+        let w_thm = theorem2::optimal_work(c, lambda, sigma);
+        t.row(vec![
+            format!("{lambda:.0e}"),
+            fmt_num(w_thm.round(), 0),
+            fmt_num(w_num.round(), 0),
+            format!("{:.2}%", 100.0 * (w_num - w_thm).abs() / w_thm),
+        ]);
+    }
+    let report = format!(
+        "Fail-stop errors only, re-execution twice faster (σ2 = 2σ1):\n\
+         fitted log-log slope of Wopt(λ):   {slope:.4}  (Theorem 2 predicts -2/3)\n\
+         Young/Daly slope for comparison:   {yd_slope:.4}  (predicts -1/2)\n\n{}",
+        t.render()
+    );
+    let mut csv = String::from("lambda,wopt_theorem2,wopt_young_daly\n");
+    for (p, y) in pts.iter().zip(&yd_pts) {
+        let _ = writeln!(csv, "{},{},{}", p.0, p.1, y.1);
+    }
+    ExperimentResult {
+        id: "X-thm2".into(),
+        title: "Theorem 2: Θ(λ^{-2/3}) optimal checkpointing (σ2 = 2σ1, fail-stop)".into(),
+        report,
+        datasets: vec![("theorem2_scaling".into(), csv)],
+    }
+}
+
+fn run_validity_window() -> ExperimentResult {
+    let mut t = Table::new(vec!["fail-stop fraction f", "lower bound on σ2/σ1", "upper bound"]);
+    for f in [1.0, 0.75, 0.5, 0.25, 0.1, 0.01] {
+        let (lo, hi) = FirstOrder::validity_window(f);
+        t.row(vec![fmt_num(f, 2), format!("{lo:.4}"), format!("{hi:.2}")]);
+    }
+    let report = format!(
+        "First-order approximation validity (§5.2): the approach admits a\n\
+         solution iff (2(1+s/f))^(-1/2) < σ2/σ1 < 2(1+s/f).\n\n{}\n\
+         With silent errors only (f = 0) the window is unbounded; the more\n\
+         fail-stop errors dominate, the narrower the admissible speed ratio.\n",
+        t.render()
+    );
+    ExperimentResult {
+        id: "X-validity".into(),
+        title: "Section 5.2: validity window of the first-order approximation".into(),
+        report,
+        datasets: vec![],
+    }
+}
+
+fn run_monte_carlo() -> ExperimentResult {
+    let trials = 40_000;
+    let mut t = Table::new(vec![
+        "config", "model", "T analytic", "T sampled", "rel", "E analytic", "E sampled", "rel",
+    ]);
+    // Silent-only on Hera/XScale at the paper's ρ = 3 optimum, with an
+    // inflated λ so errors are actually exercised.
+    let hx = hera_xscale();
+    let m = hx.silent_model().unwrap().with_lambda(1e-4);
+    let (w, s1, s2) = (2764.0, 0.4, 0.8);
+    let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
+    let rep = MonteCarlo::new(cfg, trials, 2024).validate(
+        m.expected_time(w, s1, s2),
+        m.expected_energy(w, s1, s2),
+        3.29,
+    );
+    t.row(vec![
+        "Hera/XScale".to_string(),
+        "silent (Props 2-3)".to_string(),
+        fmt_num(rep.expected_time, 1),
+        fmt_num(rep.summary.time.mean(), 1),
+        format!("{:.3}%", 100.0 * rep.time_rel_error()),
+        fmt_num(rep.expected_energy, 0),
+        fmt_num(rep.summary.energy.mean(), 0),
+        format!("{:.3}%", 100.0 * rep.energy_rel_error()),
+    ]);
+    let ok1 = rep.ok();
+
+    // Mixed errors.
+    let mm = MixedModel::new(
+        ErrorRates::new(8e-5, 5e-5).unwrap(),
+        m.costs,
+        m.power,
+    );
+    let cfg2 = SimConfig::from_mixed_model(&mm, 3000.0, 0.6, 1.0);
+    let rep2 = MonteCarlo::new(cfg2, trials, 4048).validate(
+        mm.expected_time(3000.0, 0.6, 1.0),
+        mm.expected_energy(3000.0, 0.6, 1.0),
+        3.29,
+    );
+    t.row(vec![
+        "Hera/XScale".to_string(),
+        "mixed (Props 4-5)".to_string(),
+        fmt_num(rep2.expected_time, 1),
+        fmt_num(rep2.summary.time.mean(), 1),
+        format!("{:.3}%", 100.0 * rep2.time_rel_error()),
+        fmt_num(rep2.expected_energy, 0),
+        fmt_num(rep2.summary.energy.mean(), 0),
+        format!("{:.3}%", 100.0 * rep2.energy_rel_error()),
+    ]);
+    let ok2 = rep2.ok();
+
+    let report = format!(
+        "{}\n{} independent pattern simulations per row; analytic values\n\
+         {} inside the 99.9% CI of the sampled mean.\n",
+        t.render(),
+        trials,
+        if ok1 && ok2 { "lie" } else { "DO NOT lie" }
+    );
+    ExperimentResult {
+        id: "X-mc".into(),
+        title: "Monte Carlo validation of the analytic expectations".into(),
+        report,
+        datasets: vec![],
+    }
+}
+
+fn run_exact_vs_first_order() -> ExperimentResult {
+    let mut t = Table::new(vec![
+        "config", "pair (FO)", "Wopt (FO)", "Wopt (exact)", "E/W (FO)", "E/W (exact)", "gap",
+    ]);
+    for cfg in all_configurations() {
+        let m = cfg.silent_model().unwrap();
+        let speeds = cfg.speed_set().unwrap();
+        let solver = cfg.solver().unwrap();
+        let rho = Configuration::DEFAULT_RHO;
+        let fo = solver.solve(rho).expect("feasible at rho = 3");
+        let (s1, s2, ex) =
+            numeric::exact_bicrit_solve(&m, &speeds, rho).expect("feasible at rho = 3");
+        let gap = (fo.energy_overhead - ex.objective).abs() / ex.objective;
+        t.row(vec![
+            cfg.name(),
+            format!("({}, {})", fmt_num(fo.sigma1, 2), fmt_num(fo.sigma2, 2)),
+            fmt_num(fo.w_opt.round(), 0),
+            fmt_num(ex.w.round(), 0),
+            fmt_num(fo.energy_overhead, 1),
+            fmt_num(ex.objective, 1),
+            format!("{:.3}%", 100.0 * gap),
+        ]);
+        assert_eq!(
+            (s1, s2),
+            (fo.sigma1, fo.sigma2),
+            "{}: exact and first-order optimizers must agree on the pair",
+            cfg.name()
+        );
+    }
+    ExperimentResult {
+        id: "X-ablation".into(),
+        title: "Ablation: Theorem 1 closed form vs exact numeric optimization (rho = 3)".into(),
+        report: t.render(),
+        datasets: vec![],
+    }
+}
+
+fn run_optimal_pair_regions() -> ExperimentResult {
+    // §4.2: "it is possible, for a well-chosen ρ, to have almost any speed
+    // pair as the optimal solution (except the pairs with very low
+    // speeds)". Scan ρ geometrically and record the winner's region.
+    let solver = hera_xscale().solver().unwrap();
+    let mut regions: Vec<(f64, f64, (f64, f64))> = vec![]; // [rho_lo, rho_hi] -> pair
+    let mut rho = solver.min_feasible_rho() * 1.0001;
+    let mut current: Option<(f64, f64, (f64, f64))> = None;
+    while rho < 12.0 {
+        if let Some(best) = solver.solve(rho) {
+            let pair = (best.sigma1, best.sigma2);
+            match current.as_mut() {
+                Some(region) if region.2 == pair => region.1 = rho,
+                _ => {
+                    if let Some(region) = current.take() {
+                        regions.push(region);
+                    }
+                    current = Some((rho, rho, pair));
+                }
+            }
+        }
+        rho *= 1.001;
+    }
+    if let Some(region) = current.take() {
+        regions.push(region);
+    }
+    let mut t = Table::new(vec!["rho from", "rho to", "optimal (sigma1, sigma2)"]);
+    for (lo, hi, (s1, s2)) in &regions {
+        t.row(vec![
+            format!("{lo:.4}"),
+            format!("{hi:.4}"),
+            format!("({}, {})", fmt_num(*s1, 2), fmt_num(*s2, 2)),
+        ]);
+    }
+    let distinct: std::collections::BTreeSet<(i64, i64)> = regions
+        .iter()
+        .map(|r| ((r.2 .0 * 100.0) as i64, (r.2 .1 * 100.0) as i64))
+        .collect();
+    let report = format!(
+        "Hera/XScale, ρ scanned geometrically over [ρ*, 12]:\n\n{}\n\
+         {} distinct optimal pairs; none uses σ1 = 0.15 (the paper's\n\
+         'pairs with very low speeds' exclusion).\n",
+        t.render(),
+        distinct.len()
+    );
+    assert!(distinct.iter().all(|&(s1, _)| s1 != 15));
+    ExperimentResult {
+        id: "X-pairs".into(),
+        title: "Section 4.2: optimal speed-pair regions as rho varies".into(),
+        report,
+        datasets: vec![],
+    }
+}
+
+fn run_lambda_robustness() -> ExperimentResult {
+    // If the true error rate is λ but the plan was computed with x·λ, how
+    // much energy does the mis-planned execution actually cost? Evaluate
+    // the mis-planned (W, σ1, σ2) under the *true* exact model.
+    let cfg = hera_xscale();
+    let true_model = cfg.silent_model().unwrap();
+    let speeds = cfg.speed_set().unwrap();
+    let rho = Configuration::DEFAULT_RHO;
+    let oracle = BiCritSolver::new(true_model, speeds.clone())
+        .solve(rho)
+        .unwrap();
+    let oracle_e = true_model.energy_overhead(oracle.w_opt, oracle.sigma1, oracle.sigma2);
+
+    let mut t = Table::new(vec![
+        "assumed λ / true λ",
+        "planned pair",
+        "planned W",
+        "true E/W",
+        "penalty",
+        "true T/W",
+    ]);
+    let mut max_penalty: f64 = 0.0;
+    for factor in [0.1, 0.3, 1.0, 3.0, 10.0] {
+        let wrong = true_model.with_lambda(true_model.lambda * factor);
+        let plan = BiCritSolver::new(wrong, speeds.clone()).solve(rho).unwrap();
+        let e = true_model.energy_overhead(plan.w_opt, plan.sigma1, plan.sigma2);
+        let time = true_model.time_overhead(plan.w_opt, plan.sigma1, plan.sigma2);
+        let penalty = e / oracle_e - 1.0;
+        max_penalty = max_penalty.max(penalty);
+        t.row(vec![
+            format!("{factor}"),
+            format!("({}, {})", fmt_num(plan.sigma1, 2), fmt_num(plan.sigma2, 2)),
+            fmt_num(plan.w_opt.round(), 0),
+            fmt_num(e, 2),
+            format!("{:+.2}%", 100.0 * penalty),
+            fmt_num(time, 3),
+        ]);
+    }
+    let report = format!(
+        "Hera/XScale, ρ = 3; plans computed with a misestimated λ are\n\
+         re-evaluated under the true exact model (oracle E/W = {:.2}):\n\n{}\n\
+         Square-root-flat optimum: even a 10× rate misestimate costs only\n\
+         {:.1}% extra energy — the Young/Daly-style robustness carries over.\n",
+        oracle_e,
+        t.render(),
+        100.0 * max_penalty
+    );
+    ExperimentResult {
+        id: "X-robust".into(),
+        title: "Robustness of the plan to misestimated error rates".into(),
+        report,
+        datasets: vec![],
+    }
+}
+
+fn run_pareto() -> ExperimentResult {
+    use rexec_core::ParetoFrontier;
+    let mut report = String::new();
+    let mut datasets = vec![];
+    for cfg in [hera_xscale(), atlas_crusoe()] {
+        let solver = cfg.solver().unwrap();
+        let frontier = ParetoFrontier::compute(&solver, 10.0, 300);
+        let _ = writeln!(
+            report,
+            "--- {} : {} non-dominated points, pairs along the frontier: {:?} ---",
+            cfg.name(),
+            frontier.len(),
+            frontier.speed_pairs()
+        );
+        let mut t = Table::new(vec!["T/W", "E/W", "sigma1", "sigma2", "Wopt"]);
+        let n = frontier.len();
+        for idx in [0, n / 4, n / 2, 3 * n / 4, n.saturating_sub(1)] {
+            let p = &frontier.points[idx.min(n - 1)];
+            t.row(vec![
+                format!("{:.3}", p.time_overhead),
+                format!("{:.1}", p.energy_overhead),
+                fmt_num(p.sigma1, 2),
+                fmt_num(p.sigma2, 2),
+                fmt_num(p.w_opt.round(), 0),
+            ]);
+        }
+        report.push_str(&t.render());
+        report.push('\n');
+        let mut csv = String::from("rho,time_overhead,energy_overhead,sigma1,sigma2,w_opt\n");
+        for p in &frontier.points {
+            let _ = writeln!(
+                csv,
+                "{},{},{},{},{},{}",
+                p.rho, p.time_overhead, p.energy_overhead, p.sigma1, p.sigma2, p.w_opt
+            );
+        }
+        datasets.push((
+            format!(
+                "pareto_{}",
+                cfg.name().to_lowercase().replace(['/', ' '], "_")
+            ),
+            csv,
+        ));
+    }
+    ExperimentResult {
+        id: "X-pareto".into(),
+        title: "Time/energy Pareto frontier (trade-off curve of BiCrit)".into(),
+        report,
+        datasets,
+    }
+}
+
+fn run_multi_verification() -> ExperimentResult {
+    use rexec_core::multiverif;
+    let cfg = hera_xscale();
+    let base = cfg.silent_model().unwrap();
+    let speeds = cfg.speed_set().unwrap();
+    let rho = Configuration::DEFAULT_RHO;
+    let mut t = Table::new(vec![
+        "lambda", "best q", "pair", "Wopt", "E/W (multi)", "E/W (q=1)", "gain",
+    ]);
+    for factor in [1.0, 10.0, 30.0, 100.0] {
+        let m = base.with_lambda(base.lambda * factor);
+        let multi = multiverif::optimize(&m, &speeds, rho, 8).expect("feasible");
+        let single = numeric::exact_bicrit_solve(&m, &speeds, rho).expect("feasible");
+        let gain = 1.0 - multi.energy_overhead / single.2.objective;
+        t.row(vec![
+            format!("{:.2e}", m.lambda),
+            multi.q.to_string(),
+            format!(
+                "({}, {})",
+                fmt_num(multi.sigma1, 2),
+                fmt_num(multi.sigma2, 2)
+            ),
+            fmt_num(multi.w_opt.round(), 0),
+            fmt_num(multi.energy_overhead, 2),
+            fmt_num(single.2.objective, 2),
+            format!("{:.2}%", 100.0 * gain),
+        ]);
+    }
+    let report = format!(
+        "Hera/XScale, ρ = 3, q ∈ [1, 8] verifications per checkpoint\n\
+         (extension of §6's interleaved-verification patterns [6] to the\n\
+         two-speed re-execution model; q = 1 is the paper's model):\n\n{}\n\
+         Early detection trims the re-executed work; with V ≪ C the\n\
+         optimal q exceeds 1, and the gain grows with the error rate.\n",
+        t.render()
+    );
+    ExperimentResult {
+        id: "X-multiverif".into(),
+        title: "Extension: multiple verifications per checkpoint + two speeds".into(),
+        report,
+        datasets: vec![],
+    }
+}
+
+fn run_continuous_speeds() -> ExperimentResult {
+    use rexec_core::continuous;
+    let rho = Configuration::DEFAULT_RHO;
+    let mut t = Table::new(vec![
+        "config",
+        "discrete pair",
+        "E/W discrete",
+        "continuous pair",
+        "E/W continuous",
+        "gap",
+    ]);
+    for cfg in all_configurations() {
+        let m = cfg.silent_model().unwrap();
+        let speeds = cfg.speed_set().unwrap();
+        let discrete = cfg.solver().unwrap().solve(rho).unwrap();
+        let cont = continuous::solve(&m, speeds.min(), speeds.max(), rho).unwrap();
+        let gap = 1.0 - cont.energy_overhead / discrete.energy_overhead;
+        t.row(vec![
+            cfg.name(),
+            format!(
+                "({}, {})",
+                fmt_num(discrete.sigma1, 2),
+                fmt_num(discrete.sigma2, 2)
+            ),
+            fmt_num(discrete.energy_overhead, 1),
+            format!("({:.3}, {:.3})", cont.sigma1, cont.sigma2),
+            fmt_num(cont.energy_overhead, 1),
+            format!("{:.2}%", 100.0 * gap),
+        ]);
+    }
+    let report = format!(
+        "Continuous-speed relaxation over [σ_min, σ_max] vs the paper's\n\
+         discrete DVFS steps (ρ = 3): the gap is the energy left on the\n\
+         table by discreteness.\n\n{}",
+        t.render()
+    );
+    ExperimentResult {
+        id: "X-continuous".into(),
+        title: "Extension: continuous-speed relaxation (discretization gap)".into(),
+        report,
+        datasets: vec![],
+    }
+}
+
+fn run_heatmap() -> ExperimentResult {
+    use crate::grid::Grid;
+    use crate::heatmap::Heatmap;
+    let cfg = hera_xscale();
+    let map = Heatmap::compute(
+        &cfg,
+        &Grid::log(1e-6, 2e-3, 16),
+        &Grid::linear(1.1, 8.0, 40),
+    );
+    let report = format!(
+        "{}\ntwo distinct speeds win in {:.1}% of feasible cells; {} pairs appear.\n",
+        map.render_pair_map(),
+        100.0 * map.two_speed_fraction(),
+        map.winning_pairs().len()
+    );
+    ExperimentResult {
+        id: "X-heatmap".into(),
+        title: "2-D map: optimal speed pair over (lambda, rho), Hera/XScale".into(),
+        report,
+        datasets: vec![("heatmap_hera_xscale".into(), map.to_csv())],
+    }
+}
+
+/// Runs one experiment.
+pub fn run_experiment(id: ExperimentId) -> ExperimentResult {
+    match id {
+        ExperimentId::TableRho(rho) => run_table(rho),
+        ExperimentId::Figure1 => run_figure1(),
+        ExperimentId::Figure(n) => run_figure_2_to_7(n),
+        ExperimentId::FigureConfig(n) => run_figure_config(n),
+        ExperimentId::Theorem2 => run_theorem2(),
+        ExperimentId::ValidityWindow => run_validity_window(),
+        ExperimentId::MonteCarloValidation => run_monte_carlo(),
+        ExperimentId::ExactVsFirstOrder => run_exact_vs_first_order(),
+        ExperimentId::OptimalPairRegions => run_optimal_pair_regions(),
+        ExperimentId::LambdaRobustness => run_lambda_robustness(),
+        ExperimentId::Pareto => run_pareto(),
+        ExperimentId::MultiVerification => run_multi_verification(),
+        ExperimentId::ContinuousSpeeds => run_continuous_speeds(),
+        ExperimentId::Heatmap => run_heatmap(),
+    }
+}
+
+/// Every experiment, in paper order.
+pub fn all_experiment_ids() -> Vec<ExperimentId> {
+    let mut ids = vec![];
+    ids.extend(PAPER_RHOS.map(ExperimentId::TableRho));
+    ids.push(ExperimentId::Figure1);
+    ids.extend((2..=7).map(ExperimentId::Figure));
+    ids.extend((8..=14).map(ExperimentId::FigureConfig));
+    ids.push(ExperimentId::Theorem2);
+    ids.push(ExperimentId::ValidityWindow);
+    ids.push(ExperimentId::MonteCarloValidation);
+    ids.push(ExperimentId::ExactVsFirstOrder);
+    ids.push(ExperimentId::OptimalPairRegions);
+    ids.push(ExperimentId::LambdaRobustness);
+    ids.push(ExperimentId::Pareto);
+    ids.push(ExperimentId::MultiVerification);
+    ids.push(ExperimentId::ContinuousSpeeds);
+    ids.push(ExperimentId::Heatmap);
+    ids
+}
+
+/// Runs the full suite.
+pub fn run_all() -> Vec<ExperimentResult> {
+    all_experiment_ids().into_iter().map(run_experiment).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_experiments_reproduce_paper() {
+        let r = run_experiment(ExperimentId::TableRho(3.0));
+        assert_eq!(r.id, "T-rho3");
+        assert!(r.report.contains("2764"));
+        assert!(r.report.contains("416"));
+    }
+
+    #[test]
+    fn figure1_produces_three_timelines() {
+        let r = run_experiment(ExperimentId::Figure1);
+        assert!(r.report.contains("(a: no error)"));
+        assert!(r.report.contains("(b: fail-stop error)"));
+        assert!(r.report.contains("(c: silent error)"));
+        assert!(r.report.contains("v+"));
+        assert!(!r.report.contains("<no matching trace found>"));
+    }
+
+    #[test]
+    fn figure_experiments_have_csv_datasets() {
+        let r = run_experiment(ExperimentId::Figure(4));
+        assert_eq!(r.id, "F4");
+        assert_eq!(r.datasets.len(), 1);
+        assert!(r.datasets[0].1.contains("x,sigma1"));
+    }
+
+    #[test]
+    fn figure_config_runs_all_six_sweeps() {
+        let r = run_experiment(ExperimentId::FigureConfig(8));
+        assert_eq!(r.datasets.len(), 6);
+        assert!(r.title.contains("Hera/XScale"));
+    }
+
+    #[test]
+    fn theorem2_slopes_in_report() {
+        let r = run_experiment(ExperimentId::Theorem2);
+        assert!(r.report.contains("-0.6667"), "report: {}", r.report);
+        assert!(r.report.contains("-0.5000"));
+    }
+
+    #[test]
+    fn validity_window_report_has_fail_stop_row() {
+        let r = run_experiment(ExperimentId::ValidityWindow);
+        assert!(r.report.contains("0.7071"), "1/√2 lower bound for f = 1");
+    }
+
+    #[test]
+    fn ablation_gap_is_small() {
+        let r = run_experiment(ExperimentId::ExactVsFirstOrder);
+        // All eight configs present.
+        assert_eq!(r.report.lines().count(), 2 + 8);
+    }
+
+    #[test]
+    fn id_list_covers_all_artifacts() {
+        let ids = all_experiment_ids();
+        // 4 tables + F1 + 6 figures + 7 config panels + 10 extras.
+        assert_eq!(ids.len(), 4 + 1 + 6 + 7 + 10);
+    }
+
+    #[test]
+    fn optimal_pair_regions_finds_many_winners() {
+        let r = run_experiment(ExperimentId::OptimalPairRegions);
+        assert!(r.report.contains("distinct optimal pairs"));
+        assert!(!r.report.contains("(0.15"));
+    }
+
+    #[test]
+    fn lambda_robustness_penalties_are_small() {
+        let r = run_experiment(ExperimentId::LambdaRobustness);
+        // The factor-1 row must show a zero penalty.
+        assert!(r.report.contains("+0.00%"), "report: {}", r.report);
+    }
+
+    #[test]
+    fn multi_verification_reports_q_greater_than_one() {
+        let r = run_experiment(ExperimentId::MultiVerification);
+        assert!(r.report.contains("verifications per checkpoint"));
+        // At inflated rates the best q must exceed 1 somewhere.
+        let qs: Vec<u32> = r
+            .report
+            .lines()
+            .filter(|l| l.contains('('))
+            .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
+            .collect();
+        assert!(qs.iter().any(|&q| q > 1), "qs = {qs:?}\n{}", r.report);
+    }
+
+    #[test]
+    fn continuous_speeds_gap_is_nonnegative() {
+        let r = run_experiment(ExperimentId::ContinuousSpeeds);
+        assert!(r.report.contains("discretization") || r.title.contains("discretization"));
+        assert!(!r.report.contains("-0."), "gaps must be >= 0:\n{}", r.report);
+    }
+
+    #[test]
+    fn heatmap_experiment_has_map_and_csv() {
+        let r = run_experiment(ExperimentId::Heatmap);
+        assert!(r.report.contains("legend:"));
+        assert_eq!(r.datasets.len(), 1);
+    }
+
+    #[test]
+    fn pareto_experiment_produces_two_datasets() {
+        let r = run_experiment(ExperimentId::Pareto);
+        assert_eq!(r.datasets.len(), 2);
+        assert!(r.report.contains("Hera/XScale"));
+        assert!(r.report.contains("Atlas/Crusoe"));
+    }
+}

@@ -1,0 +1,452 @@
+//! Parameter sweeps reproducing Figures 2–14.
+//!
+//! Each figure plots, against one swept parameter, the optimal solution of
+//! BiCrit for (a) the two-speed model and (b) the one-speed baseline
+//! (σ₂ = σ₁): the chosen speeds, the optimal pattern size `Wopt`, and the
+//! energy overhead `E(Wopt)/Wopt`. Everything else stays at the paper
+//! defaults (`ρ = 3`, `R = C`, `Pio = κσ_min³`).
+
+use crate::grid::Grid;
+use rexec_core::{BiCritSolution, BiCritSolver, SilentModel};
+use rexec_platforms::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// Which model parameter a figure sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SweepParam {
+    /// Checkpoint time `C` (keeping `R = C`).
+    Checkpoint,
+    /// Verification time `V` (at full speed).
+    Verification,
+    /// Silent-error rate `λ`.
+    Lambda,
+    /// Performance bound `ρ`.
+    Rho,
+    /// Static power `Pidle`.
+    PIdle,
+    /// Dynamic I/O power `Pio`.
+    PIo,
+}
+
+impl SweepParam {
+    /// All six sweeps, in the order the paper presents them (Figures 2–7).
+    pub const ALL: [SweepParam; 6] = [
+        SweepParam::Checkpoint,
+        SweepParam::Verification,
+        SweepParam::Lambda,
+        SweepParam::Rho,
+        SweepParam::PIdle,
+        SweepParam::PIo,
+    ];
+
+    /// Axis label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepParam::Checkpoint => "C",
+            SweepParam::Verification => "V",
+            SweepParam::Lambda => "lambda",
+            SweepParam::Rho => "rho",
+            SweepParam::PIdle => "Pidle",
+            SweepParam::PIo => "Pio",
+        }
+    }
+
+    /// The paper's sweep grid for this parameter.
+    ///
+    /// `lambda_hi` bounds the λ sweep: Figures 4, 8, 9 and 12 sweep up to
+    /// `1e-2`, while the Coastal-based Figures 10, 11, 13 and 14 stop at
+    /// `1e-3` (the larger checkpoint costs make higher rates infeasible).
+    pub fn paper_grid(self, lambda_hi: f64) -> Grid {
+        match self {
+            SweepParam::Checkpoint | SweepParam::Verification => Grid::linear(0.0, 5000.0, 51),
+            SweepParam::Lambda => Grid::log(1e-6, lambda_hi, 49),
+            SweepParam::Rho => Grid::linear(1.0, 3.5, 51),
+            SweepParam::PIdle | SweepParam::PIo => Grid::linear(0.0, 5000.0, 51),
+        }
+    }
+}
+
+impl std::fmt::Display for SweepParam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One solved optimum (two-speed or one-speed) at a sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolutionPoint {
+    /// First-execution speed.
+    pub sigma1: f64,
+    /// Re-execution speed.
+    pub sigma2: f64,
+    /// Optimal pattern size.
+    pub w_opt: f64,
+    /// First-order energy overhead at the optimum.
+    pub energy_overhead: f64,
+    /// First-order time overhead at the optimum.
+    pub time_overhead: f64,
+}
+
+impl From<BiCritSolution> for SolutionPoint {
+    fn from(s: BiCritSolution) -> Self {
+        SolutionPoint {
+            sigma1: s.sigma1,
+            sigma2: s.sigma2,
+            w_opt: s.w_opt,
+            energy_overhead: s.energy_overhead,
+            time_overhead: s.time_overhead,
+        }
+    }
+}
+
+/// One x-position of a figure: the two optima (if feasible).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FigurePoint {
+    /// Swept parameter value.
+    pub x: f64,
+    /// Two-speed optimum, `None` if infeasible at this `x`.
+    pub two_speed: Option<SolutionPoint>,
+    /// One-speed optimum (σ₂ = σ₁ forced), `None` if infeasible.
+    pub one_speed: Option<SolutionPoint>,
+}
+
+impl FigurePoint {
+    /// Relative energy saving of two speeds over one speed at this point.
+    pub fn saving(&self) -> Option<f64> {
+        match (self.two_speed, self.one_speed) {
+            (Some(two), Some(one)) => Some(1.0 - two.energy_overhead / one.energy_overhead),
+            _ => None,
+        }
+    }
+}
+
+/// A full figure data series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Configuration name, e.g. "Atlas/Crusoe".
+    pub config_name: String,
+    /// Which parameter is swept.
+    pub param: SweepParam,
+    /// Performance bound in effect (the swept value for a ρ sweep).
+    pub rho: f64,
+    /// The sweep data.
+    pub points: Vec<FigurePoint>,
+}
+
+impl FigureSeries {
+    /// Largest two-over-one-speed energy saving across the series.
+    pub fn max_saving(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .filter_map(FigurePoint::saving)
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+
+    /// Number of points where the two-speed optimum actually uses two
+    /// distinct speeds.
+    pub fn two_distinct_speed_points(&self) -> usize {
+        self.points
+            .iter()
+            .filter_map(|p| p.two_speed)
+            .filter(|s| s.sigma1 != s.sigma2)
+            .count()
+    }
+
+    /// Number of feasible points.
+    pub fn feasible_points(&self) -> usize {
+        self.points.iter().filter(|p| p.two_speed.is_some()).count()
+    }
+}
+
+/// Applies a sweep value to the configuration's model, returning the
+/// solver and the bound `ρ` in effect.
+pub fn apply_param(cfg: &Configuration, param: SweepParam, x: f64) -> (BiCritSolver, f64) {
+    let base: SilentModel = cfg.silent_model().expect("valid configuration");
+    let speeds = cfg.speed_set().expect("valid speeds");
+    let mut rho = Configuration::DEFAULT_RHO;
+    let model = match param {
+        SweepParam::Checkpoint => base.with_costs(base.costs.with_checkpoint(x)),
+        SweepParam::Verification => base.with_costs(base.costs.with_verification(x)),
+        SweepParam::Lambda => base.with_lambda(x),
+        SweepParam::Rho => {
+            rho = x;
+            base
+        }
+        SweepParam::PIdle => base.with_power(base.power.with_p_idle(x)),
+        SweepParam::PIo => base.with_power(base.power.with_p_io(x)),
+    };
+    (BiCritSolver::new(model, speeds), rho)
+}
+
+/// Sweeps one parameter over a grid for a configuration, producing the
+/// figure's data series (two-speed and one-speed optima at each point).
+pub fn sweep_figure(cfg: &Configuration, param: SweepParam, grid: &Grid) -> FigureSeries {
+    let points = grid
+        .values()
+        .iter()
+        .map(|&x| {
+            let (solver, rho) = apply_param(cfg, param, x);
+            FigurePoint {
+                x,
+                two_speed: solver.solve(rho).map(Into::into),
+                one_speed: solver.solve_one_speed(rho).map(Into::into),
+            }
+        })
+        .collect();
+    FigureSeries {
+        config_name: cfg.name(),
+        param,
+        rho: Configuration::DEFAULT_RHO,
+        points,
+    }
+}
+
+/// Sweeps one parameter using the paper's grid for that parameter.
+pub fn sweep_figure_paper_grid(
+    cfg: &Configuration,
+    param: SweepParam,
+    lambda_hi: f64,
+) -> FigureSeries {
+    sweep_figure(cfg, param, &param.paper_grid(lambda_hi))
+}
+
+/// The paper's λ-sweep upper bound for a configuration: `1e-3` for the
+/// Coastal-based platforms (Figures 10, 11, 13, 14), `1e-2` otherwise.
+pub fn lambda_hi_for(cfg: &Configuration) -> f64 {
+    use rexec_platforms::PlatformId;
+    match cfg.platform.id {
+        PlatformId::Coastal | PlatformId::CoastalSsd => 1e-3,
+        PlatformId::Hera | PlatformId::Atlas => 1e-2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rexec_platforms::{all_configurations, configuration, ConfigId};
+    use rexec_platforms::{PlatformId, ProcessorId};
+
+    fn atlas_crusoe() -> Configuration {
+        configuration(ConfigId {
+            platform: PlatformId::Atlas,
+            processor: ProcessorId::TransmetaCrusoe,
+        })
+    }
+
+    #[test]
+    fn figure2_checkpoint_sweep_shapes() {
+        // Figure 2 (Atlas/Crusoe, C sweep): Wopt grows with C; the optimal
+        // pair starts at (0.45, 0.45) for small C.
+        let s = sweep_figure(&atlas_crusoe(), SweepParam::Checkpoint, &Grid::linear(10.0, 5000.0, 25));
+        assert_eq!(s.feasible_points(), 25);
+        let first = s.points.first().unwrap().two_speed.unwrap();
+        assert_eq!((first.sigma1, first.sigma2), (0.45, 0.45));
+        // Wopt is non-decreasing in C while the speed pair stays the same
+        // (when the pair adapts, Wopt legitimately jumps — the kinks in
+        // the paper's middle panel).
+        for pair in s.points.windows(2) {
+            let (a, b) = (pair[0].two_speed.unwrap(), pair[1].two_speed.unwrap());
+            if (a.sigma1, a.sigma2) == (b.sigma1, b.sigma2) {
+                assert!(
+                    b.w_opt >= a.w_opt * 0.999,
+                    "Wopt must grow with C for a fixed pair: {a:?} -> {b:?}"
+                );
+            }
+        }
+        // Energy overhead grows with C.
+        let es: Vec<f64> = s
+            .points
+            .iter()
+            .map(|p| p.two_speed.unwrap().energy_overhead)
+            .collect();
+        assert!(es.last().unwrap() > es.first().unwrap());
+    }
+
+    #[test]
+    fn figure2_reaches_two_distinct_speeds_at_large_c() {
+        // Paper: the pair reaches (0.45, 0.8) by C = 5000.
+        let s = sweep_figure(
+            &atlas_crusoe(),
+            SweepParam::Checkpoint,
+            &Grid::explicit(vec![5000.0]),
+        );
+        let sol = s.points[0].two_speed.unwrap();
+        assert_eq!(sol.sigma1, 0.45, "σ1 at C = 5000");
+        assert_eq!(sol.sigma2, 0.8, "σ2 at C = 5000");
+        assert!(s.points[0].saving().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn figure3_verification_sweep_stabilizes_at_06_045() {
+        // Paper: the pair stabilizes at (0.6, 0.45) as V → 5000.
+        let s = sweep_figure(
+            &atlas_crusoe(),
+            SweepParam::Verification,
+            &Grid::explicit(vec![5000.0]),
+        );
+        let sol = s.points[0].two_speed.unwrap();
+        assert_eq!((sol.sigma1, sol.sigma2), (0.6, 0.45));
+    }
+
+    #[test]
+    fn figure4_lambda_sweep_speeds_increase_and_w_decreases() {
+        let s = sweep_figure(
+            &atlas_crusoe(),
+            SweepParam::Lambda,
+            &Grid::log(1e-6, 1e-2, 25),
+        );
+        // ρ = 3 becomes infeasible beyond λ ≈ 1.2e-3 (ρ_min of the fastest
+        // pair crosses 3), so the series is truncated like the paper's.
+        let feasible: Vec<&FigurePoint> =
+            s.points.iter().filter(|p| p.two_speed.is_some()).collect();
+        assert!(feasible.len() >= 15, "feasible points: {}", feasible.len());
+        assert!(
+            feasible.len() < s.points.len(),
+            "the top of the λ sweep must be infeasible at ρ = 3"
+        );
+        let first = feasible.first().unwrap().two_speed.unwrap();
+        let last = feasible.last().unwrap().two_speed.unwrap();
+        assert!(last.w_opt < first.w_opt, "Wopt must shrink with λ");
+        assert!(
+            last.sigma1 >= first.sigma1 && last.sigma2 >= first.sigma2,
+            "speeds must rise with λ"
+        );
+        // At the top of the sweep σ1 is maximal and σ2 is near-maximal
+        // (paper Fig 4; exactly at the feasibility edge a slightly slower
+        // σ2 can still win on energy).
+        assert_eq!(last.sigma1, 1.0);
+        assert!(last.sigma2 >= 0.8);
+    }
+
+    #[test]
+    fn figure5_rho_sweep_speeds_increase_as_rho_tightens() {
+        let s = sweep_figure(&atlas_crusoe(), SweepParam::Rho, &Grid::linear(1.0, 3.5, 26));
+        // Infeasible near ρ = 1, feasible at ρ = 3.5.
+        assert!(s.points.first().unwrap().two_speed.is_none());
+        assert!(s.points.last().unwrap().two_speed.is_some());
+        // σ1 is non-increasing in ρ (looser bound → slower speeds).
+        let sols: Vec<SolutionPoint> =
+            s.points.iter().filter_map(|p| p.two_speed).collect();
+        for w in sols.windows(2) {
+            assert!(w[1].sigma1 <= w[0].sigma1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure7_pio_does_not_change_speeds_on_atlas_crusoe() {
+        // Paper §4.3.3: speeds are not affected by Pio (and σ2 = σ1).
+        let s = sweep_figure(&atlas_crusoe(), SweepParam::PIo, &Grid::linear(0.0, 5000.0, 11));
+        let speeds: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .map(|p| {
+                let t = p.two_speed.unwrap();
+                (t.sigma1, t.sigma2)
+            })
+            .collect();
+        for &(s1, s2) in &speeds {
+            assert_eq!((s1, s2), speeds[0]);
+            assert_eq!(s1, s2, "one speed suffices when sweeping Pio");
+        }
+        // Energy overhead still rises with Pio.
+        let first = s.points.first().unwrap().two_speed.unwrap().energy_overhead;
+        let last = s.points.last().unwrap().two_speed.unwrap().energy_overhead;
+        assert!(last > first);
+    }
+
+    #[test]
+    fn figure6_pidle_speeds_increase() {
+        let s = sweep_figure(&atlas_crusoe(), SweepParam::PIdle, &Grid::linear(0.0, 5000.0, 11));
+        let first = s.points.first().unwrap().two_speed.unwrap();
+        let last = s.points.last().unwrap().two_speed.unwrap();
+        assert!(last.sigma1 >= first.sigma1);
+        assert!(last.energy_overhead > first.energy_overhead);
+    }
+
+    #[test]
+    fn two_speed_beats_or_matches_one_speed_everywhere() {
+        let cfg = atlas_crusoe();
+        for param in SweepParam::ALL {
+            let s = sweep_figure_paper_grid(&cfg, param, 1e-2);
+            for p in &s.points {
+                if let Some(saving) = p.saving() {
+                    assert!(
+                        saving >= -1e-9,
+                        "{param}: two-speed worse at x = {}",
+                        p.x
+                    );
+                }
+                // One-speed feasible ⇒ two-speed feasible.
+                if p.one_speed.is_some() {
+                    assert!(p.two_speed.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_eight_configurations_sweep_without_panicking() {
+        for cfg in all_configurations() {
+            let lambda_hi = lambda_hi_for(&cfg);
+            for param in SweepParam::ALL {
+                let g = match param {
+                    SweepParam::Lambda => Grid::log(1e-6, lambda_hi, 7),
+                    SweepParam::Rho => Grid::linear(1.0, 3.5, 7),
+                    _ => Grid::linear(0.0, 5000.0, 7),
+                };
+                let s = sweep_figure(&cfg, param, &g);
+                assert_eq!(s.points.len(), 7, "{} {param}", cfg.name());
+                assert!(s.feasible_points() > 0, "{} {param}", cfg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_hi_matches_paper_figures() {
+        for cfg in all_configurations() {
+            let hi = lambda_hi_for(&cfg);
+            match cfg.platform.id {
+                PlatformId::Coastal | PlatformId::CoastalSsd => assert_eq!(hi, 1e-3),
+                _ => assert_eq!(hi, 1e-2),
+            }
+        }
+    }
+
+    #[test]
+    fn max_saving_is_substantial_on_atlas_crusoe_checkpoint_sweep() {
+        // The paper reports up to ~35 % savings (Figure 2).
+        let s = sweep_figure_paper_grid(&atlas_crusoe(), SweepParam::Checkpoint, 1e-2);
+        let max = s.max_saving().unwrap();
+        assert!(
+            max > 0.25,
+            "expected ≳ 25-35 % max saving on the C sweep, got {max}"
+        );
+        assert!(max < 0.5, "savings beyond ~35 % would be suspicious: {max}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = sweep_figure(
+            &atlas_crusoe(),
+            SweepParam::Checkpoint,
+            &Grid::explicit(vec![100.0, 1000.0]),
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FigureSeries = serde_json::from_str(&json).unwrap();
+        // f64 text round-trips can differ by one ulp; compare structurally
+        // with a tolerance.
+        assert_eq!(s.config_name, back.config_name);
+        assert_eq!(s.param, back.param);
+        assert_eq!(s.points.len(), back.points.len());
+        for (a, b) in s.points.iter().zip(&back.points) {
+            assert_eq!(a.x, b.x);
+            let (ta, tb) = (a.two_speed.unwrap(), b.two_speed.unwrap());
+            assert_eq!((ta.sigma1, ta.sigma2), (tb.sigma1, tb.sigma2));
+            assert!((ta.w_opt - tb.w_opt).abs() <= 1e-9 * ta.w_opt);
+            assert!(
+                (ta.energy_overhead - tb.energy_overhead).abs()
+                    <= 1e-9 * ta.energy_overhead
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Parameter grids for sweeps.
+
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional parameter grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    values: Vec<f64>,
+}
+
+impl Grid {
+    /// `n` points linearly spaced over `[lo, hi]` (inclusive).
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Grid {
+        assert!(n >= 2 && hi > lo, "need n >= 2 and hi > lo");
+        let step = (hi - lo) / (n - 1) as f64;
+        Grid {
+            values: (0..n).map(|i| lo + step * i as f64).collect(),
+        }
+    }
+
+    /// `n` points logarithmically spaced over `[lo, hi]` (inclusive);
+    /// requires `lo > 0`.
+    pub fn log(lo: f64, hi: f64, n: usize) -> Grid {
+        assert!(n >= 2 && lo > 0.0 && hi > lo, "need n >= 2 and 0 < lo < hi");
+        let ratio = (hi / lo).ln();
+        Grid {
+            values: (0..n)
+                .map(|i| lo * (ratio * i as f64 / (n - 1) as f64).exp())
+                .collect(),
+        }
+    }
+
+    /// An explicit list of points.
+    pub fn explicit(values: Vec<f64>) -> Grid {
+        assert!(!values.is_empty(), "grid must be non-empty");
+        Grid { values }
+    }
+
+    /// The grid points.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Grid {
+    type Item = f64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, f64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_endpoints_and_spacing() {
+        let g = Grid::linear(0.0, 5000.0, 51);
+        assert_eq!(g.len(), 51);
+        assert_eq!(g.values()[0], 0.0);
+        assert!((g.values()[50] - 5000.0).abs() < 1e-9);
+        assert!((g.values()[1] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_endpoints_and_ratio() {
+        let g = Grid::log(1e-6, 1e-2, 5);
+        assert!((g.values()[0] - 1e-6).abs() < 1e-18);
+        assert!((g.values()[4] - 1e-2).abs() < 1e-12);
+        let r1 = g.values()[1] / g.values()[0];
+        let r2 = g.values()[2] / g.values()[1];
+        assert!((r1 - r2).abs() / r1 < 1e-9);
+    }
+
+    #[test]
+    fn explicit_keeps_order() {
+        let g = Grid::explicit(vec![3.0, 1.0, 2.0]);
+        assert_eq!(g.values(), &[3.0, 1.0, 2.0]);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn iteration_matches_values() {
+        let g = Grid::linear(1.0, 2.0, 3);
+        let v: Vec<f64> = (&g).into_iter().collect();
+        assert_eq!(v, g.values());
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn linear_rejects_single_point() {
+        Grid::linear(0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo")]
+    fn log_rejects_zero_lo() {
+        Grid::log(0.0, 1.0, 3);
+    }
+}

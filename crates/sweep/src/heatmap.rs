@@ -1,0 +1,238 @@
+//! Two-dimensional maps of the optimal solution over (λ, ρ).
+//!
+//! The paper varies one parameter at a time; this module crosses the two
+//! most influential ones — the error rate and the performance bound — and
+//! records which speed pair wins in each cell, how large the optimal
+//! pattern is, and how much the second speed saves. The resulting map
+//! shows the *regions* of the parameter plane owned by each pair (the 2-D
+//! generalization of the §4.2 observation).
+
+use crate::figure::SolutionPoint;
+use crate::grid::Grid;
+use rexec_core::BiCritSolver;
+use rexec_platforms::Configuration;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One cell of the map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapCell {
+    /// Error rate of this cell.
+    pub lambda: f64,
+    /// Performance bound of this cell.
+    pub rho: f64,
+    /// Two-speed optimum, `None` when infeasible.
+    pub solution: Option<SolutionPoint>,
+    /// Energy saving of two speeds over one speed, `None` when infeasible.
+    pub saving: Option<f64>,
+}
+
+/// The λ × ρ map for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Configuration name.
+    pub config_name: String,
+    /// λ grid (ascending).
+    pub lambdas: Vec<f64>,
+    /// ρ grid (ascending).
+    pub rhos: Vec<f64>,
+    /// Row-major cells: `cells[i * rhos.len() + j]` is `(λᵢ, ρⱼ)`.
+    pub cells: Vec<HeatmapCell>,
+}
+
+impl Heatmap {
+    /// Computes the map over the given grids.
+    pub fn compute(cfg: &Configuration, lambdas: &Grid, rhos: &Grid) -> Heatmap {
+        let base = cfg.silent_model().expect("valid configuration");
+        let speeds = cfg.speed_set().expect("valid speeds");
+        let mut cells = Vec::with_capacity(lambdas.len() * rhos.len());
+        for &lambda in lambdas.values() {
+            let solver = BiCritSolver::new(base.with_lambda(lambda), speeds.clone());
+            for &rho in rhos.values() {
+                let two = solver.solve(rho);
+                let one = solver.solve_one_speed(rho);
+                let saving = match (two, one) {
+                    (Some(t), Some(o)) => Some(1.0 - t.energy_overhead / o.energy_overhead),
+                    _ => None,
+                };
+                cells.push(HeatmapCell {
+                    lambda,
+                    rho,
+                    solution: two.map(Into::into),
+                    saving,
+                });
+            }
+        }
+        Heatmap {
+            config_name: cfg.name(),
+            lambdas: lambdas.values().to_vec(),
+            rhos: rhos.values().to_vec(),
+            cells,
+        }
+    }
+
+    /// Cell at λ-index `i`, ρ-index `j`.
+    pub fn cell(&self, i: usize, j: usize) -> &HeatmapCell {
+        &self.cells[i * self.rhos.len() + j]
+    }
+
+    /// Distinct winning speed pairs across feasible cells.
+    pub fn winning_pairs(&self) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = vec![];
+        for c in &self.cells {
+            if let Some(s) = c.solution {
+                let pair = (s.sigma1, s.sigma2);
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out.sort_by(|a, b| a.partial_cmp(b).expect("finite speeds"));
+        out
+    }
+
+    /// Fraction of feasible cells where σ₂ ≠ σ₁.
+    pub fn two_speed_fraction(&self) -> f64 {
+        let feasible: Vec<&HeatmapCell> =
+            self.cells.iter().filter(|c| c.solution.is_some()).collect();
+        if feasible.is_empty() {
+            return 0.0;
+        }
+        let two = feasible
+            .iter()
+            .filter(|c| {
+                let s = c.solution.unwrap();
+                s.sigma1 != s.sigma2
+            })
+            .count();
+        two as f64 / feasible.len() as f64
+    }
+
+    /// Renders the pair map as an ASCII grid (one glyph per winning pair,
+    /// `.` for infeasible cells), with a legend.
+    pub fn render_pair_map(&self) -> String {
+        const GLYPHS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnop";
+        let pairs = self.winning_pairs();
+        let glyph_of = |pair: (f64, f64)| -> char {
+            let idx = pairs.iter().position(|&p| p == pair).unwrap_or(0);
+            GLYPHS[idx % GLYPHS.len()] as char
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} — optimal pair per (λ row, ρ column); '.' = infeasible",
+            self.config_name
+        );
+        for (i, &lambda) in self.lambdas.iter().enumerate() {
+            let _ = write!(out, "λ={lambda:9.2e}  ");
+            for j in 0..self.rhos.len() {
+                match self.cell(i, j).solution {
+                    Some(s) => out.push(glyph_of((s.sigma1, s.sigma2))),
+                    None => out.push('.'),
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "ρ from {:.2} to {:.2} (left to right)",
+            self.rhos.first().unwrap(),
+            self.rhos.last().unwrap()
+        );
+        out.push_str("legend: ");
+        for (k, &(s1, s2)) in pairs.iter().enumerate() {
+            let _ = write!(out, "{}=({s1},{s2}) ", GLYPHS[k % GLYPHS.len()] as char);
+        }
+        out.push('\n');
+        out
+    }
+
+    /// CSV export: `lambda,rho,sigma1,sigma2,w_opt,e_over_w,saving`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("lambda,rho,sigma1,sigma2,w_opt,energy_overhead,saving\n");
+        for c in &self.cells {
+            match (c.solution, c.saving) {
+                (Some(s), Some(sv)) => {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{},{},{}",
+                        c.lambda, c.rho, s.sigma1, s.sigma2, s.w_opt, s.energy_overhead, sv
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "{},{},,,,,", c.lambda, c.rho);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rexec_platforms::{configuration, ConfigId, PlatformId, ProcessorId};
+
+    fn hera_xscale() -> Configuration {
+        configuration(ConfigId {
+            platform: PlatformId::Hera,
+            processor: ProcessorId::IntelXScale,
+        })
+    }
+
+    fn small_map() -> Heatmap {
+        Heatmap::compute(
+            &hera_xscale(),
+            &Grid::log(1e-6, 1e-3, 7),
+            &Grid::linear(1.2, 6.0, 9),
+        )
+    }
+
+    #[test]
+    fn map_has_full_dimensions() {
+        let m = small_map();
+        assert_eq!(m.cells.len(), 7 * 9);
+        assert_eq!(m.cell(0, 0).lambda, 1e-6);
+        assert_eq!(m.cell(0, 0).rho, 1.2);
+        assert_eq!(m.cell(6, 8).rho, 6.0);
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_rho_per_row() {
+        let m = small_map();
+        for i in 0..m.lambdas.len() {
+            let mut seen = false;
+            for j in 0..m.rhos.len() {
+                let f = m.cell(i, j).solution.is_some();
+                if f {
+                    seen = true;
+                } else {
+                    assert!(!seen, "row {i}: feasibility must be monotone in ρ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn several_pairs_win_and_savings_nonnegative() {
+        let m = small_map();
+        assert!(m.winning_pairs().len() >= 3, "{:?}", m.winning_pairs());
+        for c in &m.cells {
+            if let Some(sv) = c.saving {
+                assert!(sv >= -1e-9);
+            }
+        }
+        assert!(m.two_speed_fraction() > 0.0);
+    }
+
+    #[test]
+    fn render_and_csv_are_well_formed() {
+        let m = small_map();
+        let map = m.render_pair_map();
+        assert!(map.contains("legend:"));
+        assert!(map.contains('.'), "tight-ρ cells must be infeasible");
+        let csv = m.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 7 * 9);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0.000001,1.2"));
+    }
+}

@@ -1,0 +1,135 @@
+//! The §4.2 tables: best `σ₂`, `Wopt` and energy overhead per `σ₁`.
+
+use crate::render::{fmt_num, Table};
+use rexec_core::SpeedPairReport;
+use rexec_platforms::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's §4.2 tables for a configuration and bound `ρ`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RhoTable {
+    /// Configuration name (the paper uses Hera/XScale).
+    pub config_name: String,
+    /// Performance bound of this table.
+    pub rho: f64,
+    /// Per-σ₁ rows (dashes where infeasible).
+    pub rows: Vec<SpeedPairReport>,
+}
+
+impl RhoTable {
+    /// The overall best row (bold in the paper): the feasible row with the
+    /// smallest energy overhead.
+    pub fn best(&self) -> Option<&SpeedPairReport> {
+        self.rows
+            .iter()
+            .filter(|r| r.best.is_some())
+            .min_by(|a, b| {
+                let ea = a.best.unwrap().energy_overhead;
+                let eb = b.best.unwrap().energy_overhead;
+                ea.partial_cmp(&eb).expect("finite overheads")
+            })
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let best_sigma1 = self.best().map(|r| r.sigma1);
+        let mut t = Table::new(vec!["sigma1", "best sigma2", "Wopt", "E(Wopt)/Wopt", ""]);
+        for r in &self.rows {
+            let marker = if Some(r.sigma1) == best_sigma1 { "<= best" } else { "" };
+            match r.best {
+                // The paper truncates (3639.76 → 3639, 1625.73 → 1625).
+                Some(sol) => t.row(vec![
+                    fmt_num(r.sigma1, 2),
+                    fmt_num(sol.sigma2, 2),
+                    fmt_num(sol.w_opt.trunc(), 0),
+                    fmt_num(sol.energy_overhead.trunc(), 0),
+                    marker.to_string(),
+                ]),
+                None => t.row(vec![
+                    fmt_num(r.sigma1, 2),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    String::new(),
+                ]),
+            };
+        }
+        format!(
+            "{} — rho = {}\n{}",
+            self.config_name,
+            fmt_num(self.rho, 3),
+            t.render()
+        )
+    }
+}
+
+/// Computes the §4.2 table for a configuration and bound.
+pub fn rho_table(cfg: &Configuration, rho: f64) -> RhoTable {
+    let solver = cfg.solver().expect("valid configuration");
+    RhoTable {
+        config_name: cfg.name(),
+        rho,
+        rows: solver.per_sigma1(rho),
+    }
+}
+
+/// The four bounds the paper tabulates.
+pub const PAPER_RHOS: [f64; 4] = [8.0, 3.0, 1.775, 1.4];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rexec_platforms::{configuration, ConfigId, PlatformId, ProcessorId};
+
+    fn hera_xscale() -> Configuration {
+        configuration(ConfigId {
+            platform: PlatformId::Hera,
+            processor: ProcessorId::IntelXScale,
+        })
+    }
+
+    #[test]
+    fn table_rho3_matches_paper() {
+        let t = rho_table(&hera_xscale(), 3.0);
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.rows[0].best.is_none(), "σ1 = 0.15 infeasible at ρ = 3");
+        let best = t.best().unwrap();
+        assert_eq!(best.sigma1, 0.4);
+        let sol = best.best.unwrap();
+        assert_eq!(sol.sigma2, 0.4);
+        assert!((sol.w_opt - 2764.0).abs() < 1.0);
+        assert!((sol.energy_overhead - 416.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rendered_table_contains_paper_values() {
+        let t = rho_table(&hera_xscale(), 3.0);
+        let s = t.render();
+        assert!(s.contains("Hera/XScale"));
+        assert!(s.contains("2764"));
+        assert!(s.contains("416"));
+        assert!(s.contains('-'), "infeasible row renders as dashes");
+        assert!(s.contains("<= best"));
+    }
+
+    #[test]
+    fn all_paper_rhos_produce_tables() {
+        for rho in PAPER_RHOS {
+            let t = rho_table(&hera_xscale(), rho);
+            assert_eq!(t.rows.len(), 5, "rho = {rho}");
+            assert!(t.best().is_some(), "rho = {rho} must have a best row");
+        }
+    }
+
+    #[test]
+    fn rho_1_4_leaves_only_fast_sigma1(){
+        let t = rho_table(&hera_xscale(), 1.4);
+        let feasible: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r.best.is_some())
+            .map(|r| r.sigma1)
+            .collect();
+        assert_eq!(feasible, vec![0.8, 1.0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Validates the analytic expectations (Propositions 2–5) against the
+//! discrete-event Monte Carlo simulator.
+//!
+//! ```text
+//! cargo run --release --example monte_carlo_validation
+//! ```
+//!
+//! For each scenario, runs tens of thousands of independent pattern
+//! simulations and checks that the analytic expected time and energy lie
+//! inside the 99.9 % confidence interval of the sampled means.
+
+use rexec::prelude::*;
+
+fn check(
+    label: &str,
+    cfg: SimConfig,
+    expected_time: f64,
+    expected_energy: f64,
+    trials: u64,
+    seed: u64,
+) {
+    let report = MonteCarlo::new(cfg, trials, seed).validate(expected_time, expected_energy, 3.29);
+    let s = &report.summary;
+    println!("--- {label} ({trials} trials) ---");
+    println!(
+        "time   : analytic {:>12.2}  sampled {:>12.2} ± {:<8.2} rel {:.4}%  [{}]",
+        expected_time,
+        s.time.mean(),
+        3.29 * s.time.std_error(),
+        100.0 * report.time_rel_error(),
+        if report.time_ok() { "OK" } else { "MISS" }
+    );
+    println!(
+        "energy : analytic {:>12.0}  sampled {:>12.0} ± {:<8.0} rel {:.4}%  [{}]",
+        expected_energy,
+        s.energy.mean(),
+        3.29 * s.energy.std_error(),
+        100.0 * report.energy_rel_error(),
+        if report.energy_ok() { "OK" } else { "MISS" }
+    );
+    println!(
+        "attempts per pattern: {:.4} (min {}, max {})\n",
+        s.attempts.mean(),
+        s.attempts.min(),
+        s.attempts.max()
+    );
+}
+
+fn main() {
+    let trials = 50_000;
+
+    // Scenario 1: the paper's Hera/XScale optimum at ρ = 3, real λ.
+    let hx = configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    });
+    let m = hx.silent_model().unwrap();
+    let best = hx.solver().unwrap().solve(3.0).unwrap();
+    let cfg = SimConfig::from_silent_model(&m, best.w_opt, best.sigma1, best.sigma2);
+    check(
+        "Hera/XScale optimum, silent errors (Props 2-3)",
+        cfg,
+        m.expected_time(best.w_opt, best.sigma1, best.sigma2),
+        m.expected_energy(best.w_opt, best.sigma1, best.sigma2),
+        trials,
+        1,
+    );
+
+    // Scenario 2: inflated error rate, two distinct speeds — stresses the
+    // re-execution path (roughly one error every other pattern).
+    let m2 = m.with_lambda(1e-4);
+    let (w, s1, s2) = (2764.0, 0.4, 0.8);
+    check(
+        "Hera/XScale, lambda = 1e-4, sigma = (0.4, 0.8)",
+        SimConfig::from_silent_model(&m2, w, s1, s2),
+        m2.expected_time(w, s1, s2),
+        m2.expected_energy(w, s1, s2),
+        trials,
+        2,
+    );
+
+    // Scenario 3: mixed fail-stop + silent errors (Props 4-5).
+    let mm = MixedModel::new(
+        ErrorRates::new(8e-5, 5e-5).unwrap(),
+        m.costs,
+        m.power,
+    );
+    let (w, s1, s2) = (3000.0, 0.6, 1.0);
+    check(
+        "Hera/XScale, mixed errors (Props 4-5)",
+        SimConfig::from_mixed_model(&mm, w, s1, s2),
+        mm.expected_time(w, s1, s2),
+        mm.expected_energy(w, s1, s2),
+        trials,
+        3,
+    );
+
+    // Scenario 4: whole-application simulation — overheads per work unit
+    // converge to the pattern overheads.
+    let w_base = 100.0 * 2764.0;
+    let app_cfg = SimConfig::from_silent_model(&m2, 2764.0, 0.4, 0.8);
+    let mut rng = SimRng::new(4);
+    let app = simulate_application(&app_cfg, w_base, &mut rng);
+    println!("--- whole application: Wbase = {w_base:.0} ({} patterns) ---", app.patterns);
+    println!(
+        "makespan/Wbase : {:.4} s per work unit (pattern model: {:.4})",
+        app.time_overhead(w_base),
+        m2.time_overhead(2764.0, 0.4, 0.8)
+    );
+    println!(
+        "energy/Wbase   : {:.1} mJ per work unit (pattern model: {:.1})",
+        app.energy_overhead(w_base),
+        m2.energy_overhead(2764.0, 0.4, 0.8)
+    );
+    println!(
+        "errors observed: {} silent, {} fail-stop over {} attempts",
+        app.silent_errors, app.fail_stop_errors, app.attempts
+    );
+}

@@ -1,0 +1,78 @@
+//! Extension: interleave several verifications between checkpoints
+//! (§6's related pattern shape [6]) on top of two-speed re-execution,
+//! and validate the analytic model against the segmented simulator.
+//!
+//! ```text
+//! cargo run --release --example multi_verification
+//! ```
+
+use rexec::core::multiverif;
+use rexec::prelude::*;
+
+fn main() {
+    let cfg = configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    });
+    let base = cfg.silent_model().unwrap();
+    let speeds = cfg.speed_set().unwrap();
+    let rho = 3.0;
+
+    println!("Hera/XScale, rho = {rho}: q verifications per checkpoint\n");
+    println!(
+        "{:>10} {:>7} {:>14} {:>10} {:>12} {:>12} {:>8}",
+        "lambda", "best q", "pair", "Wopt", "E/W multi", "E/W q=1", "gain"
+    );
+    for factor in [1.0, 10.0, 30.0, 100.0, 300.0] {
+        let m = base.with_lambda(base.lambda * factor);
+        let multi = multiverif::optimize(&m, &speeds, rho, 8).expect("feasible");
+        let single = numeric::exact_bicrit_solve(&m, &speeds, rho).expect("feasible");
+        println!(
+            "{:>10.2e} {:>7} {:>14} {:>10.0} {:>12.2} {:>12.2} {:>7.2}%",
+            m.lambda,
+            multi.q,
+            format!("({}, {})", multi.sigma1, multi.sigma2),
+            multi.w_opt,
+            multi.energy_overhead,
+            single.2.objective,
+            100.0 * (1.0 - multi.energy_overhead / single.2.objective),
+        );
+    }
+
+    // Validate one of the multi-verification optima by simulation.
+    let m = base.with_lambda(base.lambda * 30.0);
+    let sol = multiverif::optimize(&m, &speeds, rho, 8).unwrap();
+    let sim_cfg = SimConfig::from_silent_model(&m, sol.w_opt, sol.sigma1, sol.sigma2);
+    let trials = 30_000u64;
+    let mut time = Stats::new();
+    let mut energy = Stats::new();
+    for i in 0..trials {
+        let mut rng = SimRng::for_trial(4242, i);
+        let p = simulate_pattern_segmented(&sim_cfg, sol.q, &mut rng);
+        time.push(p.time);
+        energy.push(p.energy);
+    }
+    let t_expect = multiverif::expected_time(&m, sol.w_opt, sol.q, sol.sigma1, sol.sigma2);
+    let e_expect = multiverif::expected_energy(&m, sol.w_opt, sol.q, sol.sigma1, sol.sigma2);
+    println!(
+        "\nsimulation check at lambda = {:.2e}, q = {} ({} trials):",
+        m.lambda, sol.q, trials
+    );
+    println!(
+        "  time   : analytic {:.1}  sampled {:.1} ± {:.1}",
+        t_expect,
+        time.mean(),
+        3.29 * time.std_error()
+    );
+    println!(
+        "  energy : analytic {:.0}  sampled {:.0} ± {:.0}",
+        e_expect,
+        energy.mean(),
+        3.29 * energy.std_error()
+    );
+    let ok = time.contains(t_expect, 3.29) && energy.contains(e_expect, 3.29);
+    println!(
+        "  verdict: analytic values {} the 99.9% CI of the sampled means",
+        if ok { "inside" } else { "OUTSIDE" }
+    );
+}

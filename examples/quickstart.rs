@@ -1,0 +1,67 @@
+//! Quickstart: solve the BiCrit problem on a published configuration.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Given a platform (error rate λ, checkpoint C, verification V), a DVFS
+//! processor (speed set, power law) and a performance bound ρ, compute the
+//! energy-optimal execution plan: the first-execution speed σ₁, the
+//! re-execution speed σ₂, and the checkpointing pattern size Wopt.
+
+use rexec::prelude::*;
+
+fn main() {
+    // Hera/XScale — the configuration behind the paper's §4.2 tables.
+    let config = configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    });
+    let solver = config.solver().expect("valid configuration");
+    let rho = 3.0; // tolerate up to 3 s of expected time per unit of work
+
+    println!("configuration : {}", config.name());
+    println!(
+        "platform      : lambda = {:.2e} /s (MTBF {:.1} days), C = {} s, V = {} s",
+        config.platform.lambda,
+        config.platform.mtbf() / 86_400.0,
+        config.platform.checkpoint,
+        config.platform.verification
+    );
+    println!(
+        "processor     : speeds {:?}, P(sigma) = {} sigma^3 + {} mW",
+        config.processor.speeds, config.processor.kappa, config.processor.p_idle
+    );
+    println!("bound         : rho = {rho}\n");
+
+    let best = solver.solve(rho).expect("rho = 3 is feasible on Hera/XScale");
+    println!("=== optimal two-speed plan ===");
+    println!("first execution at sigma1 = {}", best.sigma1);
+    println!("re-executions at  sigma2 = {}", best.sigma2);
+    println!("pattern size      Wopt   = {:.0} work units", best.w_opt);
+    println!(
+        "energy overhead   E/W    = {:.1} mJ per work unit",
+        best.energy_overhead
+    );
+    println!(
+        "time overhead     T/W    = {:.3} s per work unit (bound {rho})",
+        best.time_overhead
+    );
+
+    let one = solver
+        .solve_one_speed(rho)
+        .expect("one-speed baseline feasible");
+    println!("\n=== one-speed baseline (sigma2 = sigma1) ===");
+    println!(
+        "sigma = {}, Wopt = {:.0}, E/W = {:.1}",
+        one.sigma1, one.w_opt, one.energy_overhead
+    );
+    let saving = 100.0 * (1.0 - best.energy_overhead / one.energy_overhead);
+    println!("\ntwo-speed energy saving over one speed: {saving:.1} %");
+
+    // How tight can the bound get before the problem becomes infeasible?
+    println!(
+        "\nsmallest feasible rho on this configuration: {:.4}",
+        solver.min_feasible_rho()
+    );
+}

@@ -1,0 +1,149 @@
+//! End-to-end tests through the umbrella `rexec` crate: plan with the
+//! analytic solver, execute with the simulator, and confirm the plan's
+//! predictions — the full workflow a downstream user would run.
+
+use rexec::prelude::*;
+
+#[test]
+fn plan_then_simulate_every_configuration() {
+    for cfg in all_configurations() {
+        let solver = cfg.solver().unwrap();
+        let m = solver.model();
+        let best = solver
+            .solve(Configuration::DEFAULT_RHO)
+            .unwrap_or_else(|| panic!("{} infeasible at rho = 3", cfg.name()));
+
+        // Simulate the planned pattern; the sampled mean must match the
+        // exact expectation (errors are rare at real λ, so a moderate
+        // trial count suffices for a 5σ envelope).
+        let sim = SimConfig::from_silent_model(m, best.w_opt, best.sigma1, best.sigma2);
+        let report = MonteCarlo::new(sim, 20_000, 7).validate(
+            m.expected_time(best.w_opt, best.sigma1, best.sigma2),
+            m.expected_energy(best.w_opt, best.sigma1, best.sigma2),
+            5.0,
+        );
+        assert!(
+            report.ok(),
+            "{}: plan ({}, {}, W = {:.0}) not confirmed by simulation \
+             (time rel {:.5}, energy rel {:.5})",
+            cfg.name(),
+            best.sigma1,
+            best.sigma2,
+            best.w_opt,
+            report.time_rel_error(),
+            report.energy_rel_error()
+        );
+    }
+}
+
+#[test]
+fn planned_energy_beats_naive_full_speed_plan() {
+    // The BiCrit plan must consume less energy per unit of work than
+    // running everything at full speed with a Young/Daly-style period —
+    // that is the point of the paper.
+    for cfg in all_configurations() {
+        let solver = cfg.solver().unwrap();
+        let m = solver.model();
+        let best = solver.solve(3.0).unwrap();
+
+        let naive_w = rexec::core::daly::silent_work(
+            m.costs.checkpoint,
+            m.costs.verification,
+            m.lambda,
+            1.0,
+        );
+        let naive_energy = m.energy_overhead(naive_w, 1.0, 1.0);
+        let planned = best.exact_energy_overhead(m);
+        assert!(
+            planned < naive_energy,
+            "{}: planned {planned} vs naive full-speed {naive_energy}",
+            cfg.name()
+        );
+    }
+}
+
+#[test]
+fn simulated_two_speed_plan_beats_simulated_one_speed_plan() {
+    // Find a configuration/bound where the planner picks two distinct
+    // speeds, and verify the saving *in simulation*, not just in the model.
+    let cfg = configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    });
+    let solver = cfg.solver().unwrap();
+    let rho = 1.775;
+    let two = solver.solve(rho).unwrap();
+    let one = solver.solve_one_speed(rho).unwrap();
+    assert_ne!(
+        (two.sigma1, two.sigma2),
+        (one.sigma1, one.sigma2),
+        "expected distinct plans at rho = {rho}"
+    );
+
+    // Inflate λ so the difference is measurable within reasonable trials;
+    // rescale each plan's W to its own optimum under the inflated rate.
+    let m = solver.model().with_lambda(5e-5);
+    let hot = BiCritSolver::new(m, solver.speeds().clone());
+    let two = hot.solve(rho).unwrap();
+    let one = hot.solve_one_speed(rho).unwrap();
+    let trials = 30_000;
+    let sim_two = MonteCarlo::new(
+        SimConfig::from_silent_model(&m, two.w_opt, two.sigma1, two.sigma2),
+        trials,
+        11,
+    )
+    .run();
+    let sim_one = MonteCarlo::new(
+        SimConfig::from_silent_model(&m, one.w_opt, one.sigma1, one.sigma2),
+        trials,
+        12,
+    )
+    .run();
+    let e_two = sim_two.energy.mean() / two.w_opt;
+    let e_one = sim_one.energy.mean() / one.w_opt;
+    assert!(
+        e_two <= e_one,
+        "simulated two-speed energy/W {e_two} vs one-speed {e_one}"
+    );
+}
+
+#[test]
+fn umbrella_prelude_exposes_the_full_workflow() {
+    // Compile-time API check: everything needed for the README quickstart
+    // is reachable from `rexec::prelude`.
+    let model = SilentModel::new(
+        3.38e-6,
+        ResilienceCosts::symmetric(300.0, 15.4),
+        PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
+    )
+    .unwrap();
+    let speeds = SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap();
+    let solver = BiCritSolver::new(model, speeds);
+    let best = solver.solve(3.0).unwrap();
+    assert_eq!((best.sigma1, best.sigma2), (0.4, 0.4));
+
+    // Baselines and extensions are reachable too.
+    let _ = daly::young_daly_period(300.0, 3.38e-6);
+    let _ = theorem2::optimal_work(300.0, 1e-5, 0.5);
+    let _ = FirstOrder::validity_window(0.5);
+    let (_w, _t) = numeric::golden_section_min(|x| (x - 2.0) * (x - 2.0), 0.1, 10.0);
+}
+
+#[test]
+fn rho_table_and_sweep_are_consistent() {
+    // The ρ sweep at x = 3 must agree with the ρ = 3 table's best row.
+    use rexec::sweep::figure::{sweep_figure, SweepParam};
+    use rexec::sweep::grid::Grid;
+    use rexec::sweep::table_rho::rho_table;
+    let cfg = configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    });
+    let table = rho_table(&cfg, 3.0);
+    let table_best = table.best().unwrap().best.unwrap();
+    let sweep = sweep_figure(&cfg, SweepParam::Rho, &Grid::explicit(vec![3.0]));
+    let sweep_best = sweep.points[0].two_speed.unwrap();
+    assert_eq!(sweep_best.sigma1, table_best.sigma1);
+    assert_eq!(sweep_best.sigma2, table_best.sigma2);
+    assert!((sweep_best.w_opt - table_best.w_opt).abs() < 1e-9);
+}

@@ -1,0 +1,200 @@
+//! Integration tests for the qualitative *shape* claims of Figures 2–14
+//! (§4.3 of the paper), checked on the real sweep drivers.
+
+use rexec::prelude::*;
+use rexec::sweep::figure::{lambda_hi_for, sweep_figure, sweep_figure_paper_grid, SweepParam};
+use rexec::sweep::grid::Grid;
+
+fn atlas_crusoe() -> Configuration {
+    configuration(ConfigId {
+        platform: PlatformId::Atlas,
+        processor: ProcessorId::TransmetaCrusoe,
+    })
+}
+
+#[test]
+fn fig2_checkpoint_sweep_follows_paper_narrative() {
+    // §4.3.1: "the optimal speed pair starts at (0.45, 0.45) when C is
+    // small and reaches (0.45, 0.8) when C is increased to 5000 seconds.
+    // ... using two speeds achieves up to 35% improvement."
+    let s = sweep_figure_paper_grid(&atlas_crusoe(), SweepParam::Checkpoint, 1e-2);
+    let first = s.points[1].two_speed.unwrap(); // x = 100 (x = 0 also fine)
+    assert_eq!((first.sigma1, first.sigma2), (0.45, 0.45));
+    let last = s.points.last().unwrap().two_speed.unwrap();
+    assert_eq!((last.sigma1, last.sigma2), (0.45, 0.8));
+    let max = s.max_saving().unwrap();
+    assert!(
+        (0.25..=0.40).contains(&max),
+        "paper reports up to 35% savings; got {:.1}%",
+        100.0 * max
+    );
+}
+
+#[test]
+fn fig3_verification_sweep_stabilizes_as_paper_says() {
+    // §4.3.1: "the optimal speed pair stabilizes at (0.6, 0.45) when V is
+    // increased to 5000 seconds."
+    let s = sweep_figure_paper_grid(&atlas_crusoe(), SweepParam::Verification, 1e-2);
+    let last = s.points.last().unwrap().two_speed.unwrap();
+    assert_eq!((last.sigma1, last.sigma2), (0.6, 0.45));
+}
+
+#[test]
+fn fig4_lambda_sweep_shrinks_pattern_and_raises_speeds() {
+    // §4.3.2: "the optimal pattern size W reduces with increasing λ while
+    // the execution speeds increase."
+    let s = sweep_figure_paper_grid(&atlas_crusoe(), SweepParam::Lambda, 1e-2);
+    let sols: Vec<_> = s.points.iter().filter_map(|p| p.two_speed).collect();
+    assert!(sols.len() >= 15);
+    // Wopt decreases overall by more than 10x across the sweep.
+    assert!(sols.last().unwrap().w_opt < sols[0].w_opt / 10.0);
+    // σ1 is non-decreasing along the sweep.
+    for w in sols.windows(2) {
+        assert!(w[1].sigma1 >= w[0].sigma1 - 1e-12);
+    }
+}
+
+#[test]
+fn fig5_rho_sweep_monotone_speeds_and_saving_peaks_at_tight_bounds() {
+    let s = sweep_figure_paper_grid(&atlas_crusoe(), SweepParam::Rho, 1e-2);
+    let feasible: Vec<_> = s
+        .points
+        .iter()
+        .filter(|p| p.two_speed.is_some())
+        .collect();
+    // Feasibility begins strictly inside the sweep (ρ = 1 is impossible).
+    assert!(feasible.len() < s.points.len());
+    // At loose bounds the one-speed optimum matches the two-speed one.
+    let last = feasible.last().unwrap();
+    assert!(last.saving().unwrap() < 0.01);
+    // Somewhere at a tight bound the two-speed plan wins substantially.
+    let max = s.max_saving().unwrap();
+    assert!(max > 0.2, "got {:.1}%", 100.0 * max);
+}
+
+#[test]
+fn fig6_pidle_increases_speeds_but_not_two_speed_gap() {
+    // §4.3.3: speeds increase with Pidle (σ1 first), and the optimal σ2
+    // (almost always) equals σ1 — one speed suffices.
+    let s = sweep_figure_paper_grid(&atlas_crusoe(), SweepParam::PIdle, 1e-2);
+    let first = s.points.first().unwrap().two_speed.unwrap();
+    let last = s.points.last().unwrap().two_speed.unwrap();
+    assert!(last.sigma1 > first.sigma1);
+    let max = s.max_saving().unwrap();
+    assert!(max < 0.02, "Pidle sweep should show ~no two-speed gain");
+}
+
+#[test]
+fn fig7_pio_does_not_affect_speeds() {
+    // §4.3.3: "the execution speeds ... are not affected by Pio."
+    let s = sweep_figure_paper_grid(&atlas_crusoe(), SweepParam::PIo, 1e-2);
+    let speeds: std::collections::BTreeSet<(i64, i64)> = s
+        .points
+        .iter()
+        .map(|p| {
+            let t = p.two_speed.unwrap();
+            ((t.sigma1 * 100.0) as i64, (t.sigma2 * 100.0) as i64)
+        })
+        .collect();
+    assert_eq!(speeds.len(), 1, "speeds must be constant: {speeds:?}");
+    // But Wopt and the energy overhead grow with Pio.
+    let first = s.points.first().unwrap().two_speed.unwrap();
+    let last = s.points.last().unwrap().two_speed.unwrap();
+    assert!(last.w_opt > first.w_opt);
+    assert!(last.energy_overhead > first.energy_overhead);
+}
+
+#[test]
+fn crusoe_keeps_initial_pair_longer_on_low_error_platforms() {
+    // §4.3.4: "the optimal speed pair (0.45, 0.45) remains unchanged as
+    // the checkpointing cost increases up to 5000 seconds when the Crusoe
+    // processor is coupled with platforms other than Atlas, which have
+    // smaller error rates."
+    for platform in [PlatformId::Hera, PlatformId::Coastal, PlatformId::CoastalSsd] {
+        let cfg = configuration(ConfigId {
+            platform,
+            processor: ProcessorId::TransmetaCrusoe,
+        });
+        let s = sweep_figure(
+            &cfg,
+            SweepParam::Checkpoint,
+            &Grid::linear(0.0, 5000.0, 26),
+        );
+        for p in &s.points {
+            let sol = p.two_speed.unwrap();
+            assert_eq!(
+                (sol.sigma1, sol.sigma2),
+                (0.45, 0.45),
+                "{}: C = {}",
+                cfg.name(),
+                p.x
+            );
+        }
+    }
+}
+
+#[test]
+fn coastal_ssd_xscale_pio_sweep_does_affect_pattern() {
+    // §4.3.4: "increasing the dynamic I/O power does affect the optimal
+    // speed pair (and the pattern size) on the Coastal SSD/XScale
+    // configuration."
+    let cfg = configuration(ConfigId {
+        platform: PlatformId::CoastalSsd,
+        processor: ProcessorId::IntelXScale,
+    });
+    let s = sweep_figure_paper_grid(&cfg, SweepParam::PIo, lambda_hi_for(&cfg));
+    let pairs: std::collections::BTreeSet<(i64, i64)> = s
+        .points
+        .iter()
+        .map(|p| {
+            let t = p.two_speed.unwrap();
+            ((t.sigma1 * 100.0) as i64, (t.sigma2 * 100.0) as i64)
+        })
+        .collect();
+    assert!(
+        pairs.len() > 1,
+        "Pio must change the optimal pair on Coastal SSD/XScale: {pairs:?}"
+    );
+}
+
+#[test]
+fn every_figure_sweep_satisfies_global_invariants() {
+    // Across ALL configurations and ALL sweeps: the solution respects the
+    // bound, two-speed ≤ one-speed energy, feasibility is monotone in ρ.
+    for cfg in all_configurations() {
+        let lambda_hi = lambda_hi_for(&cfg);
+        for param in SweepParam::ALL {
+            let s = sweep_figure_paper_grid(&cfg, param, lambda_hi);
+            for p in &s.points {
+                let rho = if param == SweepParam::Rho {
+                    p.x
+                } else {
+                    Configuration::DEFAULT_RHO
+                };
+                if let Some(two) = p.two_speed {
+                    assert!(
+                        two.time_overhead <= rho * (1.0 + 1e-9),
+                        "{} {param} x={}: bound violated",
+                        cfg.name(),
+                        p.x
+                    );
+                    assert!(two.w_opt > 0.0);
+                }
+                if let Some(sv) = p.saving() {
+                    assert!(sv >= -1e-9, "{} {param} x={}", cfg.name(), p.x);
+                }
+            }
+            if param == SweepParam::Rho {
+                // Once feasible, stays feasible as ρ grows.
+                let mut seen = false;
+                for p in &s.points {
+                    if p.two_speed.is_some() {
+                        seen = true;
+                    } else {
+                        assert!(!seen, "{}: feasibility must be monotone in ρ", cfg.name());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Golden integration tests: the four §4.2 tables of the paper,
+//! transcribed verbatim and checked cell by cell against the solver.
+
+use rexec::prelude::*;
+use rexec::sweep::table_rho::rho_table;
+
+/// One expected row: σ1, and (best σ2, Wopt, E/W) if feasible.
+type Row = (f64, Option<(f64, f64, f64)>);
+
+fn hera_xscale() -> Configuration {
+    configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    })
+}
+
+fn check_table(rho: f64, expected: &[Row]) {
+    let table = rho_table(&hera_xscale(), rho);
+    assert_eq!(table.rows.len(), expected.len());
+    for (got, want) in table.rows.iter().zip(expected) {
+        assert_eq!(got.sigma1, want.0, "rho={rho}: row order");
+        match (got.best, want.1) {
+            (None, None) => {}
+            (Some(sol), Some((s2, w, e))) => {
+                assert_eq!(sol.sigma2, s2, "rho={rho} σ1={}: best σ2", want.0);
+                // The paper truncates its printed values.
+                assert_eq!(
+                    sol.w_opt.trunc(),
+                    w,
+                    "rho={rho} σ1={}: Wopt (exact {:.3})",
+                    want.0,
+                    sol.w_opt
+                );
+                assert_eq!(
+                    sol.energy_overhead.trunc(),
+                    e,
+                    "rho={rho} σ1={}: E/W (exact {:.3})",
+                    want.0,
+                    sol.energy_overhead
+                );
+            }
+            (got, want) => panic!("rho={rho}: {got:?} vs paper {want:?}"),
+        }
+    }
+}
+
+#[test]
+fn paper_table_rho_8() {
+    check_table(
+        8.0,
+        &[
+            (0.15, Some((0.4, 1711.0, 466.0))),
+            (0.4, Some((0.4, 2764.0, 416.0))),
+            (0.6, Some((0.4, 3639.0, 674.0))),
+            (0.8, Some((0.4, 4627.0, 1082.0))),
+            (1.0, Some((0.4, 5742.0, 1625.0))),
+        ],
+    );
+}
+
+#[test]
+fn paper_table_rho_3() {
+    check_table(
+        3.0,
+        &[
+            (0.15, None),
+            (0.4, Some((0.4, 2764.0, 416.0))),
+            (0.6, Some((0.4, 3639.0, 674.0))),
+            (0.8, Some((0.4, 4627.0, 1082.0))),
+            (1.0, Some((0.4, 5742.0, 1625.0))),
+        ],
+    );
+}
+
+#[test]
+fn paper_table_rho_1_775() {
+    check_table(
+        1.775,
+        &[
+            (0.15, None),
+            (0.4, None),
+            (0.6, Some((0.8, 4251.0, 690.0))),
+            (0.8, Some((0.4, 4627.0, 1082.0))),
+            (1.0, Some((0.4, 5742.0, 1625.0))),
+        ],
+    );
+}
+
+#[test]
+fn paper_table_rho_1_4() {
+    check_table(
+        1.4,
+        &[
+            (0.15, None),
+            (0.4, None),
+            (0.6, None),
+            (0.8, Some((0.4, 4627.0, 1082.0))),
+            (1.0, Some((0.4, 5742.0, 1625.0))),
+        ],
+    );
+}
+
+#[test]
+fn overall_best_rows_match_paper_bold_entries() {
+    // The paper highlights the overall best pair in bold:
+    // ρ = 8 → (0.4, 0.4); ρ = 3 → (0.4, 0.4); ρ = 1.775 → (0.6, 0.8);
+    // ρ = 1.4 → (0.8, 0.4).
+    let cfg = hera_xscale();
+    for (rho, s1, s2) in [
+        (8.0, 0.4, 0.4),
+        (3.0, 0.4, 0.4),
+        (1.775, 0.6, 0.8),
+        (1.4, 0.8, 0.4),
+    ] {
+        let best = cfg.solver().unwrap().solve(rho).unwrap();
+        assert_eq!(
+            (best.sigma1, best.sigma2),
+            (s1, s2),
+            "overall best at rho = {rho}"
+        );
+    }
+}
+
+#[test]
+fn feasibility_pattern_follows_rho_min_per_sigma1() {
+    // A row is dashed exactly when min over σ2 of ρ_{1,j} exceeds ρ.
+    let cfg = hera_xscale();
+    let solver = cfg.solver().unwrap();
+    let m = solver.model();
+    for rho in [8.0, 3.0, 1.775, 1.4] {
+        for row in solver.per_sigma1(rho) {
+            let min_rho = solver
+                .speeds()
+                .iter()
+                .map(|s2| rexec::core::theorem1::rho_min(m, row.sigma1, s2))
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(
+                row.best.is_some(),
+                min_rho <= rho,
+                "rho={rho} σ1={}: ρ_min = {min_rho}",
+                row.sigma1
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_claim_any_pair_can_be_optimal_except_slowest() {
+    // §4.2: "all speed pairs except the ones containing 0.15 can be the
+    // optimal solution, depending on the value of ρ". Scan ρ finely and
+    // collect the set of winners.
+    let cfg = hera_xscale();
+    let solver = cfg.solver().unwrap();
+    let mut winners = std::collections::BTreeSet::new();
+    let mut rho = solver.min_feasible_rho() * 1.0001;
+    while rho < 12.0 {
+        if let Some(best) = solver.solve(rho) {
+            winners.insert((
+                (best.sigma1 * 100.0) as i64,
+                (best.sigma2 * 100.0) as i64,
+            ));
+        }
+        rho *= 1.002;
+    }
+    // No winner involves σ1 = 0.15 (and the slowest pair never wins).
+    for &(s1, _s2) in &winners {
+        assert_ne!(s1, 15, "σ1 = 0.15 must never win: {winners:?}");
+    }
+    // Many distinct pairs win across the ρ range.
+    assert!(
+        winners.len() >= 6,
+        "expected a rich set of optimal pairs, got {winners:?}"
+    );
+}
