@@ -34,7 +34,13 @@ fn bench_simulator(c: &mut Criterion) {
     let cfg = base_config(1e-4);
     group.bench_function("simulate_application_100_patterns", |b| {
         let mut rng = SimRng::new(2);
-        b.iter(|| black_box(simulate_application(black_box(&cfg), 100.0 * cfg.w, &mut rng)));
+        b.iter(|| {
+            black_box(simulate_application(
+                black_box(&cfg),
+                100.0 * cfg.w,
+                &mut rng,
+            ))
+        });
     });
 
     let trials = 10_000u64;

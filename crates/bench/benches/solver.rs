@@ -45,7 +45,14 @@ fn bench_solver(c: &mut Criterion) {
     // Exact numeric solve (golden section on Propositions 2–3) for one pair
     // and for the full K = 5 set.
     group.bench_function("exact_pair_optimum", |b| {
-        b.iter(|| black_box(numeric::exact_pair_optimum(black_box(&model), 0.4, 0.8, 3.0)));
+        b.iter(|| {
+            black_box(numeric::exact_pair_optimum(
+                black_box(&model),
+                0.4,
+                0.8,
+                3.0,
+            ))
+        });
     });
     let speeds = solver.speeds().clone();
     group.bench_function("exact_bicrit_solve_k5", |b| {
@@ -62,7 +69,15 @@ fn bench_solver(c: &mut Criterion) {
 
     // Multi-verification extension (numeric inner optimization, q ≤ 4).
     group.bench_function("multiverif_optimize_pair_qmax4", |b| {
-        b.iter(|| black_box(multiverif::optimize_pair(black_box(&model), 0.4, 0.4, 3.0, 4)));
+        b.iter(|| {
+            black_box(multiverif::optimize_pair(
+                black_box(&model),
+                0.4,
+                0.4,
+                3.0,
+                4,
+            ))
+        });
     });
 
     group.finish();

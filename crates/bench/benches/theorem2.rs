@@ -26,13 +26,7 @@ fn bench_theorem2(c: &mut Criterion) {
 
     group.bench_function("thm2_wopt_samples_and_slope", |b| {
         b.iter(|| {
-            let pts = theorem2::wopt_samples(
-                black_box(300.0),
-                black_box(0.5),
-                1e-7,
-                1e-3,
-                25,
-            );
+            let pts = theorem2::wopt_samples(black_box(300.0), black_box(0.5), 1e-7, 1e-3, 25);
             black_box(theorem2::loglog_slope(&pts))
         });
     });
@@ -43,7 +37,13 @@ fn bench_theorem2(c: &mut Criterion) {
         PowerModel::new(1550.0, 60.0, 5.0).unwrap(),
     );
     group.bench_function("thm2_exact_numeric_minimizer", |b| {
-        b.iter(|| black_box(numeric::exact_time_minimizer_mixed(black_box(&mm), 0.5, 1.0)));
+        b.iter(|| {
+            black_box(numeric::exact_time_minimizer_mixed(
+                black_box(&mm),
+                0.5,
+                1.0,
+            ))
+        });
     });
 
     group.bench_function("validity_window_scan", |b| {
@@ -67,7 +67,13 @@ fn bench_theorem2(c: &mut Criterion) {
         PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
     );
     group.bench_function("mixed_exact_bicrit_solve", |b| {
-        b.iter(|| black_box(numeric::exact_bicrit_solve_mixed(black_box(&mixed), &speeds, 3.0)));
+        b.iter(|| {
+            black_box(numeric::exact_bicrit_solve_mixed(
+                black_box(&mixed),
+                &speeds,
+                3.0,
+            ))
+        });
     });
 
     group.finish();

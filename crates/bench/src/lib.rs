@@ -18,7 +18,6 @@
 //!
 //! This library exposes the shared fixtures.
 
-
 #![warn(missing_docs)]
 use rexec_core::{BiCritSolver, ModelError, SilentModel, SpeedSet};
 use rexec_platforms::{configuration, ConfigId, Configuration, PlatformId, ProcessorId};

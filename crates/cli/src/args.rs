@@ -35,6 +35,13 @@ pub struct Args {
     pub compare_one_speed: bool,
     /// Print the time/energy Pareto frontier with this many sweep points.
     pub pareto: Option<usize>,
+    /// Write a JSON metrics snapshot (counters, histograms, span timings)
+    /// to this path; also enables span timing.
+    pub metrics: Option<String>,
+    /// Write simulated pattern traces as JSON Lines to this path.
+    pub trace_jsonl: Option<String>,
+    /// Print progress lines to stderr (solver stats, Monte Carlo slices).
+    pub verbose: bool,
     /// Print usage and exit.
     pub help: bool,
 }
@@ -57,6 +64,9 @@ impl Default for Args {
             validate: 0,
             compare_one_speed: false,
             pareto: None,
+            metrics: None,
+            trace_jsonl: None,
+            verbose: false,
             help: false,
         }
     }
@@ -100,7 +110,7 @@ USAGE:
   rexec-plan [--platform NAME] [--processor NAME] [custom params] [options]
 
 PUBLISHED CONFIGURATIONS:
-  --platform   hera | atlas | coastal | coastal-ssd
+  --platform   hera | atlas | coastal | coastal-ssd   (alias: --config)
   --processor  xscale | crusoe
 
 CUSTOM PARAMETERS (override the named configuration, or stand alone):
@@ -117,11 +127,19 @@ OPTIONS:
   --validate N      cross-check the plan with N Monte Carlo trials
   --one-speed       also print the one-speed baseline and the saving
   --pareto N        print the time/energy Pareto frontier (N sweep points)
-  --help            this text
+
+OBSERVABILITY:
+  --metrics PATH      write a JSON metrics snapshot (counters, histograms,
+                      span timings) after the run
+  --trace-jsonl PATH  simulate the plan's pattern and write its event trace
+                      as JSON Lines (one event per line)
+  --verbose           progress lines on stderr (solver stats, Monte Carlo)
+  --help              this text
 ";
 
 fn take_value(args: &mut std::vec::IntoIter<String>, opt: &str) -> Result<String, ParseError> {
-    args.next().ok_or_else(|| ParseError::MissingValue(opt.to_string()))
+    args.next()
+        .ok_or_else(|| ParseError::MissingValue(opt.to_string()))
 }
 
 fn parse_f64(opt: &str, text: &str) -> Result<f64, ParseError> {
@@ -140,12 +158,13 @@ impl Args {
             match a.as_str() {
                 "--help" | "-h" => out.help = true,
                 "--one-speed" => out.compare_one_speed = true,
-                "--platform" => out.platform = Some(take_value(&mut it, &a)?),
+                "--verbose" => out.verbose = true,
+                "--platform" | "--config" => out.platform = Some(take_value(&mut it, &a)?),
+                "--metrics" => out.metrics = Some(take_value(&mut it, &a)?),
+                "--trace-jsonl" => out.trace_jsonl = Some(take_value(&mut it, &a)?),
                 "--processor" => out.processor = Some(take_value(&mut it, &a)?),
                 "--lambda" => out.lambda = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
-                "--checkpoint" => {
-                    out.checkpoint = Some(parse_f64(&a, &take_value(&mut it, &a)?)?)
-                }
+                "--checkpoint" => out.checkpoint = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
                 "--verification" => {
                     out.verification = Some(parse_f64(&a, &take_value(&mut it, &a)?)?)
                 }
@@ -171,10 +190,8 @@ impl Args {
                 }
                 "--speeds" => {
                     let v = take_value(&mut it, &a)?;
-                    let speeds: Result<Vec<f64>, _> = v
-                        .split(',')
-                        .map(|s| parse_f64(&a, s.trim()))
-                        .collect();
+                    let speeds: Result<Vec<f64>, _> =
+                        v.split(',').map(|s| parse_f64(&a, s.trim())).collect();
                     out.speeds = Some(speeds?);
                 }
                 other => return Err(ParseError::UnknownOption(other.to_string())),
@@ -203,7 +220,15 @@ mod tests {
 
     #[test]
     fn named_configuration() {
-        let a = parse(&["--platform", "hera", "--processor", "xscale", "--rho", "1.775"]).unwrap();
+        let a = parse(&[
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--rho",
+            "1.775",
+        ])
+        .unwrap();
         assert_eq!(a.platform.as_deref(), Some("hera"));
         assert_eq!(a.processor.as_deref(), Some("xscale"));
         assert_eq!(a.rho, 1.775);
@@ -212,9 +237,23 @@ mod tests {
     #[test]
     fn custom_parameters_and_speeds() {
         let a = parse(&[
-            "--lambda", "1e-5", "--checkpoint", "600", "--verification", "30", "--kappa",
-            "2000", "--pidle", "50", "--speeds", "0.25, 0.5,0.75,1.0", "--wbase", "1e8",
-            "--validate", "5000", "--one-speed",
+            "--lambda",
+            "1e-5",
+            "--checkpoint",
+            "600",
+            "--verification",
+            "30",
+            "--kappa",
+            "2000",
+            "--pidle",
+            "50",
+            "--speeds",
+            "0.25, 0.5,0.75,1.0",
+            "--wbase",
+            "1e8",
+            "--validate",
+            "5000",
+            "--one-speed",
         ])
         .unwrap();
         assert_eq!(a.lambda, Some(1e-5));
@@ -249,6 +288,34 @@ mod tests {
                 value: "x".into()
             })
         );
+    }
+
+    #[test]
+    fn config_is_an_alias_for_platform() {
+        let a = parse(&["--config", "hera", "--processor", "xscale"]).unwrap();
+        assert_eq!(a.platform.as_deref(), Some("hera"));
+    }
+
+    #[test]
+    fn observability_flags() {
+        let a = parse(&[
+            "--config",
+            "hera",
+            "--metrics",
+            "/tmp/m.json",
+            "--trace-jsonl",
+            "/tmp/t.jsonl",
+            "--verbose",
+        ])
+        .unwrap();
+        assert_eq!(a.metrics.as_deref(), Some("/tmp/m.json"));
+        assert_eq!(a.trace_jsonl.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(a.verbose);
+        assert_eq!(
+            parse(&["--metrics"]),
+            Err(ParseError::MissingValue("--metrics".into()))
+        );
+        assert!(USAGE.contains("--metrics") && USAGE.contains("--trace-jsonl"));
     }
 
     #[test]

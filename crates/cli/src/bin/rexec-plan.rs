@@ -4,6 +4,14 @@
 use rexec_cli::args::{Args, USAGE};
 use rexec_cli::run::execute;
 
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {what} to {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("{what} written: {path}");
+}
+
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -19,6 +27,12 @@ fn main() {
     match execute(&args) {
         Ok(outcome) => {
             println!("{}", outcome.report);
+            if let (Some(path), Some(jsonl)) = (&args.trace_jsonl, &outcome.trace_jsonl) {
+                write_or_die(path, jsonl, "trace");
+            }
+            if let (Some(path), Some(json)) = (&args.metrics, &outcome.metrics_json) {
+                write_or_die(path, json, "metrics");
+            }
             if !outcome.feasible {
                 std::process::exit(1);
             }

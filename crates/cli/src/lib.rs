@@ -12,7 +12,6 @@
 //!            --rho 2.5 --wbase 1e8 --validate 20000
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod args;
 pub mod run;

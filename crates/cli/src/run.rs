@@ -6,7 +6,7 @@ use rexec_core::{
     SilentModel, SpeedSet,
 };
 use rexec_platforms::{Platform, PlatformId, Processor, ProcessorId};
-use rexec_sim::{MonteCarlo, SimConfig};
+use rexec_sim::{render_timeline, MonteCarlo, SimConfig, ValidationReport};
 use std::fmt::Write as _;
 
 /// Everything `rexec-plan` computed, ready to print.
@@ -16,6 +16,11 @@ pub struct Outcome {
     pub report: String,
     /// Whether a feasible plan was found.
     pub feasible: bool,
+    /// JSON metrics snapshot (present when `--metrics` was given).
+    pub metrics_json: Option<String>,
+    /// JSON Lines event trace (present when `--trace-jsonl` was given
+    /// and a feasible plan could be simulated).
+    pub trace_jsonl: Option<String>,
 }
 
 /// Errors surfaced to the user.
@@ -35,7 +40,10 @@ impl std::fmt::Display for RunError {
             RunError::UnknownName(n) => write!(f, "unknown name: {n}"),
             RunError::Model(e) => write!(f, "invalid parameters: {e}"),
             RunError::Underspecified(what) => {
-                write!(f, "missing parameter: {what} (give --platform/--processor or custom values)")
+                write!(
+                    f,
+                    "missing parameter: {what} (give --platform/--processor or custom values)"
+                )
             }
         }
     }
@@ -107,9 +115,7 @@ pub fn build_solver(args: &Args) -> Result<BiCritSolver, RunError> {
         .p_idle
         .or(processor.as_ref().map(|p| p.p_idle))
         .ok_or(RunError::Underspecified("--pidle"))?;
-    let p_io = args
-        .p_io
-        .unwrap_or_else(|| kappa * speeds.min().powi(3));
+    let p_io = args.p_io.unwrap_or_else(|| kappa * speeds.min().powi(3));
 
     let model = SilentModel::new(
         lambda,
@@ -119,8 +125,19 @@ pub fn build_solver(args: &Args) -> Result<BiCritSolver, RunError> {
     Ok(BiCritSolver::new(model, speeds))
 }
 
+/// How many patterns `--trace-jsonl` simulates into one bounded trace.
+const TRACE_TRIALS: u64 = 4;
+/// Event capacity of the `--trace-jsonl` recorder; overflow is counted
+/// as dropped and reported instead of silently discarded.
+const TRACE_CAPACITY: usize = 4096;
+
 /// Runs the planner and renders the report.
 pub fn execute(args: &Args) -> Result<Outcome, RunError> {
+    if args.metrics.is_some() {
+        // Span timing is off by default (it reads the clock); a metrics
+        // snapshot is the explicit request for it.
+        rexec_obs::set_spans_enabled(true);
+    }
     let solver = build_solver(args)?;
     let m = *solver.model();
     let mut report = String::new();
@@ -139,7 +156,25 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
         args.rho
     );
 
-    let Some(best) = solver.solve(args.rho) else {
+    if args.verbose {
+        eprintln!(
+            "[rexec-plan] model ready; solving over {} speed pairs (rho = {})",
+            solver.speeds().values().len().pow(2),
+            args.rho
+        );
+    }
+
+    let solution = solver.solve(args.rho);
+    if args.verbose {
+        let g = rexec_obs::global();
+        eprintln!(
+            "[rexec-plan] solver: {} pairs evaluated, {} infeasible, {} unbounded",
+            g.counter("bicrit.pairs_evaluated").get(),
+            g.counter("bicrit.pairs_infeasible").get(),
+            g.counter("bicrit.pairs_unbounded").get(),
+        );
+    }
+    let Some(best) = solution else {
         let _ = writeln!(
             report,
             "\nINFEASIBLE: no speed pair meets rho = {}; smallest feasible rho is {:.4}",
@@ -149,6 +184,8 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
         return Ok(Outcome {
             report,
             feasible: false,
+            metrics_json: args.metrics.is_some().then(rexec_obs::snapshot_json),
+            trace_jsonl: None,
         });
     };
 
@@ -182,11 +219,21 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
 
     if args.validate > 0 {
         let cfg = SimConfig::from_silent_model(&m, best.w_opt, best.sigma1, best.sigma2);
-        let rep = MonteCarlo::new(cfg, args.validate, 0xC0FFEE).validate(
-            m.expected_time(best.w_opt, best.sigma1, best.sigma2),
-            m.expected_energy(best.w_opt, best.sigma1, best.sigma2),
-            3.29,
-        );
+        let mc = MonteCarlo::new(cfg, args.validate, 0xC0FFEE);
+        let summary = if args.verbose {
+            eprintln!("[rexec-plan] Monte Carlo: {} trials", args.validate);
+            mc.run_with_progress(&mut |done, total| {
+                eprintln!("[rexec-plan]   {done}/{total} trials");
+            })
+        } else {
+            mc.run()
+        };
+        let rep = ValidationReport {
+            summary,
+            expected_time: m.expected_time(best.w_opt, best.sigma1, best.sigma2),
+            expected_energy: m.expected_energy(best.w_opt, best.sigma1, best.sigma2),
+            z: 3.29,
+        };
         let _ = writeln!(
             report,
             "\nMonte Carlo ({} trials): time rel err {:.4}% [{}], energy rel err {:.4}% [{}]",
@@ -205,7 +252,11 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
             "\ntime/energy Pareto frontier ({} non-dominated points):",
             frontier.len()
         );
-        let _ = writeln!(report, "{:>9} {:>12} {:>7} {:>7} {:>10}", "T/W", "E/W", "s1", "s2", "Wopt");
+        let _ = writeln!(
+            report,
+            "{:>9} {:>12} {:>7} {:>7} {:>10}",
+            "T/W", "E/W", "s1", "s2", "Wopt"
+        );
         for p in &frontier.points {
             let _ = writeln!(
                 report,
@@ -215,9 +266,30 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
         }
     }
 
+    let mut trace_jsonl = None;
+    if args.trace_jsonl.is_some() {
+        let cfg = SimConfig::from_silent_model(&m, best.w_opt, best.sigma1, best.sigma2);
+        let (ts, recorder) =
+            MonteCarlo::new(cfg, TRACE_TRIALS, 0xC0FFEE).run_with_trace(TRACE_CAPACITY);
+        let _ = writeln!(
+            report,
+            "\n=== simulated pattern trace ({TRACE_TRIALS} patterns) ===",
+        );
+        let _ = writeln!(report, "{}", render_timeline(recorder.events()));
+        let _ = writeln!(
+            report,
+            "trace: {} events recorded, {} dropped (capacity {TRACE_CAPACITY})",
+            recorder.events().len(),
+            ts.dropped_events,
+        );
+        trace_jsonl = Some(recorder.to_jsonl());
+    }
+
     Ok(Outcome {
         report,
         feasible: true,
+        metrics_json: args.metrics.is_some().then(rexec_obs::snapshot_json),
+        trace_jsonl,
     })
 }
 
@@ -240,8 +312,18 @@ mod tests {
     #[test]
     fn custom_parameters_stand_alone() {
         let out = execute(&parse(&[
-            "--lambda", "1e-5", "--checkpoint", "600", "--verification", "30", "--kappa",
-            "2000", "--pidle", "50", "--speeds", "0.25,0.5,0.75,1.0",
+            "--lambda",
+            "1e-5",
+            "--checkpoint",
+            "600",
+            "--verification",
+            "30",
+            "--kappa",
+            "2000",
+            "--pidle",
+            "50",
+            "--speeds",
+            "0.25,0.5,0.75,1.0",
         ]))
         .unwrap();
         assert!(out.feasible);
@@ -252,7 +334,12 @@ mod tests {
     fn overrides_apply_on_top_of_named_configuration() {
         // Hera with a 10x error rate: pattern must shrink vs 2764.
         let out = execute(&parse(&[
-            "--platform", "hera", "--processor", "xscale", "--lambda", "3.38e-5",
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--lambda",
+            "3.38e-5",
         ]))
         .unwrap();
         assert!(out.feasible);
@@ -262,7 +349,12 @@ mod tests {
     #[test]
     fn infeasible_reports_min_rho() {
         let out = execute(&parse(&[
-            "--platform", "hera", "--processor", "xscale", "--rho", "1.0",
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--rho",
+            "1.0",
         ]))
         .unwrap();
         assert!(!out.feasible);
@@ -273,8 +365,15 @@ mod tests {
     #[test]
     fn one_speed_comparison_and_wbase_plan() {
         let out = execute(&parse(&[
-            "--platform", "hera", "--processor", "xscale", "--rho", "1.775", "--one-speed",
-            "--wbase", "1e7",
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--rho",
+            "1.775",
+            "--one-speed",
+            "--wbase",
+            "1e7",
         ]))
         .unwrap();
         assert!(out.report.contains("one-speed baseline"));
@@ -285,7 +384,12 @@ mod tests {
     #[test]
     fn monte_carlo_validation_runs() {
         let out = execute(&parse(&[
-            "--platform", "hera", "--processor", "xscale", "--validate", "2000",
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--validate",
+            "2000",
         ]))
         .unwrap();
         assert!(out.report.contains("Monte Carlo (2000 trials)"));
@@ -295,7 +399,12 @@ mod tests {
     #[test]
     fn pareto_frontier_prints() {
         let out = execute(&parse(&[
-            "--platform", "hera", "--processor", "xscale", "--pareto", "50",
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--pareto",
+            "50",
         ]))
         .unwrap();
         assert!(out.report.contains("Pareto frontier"));
@@ -318,10 +427,69 @@ mod tests {
     }
 
     #[test]
+    fn metrics_snapshot_has_solver_counters_and_span_sections() {
+        let out = execute(&parse(&[
+            "--config",
+            "hera",
+            "--processor",
+            "xscale",
+            "--metrics",
+            "ignored.json",
+        ]))
+        .unwrap();
+        let json = out.metrics_json.expect("--metrics fills metrics_json");
+        let v: serde::Value = serde_json::from_str(&json).expect("snapshot is valid JSON");
+        assert!(matches!(v, serde::Value::Object(_)));
+        for key in ["counters", "histograms", "gauges", "spans"] {
+            assert!(json.contains(key), "missing section {key}");
+        }
+        assert!(json.contains("bicrit.pairs_evaluated"));
+        // Spans were enabled by --metrics, so the solve span must have run.
+        assert!(json.contains("bicrit.candidates"));
+    }
+
+    #[test]
+    fn trace_jsonl_round_trips_and_surfaces_drop_counts() {
+        let out = execute(&parse(&[
+            "--config",
+            "hera",
+            "--processor",
+            "xscale",
+            "--trace-jsonl",
+            "ignored.jsonl",
+        ]))
+        .unwrap();
+        let jsonl = out.trace_jsonl.expect("--trace-jsonl fills trace_jsonl");
+        let events = rexec_sim::events_from_jsonl(&jsonl).unwrap();
+        assert!(!events.is_empty());
+        assert_eq!(jsonl.lines().count(), events.len());
+        assert!(out.report.contains("simulated pattern trace"));
+        assert!(out.report.contains("events recorded"));
+        assert!(out.report.contains("dropped"));
+    }
+
+    #[test]
+    fn plain_runs_produce_no_observability_payloads() {
+        let out = execute(&parse(&["--platform", "hera", "--processor", "xscale"])).unwrap();
+        assert!(out.metrics_json.is_none());
+        assert!(out.trace_jsonl.is_none());
+    }
+
+    #[test]
     fn default_pio_is_dynamic_power_at_min_speed() {
         let solver = build_solver(&parse(&[
-            "--lambda", "1e-5", "--checkpoint", "100", "--verification", "10", "--kappa",
-            "1000", "--pidle", "10", "--speeds", "0.5,1.0",
+            "--lambda",
+            "1e-5",
+            "--checkpoint",
+            "100",
+            "--verification",
+            "10",
+            "--kappa",
+            "1000",
+            "--pidle",
+            "10",
+            "--speeds",
+            "0.5,1.0",
         ]))
         .unwrap();
         assert!((solver.model().power.p_io - 1000.0 * 0.125).abs() < 1e-9);

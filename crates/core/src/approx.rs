@@ -177,17 +177,10 @@ impl SecondOrder {
     /// T/W = 1/σ₁ + C/W + (1/(σ₁σ₂) − 1/(2σ₁²))·λW + λR/σ₁
     ///     + (1/(6σ₁³) − 1/(2σ₁²σ₂) + 1/(2σ₁σ₂²))·λ²W²
     /// ```
-    pub fn time_overhead_fail_stop(
-        c: f64,
-        r: f64,
-        lambda: f64,
-        w: f64,
-        s1: f64,
-        s2: f64,
-    ) -> f64 {
+    pub fn time_overhead_fail_stop(c: f64, r: f64, lambda: f64, w: f64, s1: f64, s2: f64) -> f64 {
         let lin = 1.0 / (s1 * s2) - 1.0 / (2.0 * s1 * s1);
-        let quad = 1.0 / (6.0 * s1 * s1 * s1) - 1.0 / (2.0 * s1 * s1 * s2)
-            + 1.0 / (2.0 * s1 * s2 * s2);
+        let quad =
+            1.0 / (6.0 * s1 * s1 * s1) - 1.0 / (2.0 * s1 * s1 * s2) + 1.0 / (2.0 * s1 * s2 * s2);
         1.0 / s1 + c / w + lin * lambda * w + lambda * r / s1 + quad * lambda * lambda * w * w
     }
 
@@ -300,11 +293,7 @@ mod tests {
     #[test]
     fn mixed_coefficients_reduce_to_silent_when_f_is_zero() {
         let m = hera_xscale();
-        let mm = MixedModel::new(
-            ErrorRates::silent_only(m.lambda).unwrap(),
-            m.costs,
-            m.power,
-        );
+        let mm = MixedModel::new(ErrorRates::silent_only(m.lambda).unwrap(), m.costs, m.power);
         for (s1, s2) in [(0.4, 0.4), (0.4, 0.8), (1.0, 0.6)] {
             let a = FirstOrder::time_coefficients(&m, s1, s2);
             let b = FirstOrder::time_coefficients_mixed(&mm, s1, s2);

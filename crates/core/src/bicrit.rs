@@ -93,8 +93,26 @@ impl BiCritSolver {
     }
 
     /// Solves Theorem 1 for one speed pair, returning the full candidate.
+    ///
+    /// Instrumented: `bicrit.pairs_evaluated` counts every call,
+    /// `bicrit.pairs_infeasible` / `bicrit.pairs_unbounded` count the
+    /// rejections, and `bicrit.clamp_*` count which Theorem-1 branch the
+    /// accepted pattern took.
     pub fn solve_pair(&self, s1: f64, s2: f64, rho: f64) -> Result<BiCritSolution, SolveError> {
-        let pat = theorem1::optimal_pattern(&self.model, s1, s2, rho)?;
+        rexec_obs::counter!("bicrit.pairs_evaluated").incr();
+        let pat = theorem1::optimal_pattern(&self.model, s1, s2, rho).inspect_err(|e| match e {
+            SolveError::Infeasible => {
+                rexec_obs::counter!("bicrit.pairs_infeasible").incr();
+            }
+            SolveError::Unbounded => {
+                rexec_obs::counter!("bicrit.pairs_unbounded").incr();
+            }
+        })?;
+        match pat.clamp {
+            Clamp::AtLower => rexec_obs::counter!("bicrit.clamp_lower").incr(),
+            Clamp::AtUpper => rexec_obs::counter!("bicrit.clamp_upper").incr(),
+            Clamp::Unconstrained => rexec_obs::counter!("bicrit.clamp_unconstrained").incr(),
+        }
         let e = FirstOrder::energy_overhead(&self.model, pat.w_opt, s1, s2);
         let t = FirstOrder::time_overhead(&self.model, pat.w_opt, s1, s2);
         Ok(BiCritSolution {
@@ -112,6 +130,7 @@ impl BiCritSolver {
     /// energy overhead (ties broken towards slower `σ₁`, then slower `σ₂`
     /// for determinism).
     pub fn candidates(&self, rho: f64) -> Vec<BiCritSolution> {
+        let _timer = rexec_obs::span!("bicrit.candidates");
         let mut out: Vec<BiCritSolution> = self
             .speeds
             .pairs()
@@ -147,6 +166,7 @@ impl BiCritSolver {
     /// The paper's §4.2 table: for each `σ₁` in the speed set, the best
     /// feasible `σ₂` with its `Wopt` and energy overhead (or `None`).
     pub fn per_sigma1(&self, rho: f64) -> Vec<SpeedPairReport> {
+        let _timer = rexec_obs::span!("bicrit.per_sigma1");
         self.speeds
             .iter()
             .map(|s1| {

@@ -201,9 +201,7 @@ mod tests {
             .solve(rho)
             .unwrap();
         assert!(
-            (discrete.energy_overhead - cont.energy_overhead).abs()
-                / cont.energy_overhead
-                < 3e-3,
+            (discrete.energy_overhead - cont.energy_overhead).abs() / cont.energy_overhead < 3e-3,
             "dense grid {} vs continuous {}",
             discrete.energy_overhead,
             cont.energy_overhead
@@ -217,8 +215,16 @@ mod tests {
         // between the extremes (σ ≈ 0.34: the Pidle/κ balance point).
         let m = hera_xscale();
         let cont = solve(&m, 0.15, 1.0, 8.0).unwrap();
-        assert!(cont.sigma1 > 0.2 && cont.sigma1 < 0.6, "σ1 = {}", cont.sigma1);
-        assert!(cont.sigma2 > 0.2 && cont.sigma2 < 0.6, "σ2 = {}", cont.sigma2);
+        assert!(
+            cont.sigma1 > 0.2 && cont.sigma1 < 0.6,
+            "σ1 = {}",
+            cont.sigma1
+        );
+        assert!(
+            cont.sigma2 > 0.2 && cont.sigma2 < 0.6,
+            "σ2 = {}",
+            cont.sigma2
+        );
     }
 
     #[test]

@@ -92,10 +92,7 @@ mod tests {
             let co = FirstOrder::time_coefficients(&m, s, s);
             let w_fo = co.minimizer();
             let w_cf = silent_work(m.costs.checkpoint, m.costs.verification, m.lambda, s);
-            assert!(
-                (w_fo - w_cf).abs() < 1e-9 * w_fo,
-                "σ={s}: {w_fo} vs {w_cf}"
-            );
+            assert!((w_fo - w_cf).abs() < 1e-9 * w_fo, "σ={s}: {w_fo} vs {w_cf}");
         }
     }
 

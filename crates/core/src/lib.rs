@@ -61,7 +61,6 @@
 //! assert!((best.energy_overhead - 416.0).abs() < 1.0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod approx;
 pub mod bicrit;

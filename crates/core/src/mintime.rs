@@ -106,7 +106,10 @@ mod tests {
             PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
         )
         .unwrap();
-        MinTimeSolver::new(model, SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap())
+        MinTimeSolver::new(
+            model,
+            SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap(),
+        )
     }
 
     #[test]

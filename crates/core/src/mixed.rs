@@ -78,10 +78,7 @@ impl MixedModel {
     /// conditioned on the interrupt happening.
     #[inline]
     pub fn t_lost(&self, w: f64, sigma: f64) -> f64 {
-        expected_time_lost(
-            self.rates.fail_stop,
-            (w + self.costs.verification) / sigma,
-        )
+        expected_time_lost(self.rates.fail_stop, (w + self.costs.verification) / sigma)
     }
 
     /// Expected time of a pattern executed entirely at speed `sigma`
@@ -96,8 +93,7 @@ impl MixedModel {
         // T = pf(Tl + R + T) + (1−pf)[(W+V)/σ + ps(R + T) + (1−ps)C]
         // ⇒ T·(1−pf)(1−ps) = pf(Tl+R) + (1−pf)[(W+V)/σ + ps·R + (1−ps)C]
         let success = (1.0 - pf) * (1.0 - ps);
-        let rhs = pf * (tl + r)
-            + (1.0 - pf) * ((w + v) / sigma + ps * r + (1.0 - ps) * c);
+        let rhs = pf * (tl + r) + (1.0 - pf) * ((w + v) / sigma + ps * r + (1.0 - ps) * c);
         rhs / success
     }
 
@@ -130,8 +126,7 @@ impl MixedModel {
         let tl = self.t_lost(w, sigma);
         let success = (1.0 - pf) * (1.0 - ps);
         let rhs = pf * (tl * p_cpu + r * p_io)
-            + (1.0 - pf)
-                * ((w + v) / sigma * p_cpu + ps * r * p_io + (1.0 - ps) * c * p_io);
+            + (1.0 - pf) * ((w + v) / sigma * p_cpu + ps * r * p_io + (1.0 - ps) * c * p_io);
         rhs / success
     }
 
@@ -149,9 +144,7 @@ impl MixedModel {
         weighted(pf1, tl1 * p1 + r * p_io + e2)
             + weighted(
                 1.0 - pf1,
-                (w + v) / sigma1 * p1
-                    + weighted(ps1, r * p_io + e2)
-                    + (1.0 - ps1) * c * p_io,
+                (w + v) / sigma1 * p1 + weighted(ps1, r * p_io + e2) + (1.0 - ps1) * c * p_io,
             )
     }
 
@@ -183,10 +176,7 @@ impl MixedModel {
         c + p1 * both2.exp() * r
             + p1 * (ls * w / sigma2).exp() * v / sigma2
             + (1.0 / lf) * (-((-lf * (w + v) / sigma1).exp_m1()))
-            + (1.0 / lf)
-                * p1
-                * (ls * w / sigma2).exp()
-                * ((lf * (w + v) / sigma2).exp() - 1.0)
+            + (1.0 / lf) * p1 * (ls * w / sigma2).exp() * ((lf * (w + v) / sigma2).exp() - 1.0)
     }
 
     /// Proposition 5 transcribed verbatim from the paper.
@@ -207,11 +197,7 @@ impl MixedModel {
         c * p_io
             + q1 * both2.exp() * r * p_io
             + q1 * (ls * w / sigma2).exp() * v / sigma2 * p2
-            + (1.0 / lf)
-                * q1
-                * (ls * w / sigma2).exp()
-                * ((lf * (w + v) / sigma2).exp() - 1.0)
-                * p2
+            + (1.0 / lf) * q1 * (ls * w / sigma2).exp() * ((lf * (w + v) / sigma2).exp() - 1.0) * p2
             + (1.0 / lf) * (-((-lf * (w + v) / sigma1).exp_m1())) * p1
     }
 
@@ -295,9 +281,10 @@ mod tests {
         let e = m.expected_energy_single(w, s);
         let pf = m.p_fail(w, s);
         let ps = m.p_silent(w, s);
-        let rhs = pf * (m.t_lost(w, s) * m.power.compute_power(s)
-            + m.costs.recovery * m.power.io_power()
-            + e)
+        let rhs = pf
+            * (m.t_lost(w, s) * m.power.compute_power(s)
+                + m.costs.recovery * m.power.io_power()
+                + e)
             + (1.0 - pf)
                 * ((w + m.costs.verification) / s * m.power.compute_power(s)
                     + ps * (m.costs.recovery * m.power.io_power() + e)
@@ -316,14 +303,9 @@ mod tests {
         let (w, s) = (10_000.0, 1.0);
         let phase = (w + m.costs.verification) / s;
         let t = m.expected_time_single(w, s);
-        let approx = m.costs.checkpoint
-            + phase
-            + lambda * phase * (phase / 2.0 + m.costs.recovery);
+        let approx = m.costs.checkpoint + phase + lambda * phase * (phase / 2.0 + m.costs.recovery);
         // Second-order remainder is O((λ·phase)²·phase) ≈ 1e-4.
-        assert!(
-            (t - approx).abs() < 1e-3,
-            "t = {t}, first-order = {approx}"
-        );
+        assert!((t - approx).abs() < 1e-3, "t = {t}, first-order = {approx}");
     }
 
     #[test]
@@ -338,8 +320,7 @@ mod tests {
         for (w, s1, s2) in [(5000.0, 0.5, 1.0), (2000.0, 1.0, 0.5), (8000.0, 0.8, 0.8)] {
             let rec = m.expected_time(w, s1, s2);
             let cf = m.expected_time_prop4(w, s1, s2);
-            let both1 =
-                (m.rates.fail_stop * (w + m.costs.verification) + m.rates.silent * w) / s1;
+            let both1 = (m.rates.fail_stop * (w + m.costs.verification) + m.rates.silent * w) / s1;
             let q1 = -((-both1).exp_m1());
             let extra = q1 * (m.rates.silent * w / s2).exp() * m.costs.verification / s2;
             assert!(
@@ -357,13 +338,9 @@ mod tests {
         for (w, s1, s2) in [(5000.0, 0.5, 1.0), (2000.0, 1.0, 0.5)] {
             let rec = m.expected_energy(w, s1, s2);
             let cf = m.expected_energy_prop5(w, s1, s2);
-            let both1 =
-                (m.rates.fail_stop * (w + m.costs.verification) + m.rates.silent * w) / s1;
+            let both1 = (m.rates.fail_stop * (w + m.costs.verification) + m.rates.silent * w) / s1;
             let q1 = -((-both1).exp_m1());
-            let extra = q1
-                * (m.rates.silent * w / s2).exp()
-                * m.costs.verification
-                / s2
+            let extra = q1 * (m.rates.silent * w / s2).exp() * m.costs.verification / s2
                 * m.power.compute_power(s2);
             assert!(
                 ((cf - rec) - extra).abs() < 1e-9 * rec,
@@ -386,9 +363,7 @@ mod tests {
         let m = base(ErrorRates::new(1e-5, 1e-5).unwrap());
         let (w, s1, s2) = (2000.0, 0.6, 0.9);
         assert!((m.time_overhead(w, s1, s2) * w - m.expected_time(w, s1, s2)).abs() < 1e-9);
-        assert!(
-            (m.energy_overhead(w, s1, s2) * w - m.expected_energy(w, s1, s2)).abs() < 1e-6
-        );
+        assert!((m.energy_overhead(w, s1, s2) * w - m.expected_energy(w, s1, s2)).abs() < 1e-6);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub fn attempt_stats(m: &SilentModel, w: f64, q: u32, sigma: f64) -> (f64, f64) 
     let seg_time = (seg_work + m.costs.verification) / sigma;
     let p = crate::error_model::strike_probability(m.lambda, seg_work / sigma);
     let s = 1.0 - p; // per-segment success
-    // Σ_{i=1}^q s^{i−1} p · i·seg_time + s^q · q·seg_time.
+                     // Σ_{i=1}^q s^{i−1} p · i·seg_time + s^q · q·seg_time.
     let mut time = 0.0;
     let mut s_pow = 1.0; // s^{i-1}
     for i in 1..=q {

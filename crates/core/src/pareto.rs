@@ -106,10 +106,10 @@ impl ParetoFrontier {
     pub fn is_non_dominated(&self) -> bool {
         for (i, a) in self.points.iter().enumerate() {
             for b in self.points.iter().skip(i + 1) {
-                let a_dom = a.time_overhead <= b.time_overhead
-                    && a.energy_overhead <= b.energy_overhead;
-                let b_dom = b.time_overhead <= a.time_overhead
-                    && b.energy_overhead <= a.energy_overhead;
+                let a_dom =
+                    a.time_overhead <= b.time_overhead && a.energy_overhead <= b.energy_overhead;
+                let b_dom =
+                    b.time_overhead <= a.time_overhead && b.energy_overhead <= a.energy_overhead;
                 if a_dom || b_dom {
                     return false;
                 }
@@ -134,7 +134,10 @@ mod tests {
             PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
         )
         .unwrap();
-        BiCritSolver::new(model, SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap())
+        BiCritSolver::new(
+            model,
+            SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap(),
+        )
     }
 
     #[test]

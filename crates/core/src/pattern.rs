@@ -209,7 +209,8 @@ mod tests {
         let (w, s) = (3000.0, 0.8);
         let p = m.p_error(w, s);
         let t = m.expected_time_single(w, s);
-        let rhs = (w + m.costs.verification) / s + p * (m.costs.recovery + t)
+        let rhs = (w + m.costs.verification) / s
+            + p * (m.costs.recovery + t)
             + (1.0 - p) * m.costs.checkpoint;
         assert!((t - rhs).abs() < 1e-9 * t);
     }
@@ -261,12 +262,8 @@ mod tests {
     fn overheads_divide_by_w() {
         let m = hera_xscale();
         let (w, s1, s2) = (2764.0, 0.4, 0.4);
-        assert!(
-            (m.time_overhead(w, s1, s2) - m.expected_time(w, s1, s2) / w).abs() < 1e-15
-        );
-        assert!(
-            (m.energy_overhead(w, s1, s2) - m.expected_energy(w, s1, s2) / w).abs() < 1e-12
-        );
+        assert!((m.time_overhead(w, s1, s2) - m.expected_time(w, s1, s2) / w).abs() < 1e-15);
+        assert!((m.energy_overhead(w, s1, s2) - m.expected_energy(w, s1, s2) / w).abs() < 1e-12);
     }
 
     #[test]

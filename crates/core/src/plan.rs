@@ -70,7 +70,11 @@ impl ExecutionPlan {
 
 impl std::fmt::Display for ExecutionPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "execution plan for Wbase = {:.3e} work units", self.w_base)?;
+        writeln!(
+            f,
+            "execution plan for Wbase = {:.3e} work units",
+            self.w_base
+        )?;
         writeln!(
             f,
             "  speeds        : first execution at {}, re-executions at {}",
@@ -116,7 +120,10 @@ mod tests {
             PowerModel::with_default_io(1550.0, 60.0, 0.15).unwrap(),
         )
         .unwrap();
-        BiCritSolver::new(model, SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap())
+        BiCritSolver::new(
+            model,
+            SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap(),
+        )
     }
 
     #[test]
@@ -138,9 +145,7 @@ mod tests {
         let t_ov = m.time_overhead(sol.w_opt, sol.sigma1, sol.sigma2);
         let e_ov = m.energy_overhead(sol.w_opt, sol.sigma1, sol.sigma2);
         assert!((plan.slowdown() - t_ov).abs() < 1e-9 * t_ov);
-        assert!(
-            (plan.expected_energy / plan.w_base - e_ov).abs() < 1e-9 * e_ov
-        );
+        assert!((plan.expected_energy / plan.w_base - e_ov).abs() < 1e-9 * e_ov);
     }
 
     #[test]

@@ -241,10 +241,7 @@ mod tests {
             for (s1, s2) in m_speeds() {
                 if let Ok(sol) = optimal_pattern(&m, s1, s2, rho) {
                     let t = FirstOrder::time_overhead(&m, sol.w_opt, s1, s2);
-                    assert!(
-                        t <= rho * (1.0 + 1e-9),
-                        "ρ={rho} ({s1},{s2}): T/W = {t}"
-                    );
+                    assert!(t <= rho * (1.0 + 1e-9), "ρ={rho} ({s1},{s2}): T/W = {t}");
                     assert!(sol.w_opt > 0.0);
                 }
             }
@@ -308,7 +305,10 @@ mod tests {
     #[test]
     fn lambda_zero_is_unbounded() {
         let m = hera_xscale().with_lambda(0.0);
-        assert_eq!(optimal_pattern(&m, 0.4, 0.4, 3.0), Err(SolveError::Unbounded));
+        assert_eq!(
+            optimal_pattern(&m, 0.4, 0.4, 3.0),
+            Err(SolveError::Unbounded)
+        );
         // Feasibility itself is fine: [−c/b, ∞).
         let (w1, w2) = feasible_interval(&m, 0.4, 0.4, 3.0).unwrap();
         assert!(w1 > 0.0);

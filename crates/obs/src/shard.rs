@@ -1,0 +1,168 @@
+//! Thread-local metric shards with deterministic merging.
+//!
+//! A [`Shard`] is a plain-value bundle of counters and histogram sketches
+//! that one worker (e.g. one rayon chunk) fills without any atomics or
+//! locks, then hands back through the reduction. `merge` is key-wise
+//! `u64` addition over ordered maps — commutative and associative with no
+//! floating-point accumulation — so the merged aggregate is byte-identical
+//! for every thread count and merge order, the same contract
+//! `sim::stats::Stats::merge` provides for its float moments (there within
+//! 1e-9; here exactly).
+
+use crate::registry::Registry;
+use crate::sketch::HistogramSketch;
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+
+/// A local, mergeable slice of metric state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Shard {
+    counters: BTreeMap<String, u64>,
+    sketches: BTreeMap<String, HistogramSketch>,
+}
+
+impl Shard {
+    pub fn new() -> Self {
+        Shard::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn incr(&mut self, name: &str, n: u64) {
+        if let Some(slot) = self.counters.get_mut(name) {
+            *slot += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Records `value` into the named histogram sketch (created with the
+    /// default resolution on first use).
+    pub fn record(&mut self, name: &str, value: f64) {
+        if !self.sketches.contains_key(name) {
+            self.sketches
+                .insert(name.to_string(), HistogramSketch::with_default_resolution());
+        }
+        self.sketches[name].record(value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named sketch, if any value was recorded into it.
+    pub fn sketch(&self, name: &str) -> Option<&HistogramSketch> {
+        self.sketches.get(name)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.sketches.is_empty()
+    }
+
+    /// Merges another shard into this one and returns it (the
+    /// `Stats::merge` consume-and-return shape, reduction-friendly).
+    pub fn merge(mut self, other: Shard) -> Shard {
+        for (name, n) in other.counters {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+        for (name, sketch) in other.sketches {
+            if let Some(mine) = self.sketches.get(&name) {
+                mine.merge_from(&sketch);
+            } else {
+                self.sketches.insert(name, sketch);
+            }
+        }
+        self
+    }
+
+    /// Flushes this shard's totals into a registry's global metrics.
+    pub fn absorb_into(&self, registry: &Registry) {
+        for (name, n) in &self.counters {
+            registry.counter(name).add(*n);
+        }
+        for (name, sketch) in &self.sketches {
+            registry.sketch_like(name, sketch).merge_from(sketch);
+        }
+    }
+}
+
+impl Serialize for Shard {
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("counters".to_string(), self.counters.to_value());
+        map.insert(
+            "histograms".to_string(),
+            Value::Object(
+                self.sketches
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.summary_value()))
+                    .collect(),
+            ),
+        );
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(shard: &mut Shard, values: &[u64]) {
+        for &v in values {
+            shard.incr("events", 1);
+            shard.incr("weight", v);
+            shard.record("value", v as f64);
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let data: Vec<u64> = (1..=100).collect();
+        let mut left = Shard::new();
+        let mut right = Shard::new();
+        fill(&mut left, &data[..37]);
+        fill(&mut right, &data[37..]);
+
+        let ab = left.clone().merge(right.clone());
+        let ba = right.merge(left);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("events"), 100);
+        assert_eq!(ab.counter("weight"), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn any_partition_merges_to_the_same_aggregate() {
+        let data: Vec<u64> = (1..=1000).collect();
+        let mut reference = Shard::new();
+        fill(&mut reference, &data);
+
+        for parts in [1usize, 2, 3, 7, 16] {
+            let chunk = data.len().div_ceil(parts);
+            let merged = data
+                .chunks(chunk)
+                .map(|c| {
+                    let mut s = Shard::new();
+                    fill(&mut s, c);
+                    s
+                })
+                .fold(Shard::new(), Shard::merge);
+            assert_eq!(merged, reference, "{parts} partitions");
+            assert_eq!(
+                serde_json::to_string(&merged).unwrap(),
+                serde_json::to_string(&reference).unwrap(),
+                "{parts} partitions: JSON must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_shard_is_merge_identity() {
+        let mut s = Shard::new();
+        fill(&mut s, &[1, 2, 3]);
+        let merged = s.clone().merge(Shard::new());
+        assert_eq!(merged, s);
+        assert!(Shard::new().is_empty());
+        assert!(!merged.is_empty());
+    }
+}

@@ -13,7 +13,6 @@
 //! processor; [`catalog`] enumerates the eight virtual configurations of
 //! the paper with its default settings (`R = C`, `Pio = κσ_min³`, `ρ = 3`).
 
-
 #![warn(missing_docs)]
 pub mod catalog;
 pub mod config;

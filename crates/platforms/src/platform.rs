@@ -94,14 +94,20 @@ mod tests {
         assert_eq!(hera.checkpoint, 300.0);
         assert_eq!(hera.verification, 15.4);
         let atlas = Platform::get(PlatformId::Atlas);
-        assert_eq!((atlas.lambda, atlas.checkpoint, atlas.verification), (7.78e-6, 439.0, 9.1));
+        assert_eq!(
+            (atlas.lambda, atlas.checkpoint, atlas.verification),
+            (7.78e-6, 439.0, 9.1)
+        );
         let coastal = Platform::get(PlatformId::Coastal);
         assert_eq!(
             (coastal.lambda, coastal.checkpoint, coastal.verification),
             (2.01e-6, 1051.0, 4.5)
         );
         let ssd = Platform::get(PlatformId::CoastalSsd);
-        assert_eq!((ssd.lambda, ssd.checkpoint, ssd.verification), (2.01e-6, 2500.0, 180.0));
+        assert_eq!(
+            (ssd.lambda, ssd.checkpoint, ssd.verification),
+            (2.01e-6, 2500.0, 180.0)
+        );
     }
 
     #[test]

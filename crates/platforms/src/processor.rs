@@ -83,10 +83,7 @@ impl Processor {
 
     /// Slowest available speed.
     pub fn min_speed(&self) -> f64 {
-        self.speeds
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        self.speeds.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// The paper's default I/O power for this processor: the dynamic CPU

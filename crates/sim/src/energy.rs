@@ -96,10 +96,7 @@ mod tests {
         m.add_compute(3.0, 0.4);
         assert!((m.elapsed() - 10.0).abs() < 1e-12);
         assert!(
-            (m.total()
-                - (5.0 * 1610.0 + 2.0 * 65.0 + 3.0 * (1550.0 * 0.064 + 60.0)))
-                .abs()
-                < 1e-9
+            (m.total() - (5.0 * 1610.0 + 2.0 * 65.0 + 3.0 * (1550.0 * 0.064 + 60.0))).abs() < 1e-9
         );
     }
 

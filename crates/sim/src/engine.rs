@@ -56,12 +56,7 @@ impl SimConfig {
     }
 
     /// Convenience constructor from a mixed-error analytic model.
-    pub fn from_mixed_model(
-        m: &rexec_core::MixedModel,
-        w: f64,
-        sigma1: f64,
-        sigma2: f64,
-    ) -> Self {
+    pub fn from_mixed_model(m: &rexec_core::MixedModel, w: f64, sigma1: f64, sigma2: f64) -> Self {
         SimConfig {
             w,
             sigma1,
@@ -134,7 +129,10 @@ fn run_attempt(
     *clock += work_t;
     meter.add_compute(work_t, sigma);
     if let Some(tr) = trace.as_deref_mut() {
-        tr.record(Event::new(*clock, EventKind::VerificationStart { speed: sigma }));
+        tr.record(Event::new(
+            *clock,
+            EventKind::VerificationStart { speed: sigma },
+        ));
     }
     *clock += verify_t;
     meter.add_compute(verify_t, sigma);
@@ -194,7 +192,11 @@ pub fn simulate_pattern_traced(
     let mut fail_stop = 0u32;
 
     loop {
-        let sigma = if attempts == 0 { cfg.sigma1 } else { cfg.sigma2 };
+        let sigma = if attempts == 0 {
+            cfg.sigma1
+        } else {
+            cfg.sigma2
+        };
         assert!(
             attempts < MAX_ATTEMPTS,
             "pattern never completes: success probability e^(-lambda*W/sigma2) \
@@ -226,6 +228,11 @@ pub fn simulate_pattern_traced(
     if let Some(tr) = trace.as_mut() {
         tr.record(Event::new(clock, EventKind::CheckpointDone));
     }
+
+    rexec_obs::counter!("sim.patterns").incr();
+    rexec_obs::counter!("sim.attempts").add(u64::from(attempts));
+    rexec_obs::counter!("sim.silent_errors").add(u64::from(silent));
+    rexec_obs::counter!("sim.fail_stop_errors").add(u64::from(fail_stop));
 
     PatternOutcome {
         time: clock,
@@ -325,8 +332,8 @@ mod tests {
         assert_eq!(p.fail_stop_errors, 0);
         let expected_t = (2764.0 + 15.4) / 0.4 + 300.0;
         assert!((p.time - expected_t).abs() < 1e-9);
-        let expected_e = (2764.0 + 15.4) / 0.4 * c.power.compute_power(0.4)
-            + 300.0 * c.power.io_power();
+        let expected_e =
+            (2764.0 + 15.4) / 0.4 * c.power.compute_power(0.4) + 300.0 * c.power.io_power();
         assert!((p.energy - expected_e).abs() < 1e-6);
     }
 
@@ -369,10 +376,8 @@ mod tests {
                 let phase1 = (c.w + c.costs.verification) / c.sigma1;
                 let phase2 = (c.w + c.costs.verification) / c.sigma2;
                 let n = p.attempts as f64;
-                let upper = phase1
-                    + (n - 1.0) * phase2
-                    + (n - 1.0) * c.costs.recovery
-                    + c.costs.checkpoint;
+                let upper =
+                    phase1 + (n - 1.0) * phase2 + (n - 1.0) * c.costs.recovery + c.costs.checkpoint;
                 assert!(p.time < upper);
             }
         }
@@ -391,7 +396,10 @@ mod tests {
         let n = 1500;
         let avg = |c: &SimConfig, seed| {
             let mut rng = SimRng::new(seed);
-            (0..n).map(|_| simulate_pattern(c, &mut rng).time).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| simulate_pattern(c, &mut rng).time)
+                .sum::<f64>()
+                / n as f64
         };
         assert!(avg(&fast, 3) < avg(&slow, 3));
     }

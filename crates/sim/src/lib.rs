@@ -21,7 +21,6 @@
 //! which is asserted by the statistical test-suite. Replications fan out
 //! in parallel with rayon; every run is reproducible from a `u64` seed.
 
-
 #![warn(missing_docs)]
 pub mod energy;
 pub mod engine;
@@ -38,10 +37,10 @@ pub use engine::{simulate_application, simulate_pattern, AppOutcome, PatternOutc
 pub use events::{Event, EventKind};
 pub use histogram::Histogram;
 pub use rng::SimRng;
-pub use segmented::simulate_pattern_segmented;
 pub use runner::{MonteCarlo, Summary, ValidationReport};
+pub use segmented::simulate_pattern_segmented;
 pub use stats::Stats;
-pub use trace::{render_timeline, TraceRecorder};
+pub use trace::{events_from_jsonl, events_to_jsonl, render_timeline, TraceRecorder};
 
 /// Common re-exports.
 pub mod prelude {
@@ -52,8 +51,8 @@ pub mod prelude {
     pub use crate::events::{Event, EventKind};
     pub use crate::histogram::Histogram;
     pub use crate::rng::SimRng;
-    pub use crate::segmented::simulate_pattern_segmented;
     pub use crate::runner::{MonteCarlo, Summary, ValidationReport};
+    pub use crate::segmented::simulate_pattern_segmented;
     pub use crate::stats::Stats;
-    pub use crate::trace::{render_timeline, TraceRecorder};
+    pub use crate::trace::{events_from_jsonl, events_to_jsonl, render_timeline, TraceRecorder};
 }

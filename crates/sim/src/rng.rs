@@ -69,7 +69,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..10).filter(|_| a.uniform_open() == b.uniform_open()).count();
+        let same = (0..10)
+            .filter(|_| a.uniform_open() == b.uniform_open())
+            .count();
         assert!(same < 10);
     }
 

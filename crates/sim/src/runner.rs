@@ -1,10 +1,12 @@
 //! Parallel Monte Carlo replication and analytic-vs-sampled validation.
 
-use crate::engine::{simulate_pattern, SimConfig};
+use crate::engine::{simulate_pattern, simulate_pattern_traced, SimConfig};
 use crate::histogram::Histogram;
 use crate::rng::SimRng;
 use crate::stats::Stats;
+use crate::trace::TraceRecorder;
 use rayon::prelude::*;
+use rexec_obs::Shard;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated result of many independent pattern simulations.
@@ -16,6 +18,8 @@ pub struct Summary {
     pub energy: Stats,
     /// Executions per pattern.
     pub attempts: Stats,
+    /// Trace events dropped by a bounded recorder (0 for untraced runs).
+    pub dropped_events: u64,
 }
 
 impl Summary {
@@ -29,6 +33,7 @@ impl Summary {
         self.time.merge(&other.time);
         self.energy.merge(&other.energy);
         self.attempts.merge(&other.attempts);
+        self.dropped_events += other.dropped_events;
         self
     }
 }
@@ -57,23 +62,84 @@ impl MonteCarlo {
     }
 
     /// Runs all replications in parallel and aggregates.
+    ///
+    /// Instrumented: each worker fills a thread-local [`Shard`]
+    /// (`runner.trials` counter, `runner.attempts_per_trial` sketch); the
+    /// shards merge deterministically along the reduction and flush into
+    /// the global registry, so the aggregates are identical for any
+    /// `RAYON_NUM_THREADS`. The wall-clock `runner.trials_per_sec` gauge
+    /// is excluded from that guarantee.
     pub fn run(&self) -> Summary {
-        const CHUNK: u64 = 256;
-        let chunks: Vec<(u64, u64)> = (0..self.trials)
-            .step_by(CHUNK as usize)
-            .map(|start| (start, (start + CHUNK).min(self.trials)))
+        let _timer = rexec_obs::span!("runner.run");
+        let started = std::time::Instant::now();
+        let summary = self.run_range(0, self.trials);
+        self.record_throughput(started);
+        summary
+    }
+
+    /// Like [`run`](Self::run), invoking `progress(done, total)` after
+    /// each slice of trials — for user-facing progress lines on long
+    /// runs. Slices are aligned to the parallel chunk size, so the exact
+    /// per-trial RNG streams (and all counter/histogram aggregates) match
+    /// [`run`](Self::run); the float `Stats` moments may differ in the
+    /// last bits because the merge tree is shaped differently.
+    pub fn run_with_progress(&self, progress: &mut dyn FnMut(u64, u64)) -> Summary {
+        let _timer = rexec_obs::span!("runner.run");
+        let started = std::time::Instant::now();
+        // ~10 progress slices, each a multiple of CHUNK trials.
+        let slice = (self.trials / 10)
+            .next_multiple_of(Self::CHUNK)
+            .max(Self::CHUNK);
+        let mut summary = Summary::default();
+        let mut done = 0;
+        while done < self.trials {
+            let end = (done + slice).min(self.trials);
+            summary = summary.merge(self.run_range(done, end));
+            done = end;
+            progress(done, self.trials);
+        }
+        self.record_throughput(started);
+        summary
+    }
+
+    /// Runs trial indices `[start, end)` in parallel. Each trial `i`
+    /// draws from `SimRng::for_trial(seed, i)` regardless of the range
+    /// split, so any partition of `0..trials` reproduces the trials of a
+    /// single [`run`](Self::run).
+    pub fn run_range(&self, start: u64, end: u64) -> Summary {
+        let chunks: Vec<(u64, u64)> = (start..end)
+            .step_by(Self::CHUNK as usize)
+            .map(|lo| (lo, (lo + Self::CHUNK).min(end)))
             .collect();
-        chunks
+        let (summary, shard) = chunks
             .into_par_iter()
-            .map(|(start, end)| {
+            .map(|(lo, hi)| {
                 let mut s = Summary::default();
-                for i in start..end {
+                let mut shard = Shard::new();
+                for i in lo..hi {
                     let mut rng = SimRng::for_trial(self.seed, i);
-                    s.push(&simulate_pattern(&self.config, &mut rng));
+                    let p = simulate_pattern(&self.config, &mut rng);
+                    s.push(&p);
+                    shard.incr("runner.trials", 1);
+                    shard.record("runner.attempts_per_trial", f64::from(p.attempts));
                 }
-                s
+                (s, shard)
             })
-            .reduce(Summary::default, Summary::merge)
+            .reduce(
+                || (Summary::default(), Shard::new()),
+                |(sa, ha), (sb, hb)| (sa.merge(sb), ha.merge(hb)),
+            );
+        rexec_obs::global().absorb(&shard);
+        summary
+    }
+
+    const CHUNK: u64 = 256;
+
+    fn record_throughput(&self, started: std::time::Instant) {
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            rexec_obs::gauge!("runner.trials_per_sec").set(self.trials as f64 / secs);
+        }
     }
 
     /// Runs all replications in parallel, additionally collecting full
@@ -124,6 +190,24 @@ impl MonteCarlo {
             s.push(&simulate_pattern(&self.config, &mut rng));
         }
         s
+    }
+
+    /// Runs sequentially while recording every trial's events into one
+    /// bounded trace (at most `capacity` events; the rest are counted as
+    /// dropped and surfaced in [`Summary::dropped_events`]).
+    pub fn run_with_trace(&self, capacity: usize) -> (Summary, TraceRecorder) {
+        let mut recorder = TraceRecorder::new(capacity);
+        let mut s = Summary::default();
+        for i in 0..self.trials {
+            let mut rng = SimRng::for_trial(self.seed, i);
+            s.push(&simulate_pattern_traced(
+                &self.config,
+                &mut rng,
+                Some(&mut recorder),
+            ));
+        }
+        s.dropped_events = recorder.dropped() as u64;
+        (s, recorder)
     }
 
     /// Runs and compares the sampled means against analytic expectations.

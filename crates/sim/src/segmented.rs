@@ -83,7 +83,11 @@ pub fn simulate_pattern_segmented(cfg: &SimConfig, q: u32, rng: &mut SimRng) -> 
     let mut silent = 0u32;
     let mut fail_stop = 0u32;
     loop {
-        let sigma = if attempts == 0 { cfg.sigma1 } else { cfg.sigma2 };
+        let sigma = if attempts == 0 {
+            cfg.sigma1
+        } else {
+            cfg.sigma2
+        };
         assert!(attempts < MAX_ATTEMPTS, "segmented pattern never completes");
         attempts += 1;
         match run_attempt(cfg, q, sigma, &mut clock, &mut meter, rng) {

@@ -5,6 +5,8 @@
 //! [`render_timeline`] reproduces it from an actual simulated trace.
 
 use crate::events::{Event, EventKind};
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
 
 /// Bounded recorder of simulation events.
 #[derive(Debug, Clone)]
@@ -12,6 +14,16 @@ pub struct TraceRecorder {
     events: Vec<Event>,
     capacity: usize,
     dropped: usize,
+}
+
+impl Serialize for TraceRecorder {
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("capacity".to_string(), (self.capacity as u64).to_value());
+        map.insert("dropped".to_string(), (self.dropped as u64).to_value());
+        map.insert("events".to_string(), self.events.to_value());
+        Value::Object(map)
+    }
 }
 
 impl TraceRecorder {
@@ -43,6 +55,33 @@ impl TraceRecorder {
     pub fn dropped(&self) -> usize {
         self.dropped
     }
+
+    /// Serializes the recorded events as JSON Lines: one compact JSON
+    /// object per event, in recording order, each line ending in `\n`.
+    /// Deterministic for a fixed seed (object keys are sorted).
+    pub fn to_jsonl(&self) -> String {
+        events_to_jsonl(&self.events)
+    }
+}
+
+/// Serializes a slice of events as JSON Lines (one object per line).
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("events serialize infallibly"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON Lines document back into events (inverse of
+/// [`events_to_jsonl`]; blank lines are skipped).
+pub fn events_from_jsonl(jsonl: &str) -> Result<Vec<Event>, serde::Error> {
+    jsonl
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
 }
 
 /// Renders a recorded trace as a one-line ASCII timeline in the style of
@@ -137,8 +176,7 @@ mod tests {
             if p.silent_errors == 1 && p.attempts == 2 {
                 let line = render_timeline(tr.events());
                 assert_eq!(
-                    line,
-                    "[W σ=0.5 * |V v- |R ][W σ=1 |V v+ |C ]",
+                    line, "[W σ=0.5 * |V v- |R ][W σ=1 |V v+ |C ]",
                     "seed {seed}"
                 );
                 return;

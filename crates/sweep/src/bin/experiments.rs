@@ -1,15 +1,26 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--out DIR] [IDS...]
+//! experiments [--out DIR] [--seed N] [IDS...]
 //!
 //!   IDS      experiment ids to run (default: all), e.g.
 //!            T-rho3 F1 F2 ... F14 X-thm2 X-validity X-mc X-ablation
 //!   --out    directory for CSV datasets (default: results/)
+//!   --seed   base seed for Monte Carlo experiments (default: 2024)
 //! ```
+//!
+//! Besides the CSV datasets, every run writes `<out>/metrics.json`: a
+//! run manifest with per-experiment wall time and point counts, the run
+//! metadata (seed, configuration digest, timestamps) and the full
+//! metrics-registry snapshot.
 
-use rexec_sweep::experiments::{all_experiment_ids, run_experiment, ExperimentId};
+use rexec_sweep::experiments::{
+    all_experiment_ids, run_experiment_seeded, ExperimentId, DEFAULT_SEED,
+};
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 fn parse_id(s: &str) -> Option<ExperimentId> {
     match s {
@@ -39,18 +50,50 @@ fn parse_id(s: &str) -> Option<ExperimentId> {
     }
 }
 
+fn unix_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// FNV-1a digest of every published configuration's parameters, so a
+/// manifest records exactly which model constants produced its numbers.
+fn config_digest() -> String {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for cfg in rexec_platforms::all_configurations() {
+        for byte in format!("{cfg:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    format!("fnv1a:{hash:016x}")
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut out_dir = PathBuf::from("results");
+    let mut seed = DEFAULT_SEED;
     let mut ids: Vec<ExperimentId> = vec![];
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--out" => {
-                out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
-            }
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => die("--out needs a directory"),
+            },
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => seed = n,
+                Some(Err(_)) => die("--seed needs an unsigned integer"),
+                None => die("--seed needs a value"),
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--out DIR] [IDS...]\n\
+                    "usage: experiments [--out DIR] [--seed N] [IDS...]\n\
                      ids: T-rho8 T-rho3 T-rho1.775 T-rho1.4 F1..F14 \
                      X-thm2 X-validity X-mc X-ablation X-pairs X-robust X-pareto X-multiverif X-continuous X-heatmap"
                 );
@@ -69,18 +112,68 @@ fn main() {
         ids = all_experiment_ids();
     }
 
+    // The manifest wants per-experiment timings, so span timing is on.
+    rexec_obs::set_spans_enabled(true);
+    let started_unix = unix_secs();
+    let run_started = Instant::now();
+
     std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let mut manifest_experiments: Vec<Value> = vec![];
     for id in ids {
-        let r = run_experiment(id);
+        let exp_started = Instant::now();
+        let r = run_experiment_seeded(id, seed);
+        let wall_secs = exp_started.elapsed().as_secs_f64();
         println!("================================================================");
-        println!("[{}] {}", r.id, r.title);
+        println!(
+            "[{}] {}  ({:.2}s, {} points)",
+            r.id,
+            r.title,
+            wall_secs,
+            r.point_count()
+        );
         println!("================================================================");
         println!("{}", r.report);
+        let mut dataset_names: Vec<Value> = vec![];
         for (name, csv) in &r.datasets {
             let path = out_dir.join(format!("{name}.csv"));
             std::fs::write(&path, csv).expect("write dataset");
             println!("  dataset written: {}", path.display());
+            dataset_names.push(format!("{name}.csv").to_value());
         }
         println!();
+
+        let mut entry = BTreeMap::new();
+        entry.insert("id".to_string(), r.id.to_value());
+        entry.insert("title".to_string(), r.title.to_value());
+        entry.insert("wall_secs".to_string(), wall_secs.to_value());
+        entry.insert("points".to_string(), (r.point_count() as u64).to_value());
+        entry.insert("datasets".to_string(), Value::Array(dataset_names));
+        manifest_experiments.push(Value::Object(entry));
     }
+
+    let mut run = BTreeMap::new();
+    run.insert("tool".to_string(), "experiments".to_value());
+    run.insert("version".to_string(), env!("CARGO_PKG_VERSION").to_value());
+    run.insert("seed".to_string(), seed.to_value());
+    run.insert("config_digest".to_string(), config_digest().to_value());
+    run.insert("started_unix_secs".to_string(), started_unix.to_value());
+    run.insert("finished_unix_secs".to_string(), unix_secs().to_value());
+    run.insert(
+        "wall_secs".to_string(),
+        run_started.elapsed().as_secs_f64().to_value(),
+    );
+
+    let mut manifest = BTreeMap::new();
+    manifest.insert("run".to_string(), Value::Object(run));
+    manifest.insert(
+        "experiments".to_string(),
+        Value::Array(manifest_experiments),
+    );
+    manifest.insert("metrics".to_string(), rexec_obs::global().snapshot_value());
+
+    let manifest_path = out_dir.join("metrics.json");
+    let json = serde_json::to_string_pretty(&Value::Object(manifest))
+        .expect("manifest serializes infallibly");
+    std::fs::write(&manifest_path, json).expect("write run manifest");
+    println!("run manifest written: {}", manifest_path.display());
 }

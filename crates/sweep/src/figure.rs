@@ -237,7 +237,11 @@ mod tests {
     fn figure2_checkpoint_sweep_shapes() {
         // Figure 2 (Atlas/Crusoe, C sweep): Wopt grows with C; the optimal
         // pair starts at (0.45, 0.45) for small C.
-        let s = sweep_figure(&atlas_crusoe(), SweepParam::Checkpoint, &Grid::linear(10.0, 5000.0, 25));
+        let s = sweep_figure(
+            &atlas_crusoe(),
+            SweepParam::Checkpoint,
+            &Grid::linear(10.0, 5000.0, 25),
+        );
         assert_eq!(s.feasible_points(), 25);
         let first = s.points.first().unwrap().two_speed.unwrap();
         assert_eq!((first.sigma1, first.sigma2), (0.45, 0.45));
@@ -320,13 +324,16 @@ mod tests {
 
     #[test]
     fn figure5_rho_sweep_speeds_increase_as_rho_tightens() {
-        let s = sweep_figure(&atlas_crusoe(), SweepParam::Rho, &Grid::linear(1.0, 3.5, 26));
+        let s = sweep_figure(
+            &atlas_crusoe(),
+            SweepParam::Rho,
+            &Grid::linear(1.0, 3.5, 26),
+        );
         // Infeasible near ρ = 1, feasible at ρ = 3.5.
         assert!(s.points.first().unwrap().two_speed.is_none());
         assert!(s.points.last().unwrap().two_speed.is_some());
         // σ1 is non-increasing in ρ (looser bound → slower speeds).
-        let sols: Vec<SolutionPoint> =
-            s.points.iter().filter_map(|p| p.two_speed).collect();
+        let sols: Vec<SolutionPoint> = s.points.iter().filter_map(|p| p.two_speed).collect();
         for w in sols.windows(2) {
             assert!(w[1].sigma1 <= w[0].sigma1 + 1e-12);
         }
@@ -335,7 +342,11 @@ mod tests {
     #[test]
     fn figure7_pio_does_not_change_speeds_on_atlas_crusoe() {
         // Paper §4.3.3: speeds are not affected by Pio (and σ2 = σ1).
-        let s = sweep_figure(&atlas_crusoe(), SweepParam::PIo, &Grid::linear(0.0, 5000.0, 11));
+        let s = sweep_figure(
+            &atlas_crusoe(),
+            SweepParam::PIo,
+            &Grid::linear(0.0, 5000.0, 11),
+        );
         let speeds: Vec<(f64, f64)> = s
             .points
             .iter()
@@ -356,7 +367,11 @@ mod tests {
 
     #[test]
     fn figure6_pidle_speeds_increase() {
-        let s = sweep_figure(&atlas_crusoe(), SweepParam::PIdle, &Grid::linear(0.0, 5000.0, 11));
+        let s = sweep_figure(
+            &atlas_crusoe(),
+            SweepParam::PIdle,
+            &Grid::linear(0.0, 5000.0, 11),
+        );
         let first = s.points.first().unwrap().two_speed.unwrap();
         let last = s.points.last().unwrap().two_speed.unwrap();
         assert!(last.sigma1 >= first.sigma1);
@@ -370,11 +385,7 @@ mod tests {
             let s = sweep_figure_paper_grid(&cfg, param, 1e-2);
             for p in &s.points {
                 if let Some(saving) = p.saving() {
-                    assert!(
-                        saving >= -1e-9,
-                        "{param}: two-speed worse at x = {}",
-                        p.x
-                    );
+                    assert!(saving >= -1e-9, "{param}: two-speed worse at x = {}", p.x);
                 }
                 // One-speed feasible ⇒ two-speed feasible.
                 if p.one_speed.is_some() {
@@ -443,10 +454,7 @@ mod tests {
             let (ta, tb) = (a.two_speed.unwrap(), b.two_speed.unwrap());
             assert_eq!((ta.sigma1, ta.sigma2), (tb.sigma1, tb.sigma2));
             assert!((ta.w_opt - tb.w_opt).abs() <= 1e-9 * ta.w_opt);
-            assert!(
-                (ta.energy_overhead - tb.energy_overhead).abs()
-                    <= 1e-9 * ta.energy_overhead
-            );
+            assert!((ta.energy_overhead - tb.energy_overhead).abs() <= 1e-9 * ta.energy_overhead);
         }
     }
 }

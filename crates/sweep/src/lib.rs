@@ -18,7 +18,6 @@
 //! The `experiments` binary (`cargo run -p rexec-sweep --bin experiments`)
 //! prints any or all of them.
 
-
 #![warn(missing_docs)]
 pub mod experiments;
 pub mod figure;

@@ -35,7 +35,11 @@ impl RhoTable {
         let best_sigma1 = self.best().map(|r| r.sigma1);
         let mut t = Table::new(vec!["sigma1", "best sigma2", "Wopt", "E(Wopt)/Wopt", ""]);
         for r in &self.rows {
-            let marker = if Some(r.sigma1) == best_sigma1 { "<= best" } else { "" };
+            let marker = if Some(r.sigma1) == best_sigma1 {
+                "<= best"
+            } else {
+                ""
+            };
             match r.best {
                 // The paper truncates (3639.76 → 3639, 1625.73 → 1625).
                 Some(sol) => t.row(vec![
@@ -122,7 +126,7 @@ mod tests {
     }
 
     #[test]
-    fn rho_1_4_leaves_only_fast_sigma1(){
+    fn rho_1_4_leaves_only_fast_sigma1() {
         let t = rho_table(&hera_xscale(), 1.4);
         let feasible: Vec<f64> = t
             .rows

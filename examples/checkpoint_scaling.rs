@@ -16,7 +16,10 @@ fn main() {
     let c = 300.0; // checkpoint cost (s)
     let sigma = 0.5; // first-execution speed; re-execution at 2σ = 1.0
 
-    println!("Fail-stop errors only, sigma2 = 2*sigma1 = {}\n", 2.0 * sigma);
+    println!(
+        "Fail-stop errors only, sigma2 = 2*sigma1 = {}\n",
+        2.0 * sigma
+    );
     println!(
         "{:>10} {:>16} {:>16} {:>12}",
         "lambda", "Wopt (Thm 2)", "Wopt (YoungDaly)", "ratio"

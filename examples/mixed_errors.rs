@@ -44,7 +44,10 @@ fn main() {
                 "{f:>6} {s1:>8} {s2:>8} {:>10.0} {:>12.1} {:>10.3}",
                 o.w, o.objective, o.constraint
             ),
-            None => println!("{f:>6} {:>8} {:>8} {:>10} {:>12} {:>10}", "-", "-", "-", "-", "-"),
+            None => println!(
+                "{f:>6} {:>8} {:>8} {:>10} {:>12} {:>10}",
+                "-", "-", "-", "-", "-"
+            ),
         }
     }
 

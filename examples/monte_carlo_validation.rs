@@ -80,11 +80,7 @@ fn main() {
     );
 
     // Scenario 3: mixed fail-stop + silent errors (Props 4-5).
-    let mm = MixedModel::new(
-        ErrorRates::new(8e-5, 5e-5).unwrap(),
-        m.costs,
-        m.power,
-    );
+    let mm = MixedModel::new(ErrorRates::new(8e-5, 5e-5).unwrap(), m.costs, m.power);
     let (w, s1, s2) = (3000.0, 0.6, 1.0);
     check(
         "Hera/XScale, mixed errors (Props 4-5)",
@@ -101,7 +97,10 @@ fn main() {
     let app_cfg = SimConfig::from_silent_model(&m2, 2764.0, 0.4, 0.8);
     let mut rng = SimRng::new(4);
     let app = simulate_application(&app_cfg, w_base, &mut rng);
-    println!("--- whole application: Wbase = {w_base:.0} ({} patterns) ---", app.patterns);
+    println!(
+        "--- whole application: Wbase = {w_base:.0} ({} patterns) ---",
+        app.patterns
+    );
     println!(
         "makespan/Wbase : {:.4} s per work unit (pattern model: {:.4})",
         app.time_overhead(w_base),

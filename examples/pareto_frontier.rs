@@ -48,9 +48,7 @@ fn main() {
             }
         }
         let pairs = frontier.speed_pairs();
-        println!(
-            "pairs along the frontier (fast -> energy-cheap): {pairs:?}\n"
-        );
+        println!("pairs along the frontier (fast -> energy-cheap): {pairs:?}\n");
     }
     println!(
         "Reading: going down a column trades time for energy. The fast end\n\

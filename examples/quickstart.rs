@@ -34,7 +34,9 @@ fn main() {
     );
     println!("bound         : rho = {rho}\n");
 
-    let best = solver.solve(rho).expect("rho = 3 is feasible on Hera/XScale");
+    let best = solver
+        .solve(rho)
+        .expect("rho = 3 is feasible on Hera/XScale");
     println!("=== optimal two-speed plan ===");
     println!("first execution at sigma1 = {}", best.sigma1);
     println!("re-executions at  sigma2 = {}", best.sigma2);

@@ -13,12 +13,14 @@
 //!   checkpoints, energy metering).
 //! * [`sweep`] — the experiment harness regenerating every table and
 //!   figure of the paper's evaluation section.
+//! * [`obs`] — lightweight observability: counters, histogram sketches,
+//!   RAII span timers and a registry with deterministic JSON snapshots.
 //!
 //! See `examples/quickstart.rs` for a five-line tour.
 
-
 #![warn(missing_docs)]
 pub use rexec_core as core;
+pub use rexec_obs as obs;
 pub use rexec_platforms as platforms;
 pub use rexec_sim as sim;
 pub use rexec_sweep as sweep;

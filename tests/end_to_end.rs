@@ -46,12 +46,8 @@ fn planned_energy_beats_naive_full_speed_plan() {
         let m = solver.model();
         let best = solver.solve(3.0).unwrap();
 
-        let naive_w = rexec::core::daly::silent_work(
-            m.costs.checkpoint,
-            m.costs.verification,
-            m.lambda,
-            1.0,
-        );
+        let naive_w =
+            rexec::core::daly::silent_work(m.costs.checkpoint, m.costs.verification, m.lambda, 1.0);
         let naive_energy = m.energy_overhead(naive_w, 1.0, 1.0);
         let planned = best.exact_energy_overhead(m);
         assert!(

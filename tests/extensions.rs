@@ -67,11 +67,9 @@ fn x_continuous_recorded_gaps() {
         let speeds = cfg.speed_set().unwrap();
         let gap = continuous::discretization_gap(&m, &speeds, 3.0).unwrap();
         match cfg.processor.id {
-            ProcessorId::IntelXScale => assert!(
-                (0.01..0.10).contains(&gap),
-                "{}: gap {gap}",
-                cfg.name()
-            ),
+            ProcessorId::IntelXScale => {
+                assert!((0.01..0.10).contains(&gap), "{}: gap {gap}", cfg.name())
+            }
             ProcessorId::TransmetaCrusoe => assert!(
                 gap.abs() < 5e-3,
                 "{}: Crusoe gap should be ~0, got {gap}",
@@ -126,11 +124,7 @@ fn x_pareto_frontier_extremes_match_solvers() {
     assert!(fast.time_overhead <= mintime.time_overhead * 1.05);
     let cheap = frontier.points.last().unwrap();
     let loose = solver.solve(20.0).unwrap();
-    assert!(
-        (cheap.energy_overhead - loose.energy_overhead).abs()
-            / loose.energy_overhead
-            < 1e-6
-    );
+    assert!((cheap.energy_overhead - loose.energy_overhead).abs() / loose.energy_overhead < 1e-6);
 }
 
 #[test]

@@ -1,0 +1,116 @@
+//! Thread-count independence of the metrics aggregates: the same seed
+//! must produce byte-identical counter and histogram sections of the
+//! registry snapshot whatever `RAYON_NUM_THREADS` says, because workers
+//! fill `Shard`s that merge deterministically (the `Stats::merge`
+//! pattern).
+//!
+//! Everything lives in a single `#[test]` because the scenarios mutate
+//! process-global state (the metrics registry and `RAYON_NUM_THREADS`),
+//! which must not race with a concurrently running sibling test.
+
+use rexec::obs::{self, Shard};
+use rexec::sim::{MonteCarlo, SimConfig};
+use rexec_cli::args::Args;
+use rexec_cli::run::execute;
+
+fn sim_config() -> SimConfig {
+    use rexec::core::{ErrorRates, PowerModel, ResilienceCosts};
+    SimConfig {
+        w: 2764.0,
+        sigma1: 0.4,
+        sigma2: 0.8,
+        rates: ErrorRates::new(1e-4, 5e-5).unwrap(),
+        costs: ResilienceCosts::symmetric(300.0, 15.4),
+        power: PowerModel::new(1550.0, 60.0, 5.0).unwrap(),
+    }
+}
+
+/// Runs `work` under the given thread count with a clean registry and
+/// returns the deterministic (counters + histograms) snapshot JSON.
+fn deterministic_snapshot(threads: &str, work: impl FnOnce()) -> String {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    obs::reset();
+    work();
+    serde_json::to_string_pretty(&obs::global().deterministic_value()).unwrap()
+}
+
+#[test]
+fn aggregates_are_byte_identical_across_thread_counts() {
+    // Monte Carlo runner: shards merge along the parallel reduction.
+    let run_mc = || {
+        let s = MonteCarlo::new(sim_config(), 4096, 42).run();
+        assert_eq!(s.time.count(), 4096);
+    };
+    let one = deterministic_snapshot("1", run_mc);
+    assert!(one.contains("runner.trials"));
+    assert!(one.contains("runner.attempts_per_trial"));
+    for threads in ["2", "4", "13"] {
+        let n = deterministic_snapshot(threads, run_mc);
+        assert_eq!(one, n, "MonteCarlo aggregates differ at {threads} threads");
+    }
+
+    // Full CLI path (solver + validation), as in the acceptance check:
+    // `rexec-plan --config hera --processor xscale --metrics ...`.
+    let run_cli = || {
+        let args = Args::parse(
+            [
+                "--config",
+                "hera",
+                "--processor",
+                "xscale",
+                "--validate",
+                "3000",
+                "--metrics",
+                "unused.json",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(execute(&args).unwrap().feasible);
+    };
+    let one = deterministic_snapshot("1", run_cli);
+    assert!(one.contains("bicrit.pairs_evaluated"));
+    for threads in ["4", "16"] {
+        let n = deterministic_snapshot(threads, run_cli);
+        assert_eq!(one, n, "CLI aggregates differ at {threads} threads");
+    }
+
+    // Progress-sliced runs absorb the same totals as plain runs.
+    let run_progress = || {
+        let mut ticks = 0;
+        MonteCarlo::new(sim_config(), 4096, 42).run_with_progress(&mut |_, _| ticks += 1);
+        assert!(ticks > 0);
+    };
+    let plain = deterministic_snapshot("4", run_mc);
+    let sliced = deterministic_snapshot("4", run_progress);
+    assert_eq!(
+        plain, sliced,
+        "run_with_progress must absorb identical aggregates"
+    );
+
+    // Hand-built shards: any partition merges to the same aggregate and
+    // absorbs into a registry exactly once.
+    let values: Vec<u64> = (1..=500).collect();
+    let absorb_split = |parts: usize| {
+        let chunk = values.len().div_ceil(parts);
+        let merged = values
+            .chunks(chunk)
+            .map(|c| {
+                let mut s = Shard::new();
+                for &v in c {
+                    s.incr("split.events", 1);
+                    s.record("split.value", v as f64);
+                }
+                s
+            })
+            .fold(Shard::new(), Shard::merge);
+        obs::global().absorb(&merged);
+    };
+    let shard_snapshots: Vec<String> = [1, 3, 8]
+        .into_iter()
+        .map(|parts| deterministic_snapshot("1", || absorb_split(parts)))
+        .collect();
+    assert!(shard_snapshots[0].contains("split.events"));
+    assert_eq!(shard_snapshots[0], shard_snapshots[1]);
+    assert_eq!(shard_snapshots[0], shard_snapshots[2]);
+}

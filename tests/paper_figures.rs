@@ -57,11 +57,7 @@ fn fig4_lambda_sweep_shrinks_pattern_and_raises_speeds() {
 #[test]
 fn fig5_rho_sweep_monotone_speeds_and_saving_peaks_at_tight_bounds() {
     let s = sweep_figure_paper_grid(&atlas_crusoe(), SweepParam::Rho, 1e-2);
-    let feasible: Vec<_> = s
-        .points
-        .iter()
-        .filter(|p| p.two_speed.is_some())
-        .collect();
+    let feasible: Vec<_> = s.points.iter().filter(|p| p.two_speed.is_some()).collect();
     // Feasibility begins strictly inside the sweep (ρ = 1 is impossible).
     assert!(feasible.len() < s.points.len());
     // At loose bounds the one-speed optimum matches the two-speed one.
@@ -110,16 +106,16 @@ fn crusoe_keeps_initial_pair_longer_on_low_error_platforms() {
     // the checkpointing cost increases up to 5000 seconds when the Crusoe
     // processor is coupled with platforms other than Atlas, which have
     // smaller error rates."
-    for platform in [PlatformId::Hera, PlatformId::Coastal, PlatformId::CoastalSsd] {
+    for platform in [
+        PlatformId::Hera,
+        PlatformId::Coastal,
+        PlatformId::CoastalSsd,
+    ] {
         let cfg = configuration(ConfigId {
             platform,
             processor: ProcessorId::TransmetaCrusoe,
         });
-        let s = sweep_figure(
-            &cfg,
-            SweepParam::Checkpoint,
-            &Grid::linear(0.0, 5000.0, 26),
-        );
+        let s = sweep_figure(&cfg, SweepParam::Checkpoint, &Grid::linear(0.0, 5000.0, 26));
         for p in &s.points {
             let sol = p.two_speed.unwrap();
             assert_eq!(

@@ -155,10 +155,7 @@ fn paper_claim_any_pair_can_be_optimal_except_slowest() {
     let mut rho = solver.min_feasible_rho() * 1.0001;
     while rho < 12.0 {
         if let Some(best) = solver.solve(rho) {
-            winners.insert((
-                (best.sigma1 * 100.0) as i64,
-                (best.sigma2 * 100.0) as i64,
-            ));
+            winners.insert(((best.sigma1 * 100.0) as i64, (best.sigma2 * 100.0) as i64));
         }
         rho *= 1.002;
     }

@@ -10,12 +10,12 @@ use rexec::prelude::*;
 /// Random but physically sensible model parameters.
 fn arb_model() -> impl Strategy<Value = SilentModel> {
     (
-        1e-7..1e-4f64,   // lambda
-        1.0..3000.0f64,  // C (= R)
-        0.0..500.0f64,   // V
+        1e-7..1e-4f64,    // lambda
+        1.0..3000.0f64,   // C (= R)
+        0.0..500.0f64,    // V
         100.0..6000.0f64, // kappa
-        0.0..500.0f64,   // p_idle
-        0.0..500.0f64,   // p_io
+        0.0..500.0f64,    // p_idle
+        0.0..500.0f64,    // p_io
     )
         .prop_map(|(lambda, c, v, kappa, p_idle, p_io)| {
             SilentModel::new(

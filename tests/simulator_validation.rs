@@ -82,11 +82,7 @@ fn mixed_errors_converge_to_recursion_values() {
 #[test]
 fn fail_stop_only_converges() {
     let m = hera_xscale_model();
-    let mm = MixedModel::new(
-        ErrorRates::fail_stop_only(1e-4).unwrap(),
-        m.costs,
-        m.power,
-    );
+    let mm = MixedModel::new(ErrorRates::fail_stop_only(1e-4).unwrap(), m.costs, m.power);
     let (w, s1, s2) = (3000.0, 0.5, 1.0); // σ2 = 2σ1, the Theorem 2 line
     let cfg = SimConfig::from_mixed_model(&mm, w, s1, s2);
     let report = MonteCarlo::new(cfg, 50_000, 106).validate(

@@ -1,0 +1,71 @@
+//! JSONL serialization of simulation traces: golden snapshot and
+//! round-trip guarantees (satellite of the observability PR).
+
+use rexec::core::{ErrorRates, PowerModel, ResilienceCosts};
+use rexec::sim::engine::simulate_pattern_traced;
+use rexec::sim::{events_from_jsonl, render_timeline, SimConfig, SimRng, TraceRecorder};
+
+fn cfg(rates: ErrorRates) -> SimConfig {
+    SimConfig {
+        w: 1000.0,
+        sigma1: 0.5,
+        sigma2: 1.0,
+        rates,
+        costs: ResilienceCosts::symmetric(100.0, 10.0),
+        power: PowerModel::new(1550.0, 60.0, 5.0).unwrap(),
+    }
+}
+
+/// The error-free pattern takes a single deterministic path (no RNG
+/// draw affects the timeline), so its JSONL export is a stable golden:
+/// any change to the event vocabulary, field names or number formatting
+/// shows up as a diff here.
+#[test]
+fn error_free_trace_matches_golden_jsonl() {
+    let mut tr = TraceRecorder::new(64);
+    simulate_pattern_traced(
+        &cfg(ErrorRates::new(0.0, 0.0).unwrap()),
+        &mut SimRng::new(1),
+        Some(&mut tr),
+    );
+    let golden = "\
+{\"kind\":{\"WorkStart\":{\"speed\":0.5}},\"time\":0.0}\n\
+{\"kind\":{\"VerificationStart\":{\"speed\":0.5}},\"time\":2000.0}\n\
+{\"kind\":\"VerificationOk\",\"time\":2020.0}\n\
+{\"kind\":\"CheckpointStart\",\"time\":2020.0}\n\
+{\"kind\":\"CheckpointDone\",\"time\":2120.0}\n";
+    assert_eq!(tr.to_jsonl(), golden);
+    assert_eq!(render_timeline(tr.events()), "[W σ=0.5 |V v+ |C ]");
+}
+
+/// For a fixed seed the export is identical run to run, and parsing it
+/// back yields exactly the recorded events — including error and
+/// recovery events, whose timestamps come from the RNG.
+#[test]
+fn seeded_traces_round_trip_exactly() {
+    let c = cfg(ErrorRates::new(3e-4, 1e-4).unwrap());
+    for seed in 0..32 {
+        let mut tr = TraceRecorder::new(512);
+        simulate_pattern_traced(&c, &mut SimRng::new(seed), Some(&mut tr));
+        let jsonl = tr.to_jsonl();
+
+        let mut again = TraceRecorder::new(512);
+        simulate_pattern_traced(&c, &mut SimRng::new(seed), Some(&mut again));
+        assert_eq!(
+            again.to_jsonl(),
+            jsonl,
+            "seed {seed}: export must be deterministic"
+        );
+
+        let parsed = events_from_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, tr.events(), "seed {seed}: JSONL must round-trip");
+    }
+}
+
+#[test]
+fn blank_lines_are_skipped_and_garbage_is_rejected() {
+    let ok = events_from_jsonl("\n{\"kind\":\"CheckpointDone\",\"time\":1.0}\n\n").unwrap();
+    assert_eq!(ok.len(), 1);
+    assert!(events_from_jsonl("{\"kind\":\"NoSuchEvent\",\"time\":1.0}").is_err());
+    assert!(events_from_jsonl("not json at all").is_err());
+}

@@ -1,0 +1,258 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Keeps the macro and builder surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `sample_size`) and
+//! measures wall-clock time with `std::time::Instant`. No statistical
+//! analysis, plots, or baselines — each benchmark prints its mean and best
+//! per-iteration time, plus throughput when configured.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-rate annotation for a group, echoed in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times a closure over a fixed iteration count.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level driver; holds global defaults.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id();
+        self.run(&label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_benchmark_id();
+        self.run(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate: find an iteration count that takes ≥ ~20 ms.
+        let mut iterations: u64 = 1;
+        let per_iter = loop {
+            let mut b = Bencher {
+                iterations,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(20) || iterations >= 1 << 24 {
+                break b.elapsed.as_secs_f64() / iterations as f64;
+            }
+            iterations = iterations.saturating_mul(4);
+        };
+        // Sample: aim for ~50 ms per sample, capped.
+        let iters_per_sample = ((0.05 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+        let mut times = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iterations: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let qualified = if label.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, label)
+        };
+        let mut line = format!(
+            "  {qualified}: mean {} / best {} ({} samples x {iters_per_sample} iters)",
+            fmt_time(mean),
+            fmt_time(best),
+            times.len(),
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            line.push_str(&format!(", {:.3e} elem/s", n as f64 / mean));
+        }
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            line.push_str(&format!(", {:.3e} B/s", n as f64 / mean));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+/// Declares a group-runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("add", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).into_benchmark_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_id(), "x");
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline drop-in subset of `rand_chacha`: a genuine ChaCha8 stream
+//! cipher used as an RNG, with the 64-bit block counter and 64-bit stream
+//! (nonce) split the same way as upstream, so `set_stream` gives
+//! non-overlapping per-trial substreams.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const BLOCK_WORDS: usize = 16;
+
+/// ChaCha with 8 rounds, keyed by a 32-byte seed.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12–13).
+    counter: u64,
+    /// 64-bit stream id (state words 14–15); selects an independent
+    /// substream of the same key.
+    stream: u64,
+    buf: [u32; BLOCK_WORDS],
+    /// Next unread word in `buf`; `BLOCK_WORDS` means exhausted.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Selects substream `stream` and restarts it from block 0.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.index = BLOCK_WORDS;
+    }
+
+    /// Current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+
+        let mut working = state;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.buf.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BLOCK_WORDS],
+            index: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.buf[self.index];
+        self.index += 1;
+        word
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // Consume two consecutive words, low half first; never straddles a
+        // block boundary so u64 draws are self-aligned.
+        if self.index + 1 >= BLOCK_WORDS {
+            self.refill();
+        }
+        let low = self.buf[self.index] as u64;
+        let high = self.buf[self.index + 1] as u64;
+        self.index += 2;
+        low | (high << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.1.1 quarter-round test vector pins the core operation.
+    #[test]
+    fn quarter_round_matches_rfc8439() {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_do_not_collide() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        a.set_stream(1);
+        b.set_stream(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn set_stream_restarts_the_substream() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        a.set_stream(5);
+        let first: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        a.set_stream(5);
+        let again: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let many: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let mut sorted = many.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), many.len(), "64 draws should all differ");
+    }
+}

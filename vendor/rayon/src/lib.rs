@@ -1,0 +1,166 @@
+//! Offline drop-in subset of `rayon` covering the one pattern this
+//! workspace uses: `Vec::into_par_iter().map(f).reduce(identity, op)`.
+//!
+//! Work is split into contiguous chunks across OS threads (honouring
+//! `RAYON_NUM_THREADS`), results are kept in input order, and `reduce`
+//! folds them sequentially left-to-right. This is *stricter* than real
+//! rayon: aggregation order is identical for every thread count, so any
+//! reduction — associative or not — is reproducible.
+
+use std::env;
+use std::thread;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on `current_num_threads()` threads, preserving
+/// input order in the output.
+fn par_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut remaining = items;
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    while !remaining.is_empty() {
+        let take = chunk_len.min(remaining.len());
+        chunks.push(remaining.drain(..take).collect());
+    }
+    let mut out: Vec<R> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon worker panicked"));
+        }
+    });
+    out
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// The subset of rayon's `ParallelIterator` this workspace needs.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Drives the pipeline and returns items in input order.
+    fn run_ordered(self) -> Vec<Self::Item>;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.run_ordered().into_iter().fold(identity(), op)
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run_ordered().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    fn run_ordered(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazily mapped parallel iterator; the map executes on worker threads
+/// when the pipeline is driven.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn run_ordered(self) -> Vec<R> {
+        par_map(self.base.run_ordered(), &self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_folds_in_order() {
+        // String concatenation is NOT associative-commutative, so this
+        // pins the in-order guarantee.
+        let v: Vec<u64> = (0..100).collect();
+        let joined = v
+            .into_par_iter()
+            .map(|x| x.to_string())
+            .reduce(String::new, |a, b| a + "," + &b);
+        let expected = (0..100).fold(String::new(), |a, b| a + "," + &b.to_string());
+        assert_eq!(joined, expected);
+    }
+
+    #[test]
+    fn empty_input_yields_identity() {
+        let v: Vec<u64> = Vec::new();
+        let sum = v.into_par_iter().map(|x| x).reduce(|| 7, |a, b| a + b);
+        assert_eq!(sum, 7);
+    }
+}

@@ -1,0 +1,447 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small serialization surface it actually uses:
+//! a JSON-shaped [`Value`] data model, [`Serialize`]/[`Deserialize`]
+//! traits that convert to/from that model, and derive macros (re-exported
+//! from `serde_derive`) covering named-field structs, unit/struct-variant
+//! enums and single-field `#[serde(transparent)]` tuple structs — the
+//! shapes this repository defines. `serde_json` (also vendored) renders
+//! [`Value`] to JSON text and parses it back.
+//!
+//! The derive macros generate externally-tagged representations identical
+//! to upstream serde_json's defaults, so swapping the real crates back in
+//! would not change any persisted artifact.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use value::{Number, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The JSON-shaped data model.
+pub mod value {
+    use super::*;
+
+    /// A number: integer representations are kept exact.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        /// Unsigned integer.
+        U64(u64),
+        /// Signed (negative) integer.
+        I64(i64),
+        /// Floating point.
+        F64(f64),
+    }
+
+    impl Number {
+        /// The value as `f64` (lossy for huge integers).
+        pub fn as_f64(&self) -> f64 {
+            match *self {
+                Number::U64(n) => n as f64,
+                Number::I64(n) => n as f64,
+                Number::F64(n) => n,
+            }
+        }
+
+        /// The value as `u64` if exactly representable.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Number::U64(n) => Some(n),
+                Number::I64(n) => u64::try_from(n).ok(),
+                Number::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                    Some(n as u64)
+                }
+                Number::F64(_) => None,
+            }
+        }
+
+        /// The value as `i64` if exactly representable.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Number::U64(n) => i64::try_from(n).ok(),
+                Number::I64(n) => Some(n),
+                Number::F64(n)
+                    if n.fract() == 0.0 && n >= i64::MIN as f64 && n <= i64::MAX as f64 =>
+                {
+                    Some(n as i64)
+                }
+                Number::F64(_) => None,
+            }
+        }
+    }
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A number.
+        Number(Number),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object (order-stable map for deterministic output).
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(m) => m.get(key),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Types that can be represented in the data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err(want: &str, got: &Value) -> Error {
+    Error::msg(format!("expected {want}, got {got:?}"))
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Number(Number::F64(f))
+                } else {
+                    // Mirrors serde_json: non-finite floats serialize as null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    _ => Err(type_err("number", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| type_err("unsigned integer", v)),
+                    _ => Err(type_err("unsigned integer", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::Number(Number::I64(n))
+                } else {
+                    Value::Number(Number::U64(n as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| type_err("integer", v)),
+                    _ => Err(type_err("integer", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(type_err("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(type_err("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(type_err("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(type_err("2-element array", v)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => Err(type_err("3-element array", v)),
+        }
+    }
+}
+
+impl<K: ToString + std::str::FromStr + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .parse()
+                        .map_err(|_| Error::msg(format!("bad map key: {k}")))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            _ => Err(type_err("object", v)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Helpers used by the generated derive code (not public API).
+#[doc(hidden)]
+pub mod __private {
+    use super::*;
+
+    /// Looks up a struct field, treating a missing key as `Null` so that
+    /// `Option` fields default to `None` like upstream serde.
+    pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+        match v {
+            Value::Object(m) => Ok(m.get(name).unwrap_or(&Value::Null)),
+            _ => Err(Error::msg(format!(
+                "expected object with field `{name}`, got {v:?}"
+            ))),
+        }
+    }
+
+    /// Builds an object value from (name, value) pairs.
+    pub fn object(fields: Vec<(&'static str, Value)>) -> Value {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// The variant name of an externally-tagged enum value.
+    pub fn variant_of(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+        match v {
+            Value::String(s) => Ok((s, None)),
+            Value::Object(m) if m.len() == 1 => {
+                let (k, inner) = m.iter().next().expect("len checked");
+                Ok((k, Some(inner)))
+            }
+            _ => Err(Error::msg(format!(
+                "expected enum representation, got {v:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<Vec<f64>> = Some(vec![1.5, 2.0]);
+        let val = v.to_value();
+        let back: Option<Vec<f64>> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(v, back);
+        let n: Option<f64> = None;
+        assert_eq!(n.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn u64_is_exact() {
+        let big: u64 = u64::MAX;
+        let back: u64 = Deserialize::from_value(&big.to_value()).unwrap();
+        assert_eq!(big, back);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let t = (1.0f64, 2.0f64);
+        let back: (f64, f64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(t, back);
+    }
+}

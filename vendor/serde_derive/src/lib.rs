@@ -1,0 +1,352 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Supports exactly the shapes this workspace defines:
+//! * structs with named fields,
+//! * single-field tuple structs (`#[serde(transparent)]` or not — both
+//!   serialize as the inner value, matching upstream `transparent`),
+//! * enums with unit and/or struct variants (externally tagged, like
+//!   upstream serde_json's default).
+//!
+//! Generics are not supported (none of the workspace types need them).
+//! Parsing is done directly on `proc_macro::TokenStream` — no `syn` or
+//! `quote`, since the build environment is offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: its name (None for tuple fields).
+struct Field {
+    name: String,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+/// A parsed type definition.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TransparentStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments, #[serde(...)], other derives).
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored subset): generic type `{name}` is not supported");
+        }
+    }
+
+    match (kind.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            // Tuple struct: only the single-field (transparent) shape is
+            // supported; count top-level commas to verify.
+            let fields = count_tuple_fields(g.stream());
+            if fields != 1 {
+                panic!(
+                    "serde derive (vendored subset): tuple struct `{name}` must have exactly \
+                     one field, has {fields}"
+                );
+            }
+            Item::TransparentStruct { name }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (k, t) => panic!("serde derive: unsupported item shape ({k}, {t:?})"),
+    }
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                n += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    n + usize::from(saw_tokens)
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = it.next() else {
+            break;
+        };
+        fields.push(Field {
+            name: id.to_string(),
+        });
+        // Skip `:` then the type, up to a top-level comma.
+        let mut angle = 0i32;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = it.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                it.next();
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde derive (vendored subset): tuple enum variant `{name}` is not supported"
+                );
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        // Skip to the next top-level comma.
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\", ::serde::Serialize::to_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::__private::object(vec![{pairs}])
+                    }}
+                }}"
+            )
+        }
+        Item::TransparentStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{
+                    ::serde::Serialize::to_value(&self.0)
+                }}
+            }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds: String = fields.iter().map(|f| format!("{},", f.name)).collect();
+                        let pairs: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{n}\", ::serde::Serialize::to_value({n})),", n = f.name)
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::__private::object(vec![
+                                (\"{v}\", ::serde::__private::object(vec![{pairs}])),
+                            ]),",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: ::serde::Deserialize::from_value(
+                            ::serde::__private::field(v, \"{n}\")?)?,",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value)
+                        -> ::std::result::Result<Self, ::serde::Error> {{
+                        ::std::result::Result::Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Item::TransparentStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(v: &::serde::Value)
+                    -> ::std::result::Result<Self, ::serde::Error> {{
+                    ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))
+                }}
+            }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "(\"{v}\", _) => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{n}: ::serde::Deserialize::from_value(
+                                        ::serde::__private::field(inner, \"{n}\")?)?,",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "(\"{v}\", ::std::option::Option::Some(inner)) =>
+                                ::std::result::Result::Ok({name}::{v} {{ {inits} }}),",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value)
+                        -> ::std::result::Result<Self, ::serde::Error> {{
+                        match ::serde::__private::variant_of(v)? {{
+                            {arms}
+                            (other, _) => ::std::result::Result::Err(::serde::Error::msg(
+                                format!(\"unknown variant `{{other}}` of {name}\"))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
