@@ -34,6 +34,38 @@ fn bench_solver(c: &mut Criterion) {
         b.iter(|| black_box(solver.per_sigma1(black_box(3.0))));
     });
 
+    // Per-point vs batched over the paper's ρ sweep grid (51 points in
+    // [1.0, 3.5]): `solve_many` must beat a loop of `solve` calls by
+    // amortizing the span and counter bookkeeping across the batch.
+    let rhos: Vec<f64> = (0..51).map(|i| 1.0 + 2.5 * i as f64 / 50.0).collect();
+    group.bench_function("bicrit_solve_per_point_p51", |b| {
+        b.iter(|| {
+            let feasible = rhos
+                .iter()
+                .filter(|&&rho| solver.solve(black_box(rho)).is_some())
+                .count();
+            black_box(feasible)
+        });
+    });
+    group.bench_function("bicrit_solve_many_p51", |b| {
+        b.iter(|| black_box(solver.solve_many(black_box(&rhos))));
+    });
+    group.bench_function("bicrit_solve_one_speed_many_p51", |b| {
+        b.iter(|| black_box(solver.solve_one_speed_many(black_box(&rhos))));
+    });
+
+    // Candidate-table construction (paid once per solver, amortized over
+    // every subsequent solve).
+    group.bench_function("bicrit_table_build_k5", |b| {
+        let speeds = solver.speeds().clone();
+        b.iter(|| {
+            black_box(rexec_core::BiCritSolver::new(
+                black_box(model),
+                speeds.clone(),
+            ))
+        });
+    });
+
     // O(K²) scaling.
     for k in [5usize, 10, 20, 40, 80] {
         let s = synthetic_solver(k).unwrap();

@@ -1,0 +1,284 @@
+//! Tracked benchmark runner: measures the solver, sweep and simulator
+//! stages end-to-end and emits a machine-readable `BENCH_sweeps.json`,
+//! so every PR records the perf trajectory alongside the paper artifacts.
+//!
+//! ```text
+//! rexec-bench [--quick] [--out PATH]
+//!
+//!   --quick   CI-sized workloads (seconds, not minutes)
+//!   --out     output path (default: BENCH_sweeps.json)
+//! ```
+//!
+//! Stages:
+//!
+//! * **solver** — candidate-table build time, per-point `solve` vs the
+//!   batched `solve_many` over a ρ grid (paper K = 5 and synthetic
+//!   K = 20), reported as solves/sec with the batched speedup;
+//! * **sweep** — the six Atlas/Crusoe paper-grid figure sweeps and the
+//!   §4.2 ρ-tables, reported as points/sec;
+//! * **heatmap** — a λ × ρ map, reported as cells/sec;
+//! * **simulator** — Monte Carlo pattern replication, reported as
+//!   patterns/sec (from the `sim.patterns` counter).
+//!
+//! Every stage repeats its workload a few times and reports the *best*
+//! wall time (least-noise estimator for throughput trend lines).
+
+use rexec_bench::{atlas_crusoe, hera_xscale, synthetic_solver};
+use rexec_sim::{MonteCarlo, SimConfig};
+use rexec_sweep::figure::{lambda_hi_for, sweep_figure_paper_grid, SweepParam};
+use rexec_sweep::{rho_table, Grid, Heatmap};
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// One measured stage: wall time of the best repetition plus throughput.
+struct StageResult {
+    stage: &'static str,
+    name: &'static str,
+    /// Best wall time over the repetitions (seconds).
+    wall_secs: f64,
+    /// Work items processed per repetition (points, cells, solves...).
+    items: u64,
+    /// What `items` counts.
+    unit: &'static str,
+    /// Stage-specific extras (e.g. the batched-vs-per-point speedup).
+    extra: BTreeMap<String, Value>,
+}
+
+impl StageResult {
+    fn per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.items as f64 / self.wall_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("stage".to_string(), self.stage.to_value());
+        m.insert("name".to_string(), self.name.to_value());
+        m.insert("wall_secs".to_string(), self.wall_secs.to_value());
+        m.insert("items".to_string(), self.items.to_value());
+        m.insert("unit".to_string(), self.unit.to_value());
+        m.insert(format!("{}_per_sec", self.unit), self.per_sec().to_value());
+        for (k, v) in &self.extra {
+            m.insert(k.clone(), v.clone());
+        }
+        Value::Object(m)
+    }
+}
+
+/// Runs `work` `reps` times and returns the best wall time in seconds.
+fn best_of<R>(reps: usize, mut work: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = work();
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(r);
+    }
+    best
+}
+
+fn solver_stages(quick: bool, out: &mut Vec<StageResult>) {
+    let reps = if quick { 5 } else { 30 };
+    // The paper's ρ sweep grid: 51 points over [1.0, 3.5].
+    let rho_grid = Grid::linear(1.0, 3.5, 51);
+    let rhos = rho_grid.values().to_vec();
+
+    for (name, k) in [("paper_k5", 5usize), ("synthetic_k20", 20)] {
+        let solver = if k == 5 {
+            hera_xscale().solver().expect("valid configuration")
+        } else {
+            synthetic_solver(k).expect("valid synthetic model")
+        };
+
+        let model = *solver.model();
+        let speeds = solver.speeds().clone();
+        let build_secs = best_of(reps, || {
+            rexec_core::BiCritSolver::new(model, speeds.clone())
+        });
+
+        let per_point_secs = best_of(reps, || {
+            rhos.iter()
+                .map(|&rho| solver.solve(rho))
+                .filter(Option::is_some)
+                .count()
+        });
+        let batched_secs = best_of(reps, || solver.solve_many(&rhos));
+
+        let mut extra = BTreeMap::new();
+        extra.insert("table_build_secs".to_string(), build_secs.to_value());
+        extra.insert("per_point_wall_secs".to_string(), per_point_secs.to_value());
+        extra.insert(
+            "batched_speedup".to_string(),
+            (per_point_secs / batched_secs.max(f64::MIN_POSITIVE)).to_value(),
+        );
+        out.push(StageResult {
+            stage: "solver",
+            name,
+            wall_secs: batched_secs,
+            items: rhos.len() as u64,
+            unit: "solves",
+            extra,
+        });
+    }
+}
+
+fn sweep_stages(quick: bool, out: &mut Vec<StageResult>) {
+    let reps = if quick { 2 } else { 10 };
+    let cfg = atlas_crusoe();
+    let lambda_hi = lambda_hi_for(&cfg);
+
+    let mut points = 0u64;
+    let figure_secs = best_of(reps, || {
+        points = 0;
+        for param in SweepParam::ALL {
+            let s = sweep_figure_paper_grid(&cfg, param, lambda_hi);
+            points += s.points.len() as u64;
+        }
+    });
+    out.push(StageResult {
+        stage: "sweep",
+        name: "figures_atlas_crusoe",
+        wall_secs: figure_secs,
+        items: points,
+        unit: "points",
+        extra: BTreeMap::new(),
+    });
+
+    let hera = hera_xscale();
+    let mut rows = 0u64;
+    let table_secs = best_of(reps, || {
+        rows = 0;
+        for rho in rexec_sweep::table_rho::PAPER_RHOS {
+            rows += rho_table(&hera, rho).rows.len() as u64;
+        }
+    });
+    out.push(StageResult {
+        stage: "sweep",
+        name: "tables_rho",
+        wall_secs: table_secs,
+        items: rows,
+        unit: "rows",
+        extra: BTreeMap::new(),
+    });
+
+    let (nl, nr) = if quick { (8, 20) } else { (16, 40) };
+    let lambdas = Grid::log(1e-6, 2e-3, nl);
+    let rhos = Grid::linear(1.1, 8.0, nr);
+    let heatmap_secs = best_of(reps, || Heatmap::compute(&hera, &lambdas, &rhos));
+    out.push(StageResult {
+        stage: "heatmap",
+        name: "hera_xscale_lambda_rho",
+        wall_secs: heatmap_secs,
+        items: (nl * nr) as u64,
+        unit: "cells",
+        extra: BTreeMap::new(),
+    });
+}
+
+fn simulator_stage(quick: bool, out: &mut Vec<StageResult>) {
+    let reps = if quick { 2 } else { 5 };
+    let trials: u64 = if quick { 4_000 } else { 40_000 };
+    let model = hera_xscale().silent_model().expect("valid configuration");
+    // The ρ = 3 optimum (σ1 = σ2 = 0.4, Wopt ≈ 2764) with a fast
+    // re-execution speed, so the two-speed path is exercised.
+    let cfg = SimConfig::from_silent_model(&model, 2764.0, 0.4, 0.8);
+    let mc = MonteCarlo::new(cfg, trials, 2024);
+
+    let before = rexec_obs::global().counter("sim.patterns").get();
+    let secs = best_of(reps, || mc.run());
+    let patterns = rexec_obs::global().counter("sim.patterns").get() - before;
+
+    let mut extra = BTreeMap::new();
+    extra.insert("patterns_total".to_string(), patterns.to_value());
+    out.push(StageResult {
+        stage: "simulator",
+        name: "monte_carlo_hera_xscale",
+        wall_secs: secs,
+        items: trials,
+        unit: "patterns",
+        extra,
+    });
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn unix_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = PathBuf::from("BENCH_sweeps.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = PathBuf::from(p),
+                None => die("--out needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: rexec-bench [--quick] [--out PATH]");
+                return;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let started_unix = unix_secs();
+    let run_started = Instant::now();
+    let mut stages: Vec<StageResult> = vec![];
+    solver_stages(quick, &mut stages);
+    sweep_stages(quick, &mut stages);
+    simulator_stage(quick, &mut stages);
+
+    for s in &stages {
+        println!(
+            "[{:<9}] {:<28} {:>10.3} ms   {:>12.0} {}/s",
+            s.stage,
+            s.name,
+            s.wall_secs * 1e3,
+            s.per_sec(),
+            s.unit
+        );
+    }
+
+    let mut run = BTreeMap::new();
+    run.insert("tool".to_string(), "rexec-bench".to_value());
+    run.insert("version".to_string(), env!("CARGO_PKG_VERSION").to_value());
+    run.insert("quick".to_string(), quick.to_value());
+    run.insert("threads".to_string(), (rayon_threads() as u64).to_value());
+    run.insert("started_unix_secs".to_string(), started_unix.to_value());
+    run.insert(
+        "wall_secs".to_string(),
+        run_started.elapsed().as_secs_f64().to_value(),
+    );
+
+    let mut doc = BTreeMap::new();
+    doc.insert("run".to_string(), Value::Object(run));
+    doc.insert(
+        "stages".to_string(),
+        Value::Array(stages.iter().map(StageResult::to_value).collect()),
+    );
+
+    let json = serde_json::to_string_pretty(&Value::Object(doc))
+        .expect("benchmark report serializes infallibly");
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    println!("benchmark report written: {}", out_path.display());
+}
+
+/// Worker-thread count the parallel stages ran with.
+fn rayon_threads() -> usize {
+    rayon::current_num_threads()
+}

@@ -173,6 +173,13 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
             g.counter("bicrit.pairs_infeasible").get(),
             g.counter("bicrit.pairs_unbounded").get(),
         );
+        eprintln!(
+            "[rexec-plan] candidate table: {} pairs built in {:.3} ms ({} builds), {} cache hits",
+            g.counter("bicrit.table_pairs").get(),
+            g.gauge("bicrit.table_build_secs").get() * 1e3,
+            g.counter("bicrit.table_builds").get(),
+            g.counter("bicrit.table_hits").get(),
+        );
     }
     let Some(best) = solution else {
         let _ = writeln!(
@@ -444,8 +451,11 @@ mod tests {
             assert!(json.contains(key), "missing section {key}");
         }
         assert!(json.contains("bicrit.pairs_evaluated"));
-        // Spans were enabled by --metrics, so the solve span must have run.
-        assert!(json.contains("bicrit.candidates"));
+        // The solver precomputed its candidate table at construction...
+        assert!(json.contains("bicrit.table_builds"));
+        assert!(json.contains("bicrit.table_hits"));
+        // ...and spans were enabled by --metrics, so the solve span ran.
+        assert!(json.contains("bicrit.solve"));
     }
 
     #[test]

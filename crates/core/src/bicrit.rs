@@ -12,7 +12,7 @@
 //!    first-order energy overhead (Equation 3);
 //! 3. return the pair minimizing the energy overhead.
 
-use crate::approx::FirstOrder;
+use crate::approx::{FirstOrder, OverheadCoefficients};
 use crate::pattern::SilentModel;
 use crate::speed::SpeedSet;
 use crate::theorem1::{self, Clamp, SolveError};
@@ -69,17 +69,108 @@ pub struct SpeedPairReport {
     pub best: Option<BiCritSolution>,
 }
 
+/// Per-pair invariants cached at solver construction. Everything here
+/// depends on `(σ₁, σ₂)` and the model only — not on `ρ` — so one table
+/// built in `O(K²)` serves every subsequent solve: a K-speed, P-point
+/// sweep does the setup once instead of `O(K²·P)` recomputation.
+#[derive(Debug, Clone, Copy)]
+struct PairInvariants {
+    /// First-execution speed `σ₁`.
+    sigma1: f64,
+    /// Re-execution speed `σ₂`.
+    sigma2: f64,
+    /// First-order time coefficients (Equation 2) — the feasibility
+    /// quadratic is `linear·W² + (constant − ρ)·W + inverse ≤ 0`.
+    time: OverheadCoefficients,
+    /// First-order energy coefficients (Equation 3) — the objective.
+    energy: OverheadCoefficients,
+    /// Unconstrained energy minimizer `Wₑ` (Equation 5).
+    w_e: f64,
+    /// Minimum feasible bound `ρᵢⱼ` (Equation 6).
+    rho_min: f64,
+}
+
+/// Counter deltas accumulated during a table scan and flushed to the
+/// metrics registry once per public call, so the batched paths pay a
+/// handful of atomic adds instead of several per (pair × ρ-point).
+/// Totals are identical to per-call increments (addition commutes), so
+/// deterministic snapshots are unaffected.
+#[derive(Debug, Default, Clone, Copy)]
+struct ScanCounts {
+    evaluated: u64,
+    infeasible: u64,
+    unbounded: u64,
+    clamp_lower: u64,
+    clamp_upper: u64,
+    clamp_unconstrained: u64,
+}
+
+impl ScanCounts {
+    fn flush(&self) {
+        if self.evaluated > 0 {
+            rexec_obs::counter!("bicrit.pairs_evaluated").add(self.evaluated);
+            rexec_obs::counter!("bicrit.table_hits").add(self.evaluated);
+        }
+        if self.infeasible > 0 {
+            rexec_obs::counter!("bicrit.pairs_infeasible").add(self.infeasible);
+        }
+        if self.unbounded > 0 {
+            rexec_obs::counter!("bicrit.pairs_unbounded").add(self.unbounded);
+        }
+        if self.clamp_lower > 0 {
+            rexec_obs::counter!("bicrit.clamp_lower").add(self.clamp_lower);
+        }
+        if self.clamp_upper > 0 {
+            rexec_obs::counter!("bicrit.clamp_upper").add(self.clamp_upper);
+        }
+        if self.clamp_unconstrained > 0 {
+            rexec_obs::counter!("bicrit.clamp_unconstrained").add(self.clamp_unconstrained);
+        }
+    }
+}
+
 /// BiCrit solver over a discrete speed set.
 #[derive(Debug, Clone)]
 pub struct BiCritSolver {
     model: SilentModel,
     speeds: SpeedSet,
+    /// Candidate table in `speeds.pairs()` order (σ₁-major, so row `i`
+    /// spans `[i·K, (i+1)·K)` and the diagonal sits at stride `K + 1`).
+    table: Vec<PairInvariants>,
 }
 
 impl BiCritSolver {
-    /// Creates a solver for `model` over the available `speeds`.
+    /// Creates a solver for `model` over the available `speeds`,
+    /// precomputing the per-pair candidate table (Equations 2–3, 5–6).
+    ///
+    /// Instrumented: `bicrit.table_builds` / `bicrit.table_pairs` count
+    /// constructions and cached pairs; the `bicrit.table_build_secs`
+    /// gauge records the build's wall time (gauges stay out of the
+    /// deterministic snapshot, so timing does not break reproducibility).
     pub fn new(model: SilentModel, speeds: SpeedSet) -> Self {
-        BiCritSolver { model, speeds }
+        let build = std::time::Instant::now();
+        let table: Vec<PairInvariants> = speeds
+            .pairs()
+            .map(|(s1, s2)| {
+                let energy = FirstOrder::energy_coefficients(&model, s1, s2);
+                PairInvariants {
+                    sigma1: s1,
+                    sigma2: s2,
+                    time: FirstOrder::time_coefficients(&model, s1, s2),
+                    w_e: energy.minimizer(),
+                    energy,
+                    rho_min: theorem1::rho_min(&model, s1, s2),
+                }
+            })
+            .collect();
+        rexec_obs::counter!("bicrit.table_builds").incr();
+        rexec_obs::counter!("bicrit.table_pairs").add(table.len() as u64);
+        rexec_obs::gauge!("bicrit.table_build_secs").set(build.elapsed().as_secs_f64());
+        BiCritSolver {
+            model,
+            speeds,
+            table,
+        }
     }
 
     /// The underlying analytic model.
@@ -126,16 +217,86 @@ impl BiCritSolver {
         })
     }
 
+    /// Solves Theorem 1 for one cached table entry. The counter deltas go
+    /// into `n` (flushed once per public call); the math is byte-for-byte
+    /// the [`solve_pair`](Self::solve_pair) path, evaluated from the
+    /// precomputed invariants instead of the model.
+    fn solve_entry(
+        &self,
+        inv: &PairInvariants,
+        rho: f64,
+        n: &mut ScanCounts,
+    ) -> Option<BiCritSolution> {
+        n.evaluated += 1;
+        let pat = match theorem1::optimal_pattern_from(&inv.time, inv.w_e, self.model.lambda, rho) {
+            Ok(pat) => pat,
+            Err(SolveError::Infeasible) => {
+                n.infeasible += 1;
+                return None;
+            }
+            Err(SolveError::Unbounded) => {
+                n.unbounded += 1;
+                return None;
+            }
+        };
+        match pat.clamp {
+            Clamp::AtLower => n.clamp_lower += 1,
+            Clamp::AtUpper => n.clamp_upper += 1,
+            Clamp::Unconstrained => n.clamp_unconstrained += 1,
+        }
+        Some(BiCritSolution {
+            sigma1: inv.sigma1,
+            sigma2: inv.sigma2,
+            w_opt: pat.w_opt,
+            energy_overhead: inv.energy.eval(pat.w_opt),
+            time_overhead: inv.time.eval(pat.w_opt),
+            rho_min: inv.rho_min,
+            clamp: pat.clamp,
+        })
+    }
+
+    /// Allocation-free min-scan of `entries`, ordered by
+    /// `(energy_overhead, σ₁, σ₂)`. Strict `<` keeps the *first* optimum
+    /// in table order, which matches `sort + first` on the ascending
+    /// `pairs()` ordering (full-tuple ties are impossible over distinct
+    /// speed pairs).
+    fn scan_best<'a>(
+        &self,
+        entries: impl Iterator<Item = &'a PairInvariants>,
+        rho: f64,
+        n: &mut ScanCounts,
+    ) -> Option<BiCritSolution> {
+        let mut best: Option<BiCritSolution> = None;
+        for inv in entries {
+            let Some(sol) = self.solve_entry(inv, rho, n) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => (sol.energy_overhead, sol.sigma1, sol.sigma2)
+                    .partial_cmp(&(b.energy_overhead, b.sigma1, b.sigma2))
+                    .expect("finite overheads")
+                    .is_lt(),
+            };
+            if better {
+                best = Some(sol);
+            }
+        }
+        best
+    }
+
     /// All feasible candidates under bound `rho`, sorted by increasing
     /// energy overhead (ties broken towards slower `σ₁`, then slower `σ₂`
     /// for determinism).
     pub fn candidates(&self, rho: f64) -> Vec<BiCritSolution> {
         let _timer = rexec_obs::span!("bicrit.candidates");
+        let mut n = ScanCounts::default();
         let mut out: Vec<BiCritSolution> = self
-            .speeds
-            .pairs()
-            .filter_map(|(s1, s2)| self.solve_pair(s1, s2, rho).ok())
+            .table
+            .iter()
+            .filter_map(|inv| self.solve_entry(inv, rho, &mut n))
             .collect();
+        n.flush();
         out.sort_by(|a, b| {
             (a.energy_overhead, a.sigma1, a.sigma2)
                 .partial_cmp(&(b.energy_overhead, b.sigma1, b.sigma2))
@@ -146,50 +307,84 @@ impl BiCritSolver {
 
     /// Solves BiCrit: the feasible speed pair minimizing the energy
     /// overhead, or `None` when no pair satisfies `ρ ≥ ρᵢⱼ`.
+    ///
+    /// Scans the candidate table without allocating; equivalent to
+    /// `candidates(rho).first()`.
     pub fn solve(&self, rho: f64) -> Option<BiCritSolution> {
-        self.candidates(rho).into_iter().next()
+        let _timer = rexec_obs::span!("bicrit.solve");
+        let mut n = ScanCounts::default();
+        let best = self.scan_best(self.table.iter(), rho, &mut n);
+        n.flush();
+        best
+    }
+
+    /// Solves BiCrit for a batch of bounds, amortizing the candidate-table
+    /// scan bookkeeping (one span and one counter flush for the whole
+    /// batch). `out[p]` is exactly `solve(rhos[p])`.
+    pub fn solve_many(&self, rhos: &[f64]) -> Vec<Option<BiCritSolution>> {
+        let _timer = rexec_obs::span!("bicrit.solve_many");
+        let mut n = ScanCounts::default();
+        let out = rhos
+            .iter()
+            .map(|&rho| self.scan_best(self.table.iter(), rho, &mut n))
+            .collect();
+        rexec_obs::counter!("bicrit.solve_many_points").add(rhos.len() as u64);
+        n.flush();
+        out
     }
 
     /// Solves the **one-speed** variant (σ₂ constrained to equal σ₁) — the
     /// paper's baseline (dotted curves in Figures 2–14).
     pub fn solve_one_speed(&self, rho: f64) -> Option<BiCritSolution> {
-        self.speeds
-            .diagonal_pairs()
-            .filter_map(|(s, _)| self.solve_pair(s, s, rho).ok())
-            .min_by(|a, b| {
-                (a.energy_overhead, a.sigma1)
-                    .partial_cmp(&(b.energy_overhead, b.sigma1))
-                    .expect("finite overheads")
-            })
+        let mut n = ScanCounts::default();
+        let best = self.scan_best(self.diagonal_entries(), rho, &mut n);
+        n.flush();
+        best
+    }
+
+    /// Batched [`solve_one_speed`](Self::solve_one_speed):
+    /// `out[p]` is exactly `solve_one_speed(rhos[p])`.
+    pub fn solve_one_speed_many(&self, rhos: &[f64]) -> Vec<Option<BiCritSolution>> {
+        let _timer = rexec_obs::span!("bicrit.solve_many");
+        let mut n = ScanCounts::default();
+        let out = rhos
+            .iter()
+            .map(|&rho| self.scan_best(self.diagonal_entries(), rho, &mut n))
+            .collect();
+        rexec_obs::counter!("bicrit.solve_many_points").add(rhos.len() as u64);
+        n.flush();
+        out
+    }
+
+    /// The diagonal (σ, σ) table entries: row-major K×K puts them at
+    /// stride `K + 1`.
+    fn diagonal_entries(&self) -> impl Iterator<Item = &PairInvariants> {
+        self.table.iter().step_by(self.speeds.len() + 1)
     }
 
     /// The paper's §4.2 table: for each `σ₁` in the speed set, the best
     /// feasible `σ₂` with its `Wopt` and energy overhead (or `None`).
     pub fn per_sigma1(&self, rho: f64) -> Vec<SpeedPairReport> {
         let _timer = rexec_obs::span!("bicrit.per_sigma1");
-        self.speeds
-            .iter()
-            .map(|s1| {
-                let best = self
-                    .speeds
-                    .iter()
-                    .filter_map(|s2| self.solve_pair(s1, s2, rho).ok())
-                    .min_by(|a, b| {
-                        (a.energy_overhead, a.sigma2)
-                            .partial_cmp(&(b.energy_overhead, b.sigma2))
-                            .expect("finite overheads")
-                    });
-                SpeedPairReport { sigma1: s1, best }
+        let mut n = ScanCounts::default();
+        let out = self
+            .table
+            .chunks(self.speeds.len())
+            .map(|row| SpeedPairReport {
+                sigma1: row[0].sigma1,
+                best: self.scan_best(row.iter(), rho, &mut n),
             })
-            .collect()
+            .collect();
+        n.flush();
+        out
     }
 
     /// Smallest bound for which *any* speed pair is feasible:
     /// `min over (i,j) of ρᵢⱼ`.
     pub fn min_feasible_rho(&self) -> f64 {
-        self.speeds
-            .pairs()
-            .map(|(s1, s2)| theorem1::rho_min(&self.model, s1, s2))
+        self.table
+            .iter()
+            .map(|inv| inv.rho_min)
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -387,6 +582,54 @@ mod tests {
         let solver = hera_xscale_solver();
         let one = solver.solve_one_speed(3.0).unwrap();
         assert_eq!(one.sigma1, one.sigma2);
+    }
+
+    #[test]
+    fn solve_equals_first_candidate() {
+        let solver = hera_xscale_solver();
+        for rho in [1.2, 1.4, 1.775, 2.0, 3.0, 8.0] {
+            assert_eq!(
+                solver.solve(rho),
+                solver.candidates(rho).first().copied(),
+                "ρ={rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_per_point_solve() {
+        let solver = hera_xscale_solver();
+        let rhos: Vec<f64> = (0..60).map(|i| 1.1 + 0.12 * i as f64).collect();
+        let batched = solver.solve_many(&rhos);
+        assert_eq!(batched.len(), rhos.len());
+        for (sol, &rho) in batched.iter().zip(&rhos) {
+            assert_eq!(*sol, solver.solve(rho), "ρ={rho}");
+        }
+    }
+
+    #[test]
+    fn solve_one_speed_many_matches_per_point() {
+        let solver = hera_xscale_solver();
+        let rhos: Vec<f64> = (0..60).map(|i| 1.1 + 0.12 * i as f64).collect();
+        let batched = solver.solve_one_speed_many(&rhos);
+        for (sol, &rho) in batched.iter().zip(&rhos) {
+            assert_eq!(*sol, solver.solve_one_speed(rho), "ρ={rho}");
+            if let Some(s) = sol {
+                assert_eq!(s.sigma1, s.sigma2);
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_uncached_solve_pair() {
+        // The cached entries must be byte-for-byte the uncached math.
+        let solver = hera_xscale_solver();
+        for rho in [1.4, 1.775, 3.0, 8.0] {
+            for cand in solver.candidates(rho) {
+                let direct = solver.solve_pair(cand.sigma1, cand.sigma2, rho).unwrap();
+                assert_eq!(cand, direct, "ρ={rho} ({}, {})", cand.sigma1, cand.sigma2);
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! ρᵢⱼ = 1/σᵢ + 2√((C + V/σᵢ)·λ/(σᵢσⱼ)) + λ(R/σᵢ + V/(σᵢσⱼ))
 //! ```
 
-use crate::approx::FirstOrder;
+use crate::approx::{FirstOrder, OverheadCoefficients};
 use crate::pattern::SilentModel;
 use crate::quadratic::{solve_quadratic, Roots};
 use serde::{Deserialize, Serialize};
@@ -86,7 +86,18 @@ pub fn feasible_interval(
     s2: f64,
     rho: f64,
 ) -> Result<(f64, f64), SolveError> {
-    let t = FirstOrder::time_coefficients(m, s1, s2);
+    feasible_interval_from(&FirstOrder::time_coefficients(m, s1, s2), rho)
+}
+
+/// [`feasible_interval`] from precomputed first-order *time* coefficients.
+///
+/// The quadratic `aW² + bW + c ≤ 0` depends on `(σ₁, σ₂)` only through
+/// `t`, so callers holding a candidate table (one entry per speed pair)
+/// can resolve feasibility for any `ρ` without touching the model.
+pub fn feasible_interval_from(
+    t: &OverheadCoefficients,
+    rho: f64,
+) -> Result<(f64, f64), SolveError> {
     let a = t.linear;
     let b = t.constant - rho;
     let c = t.inverse;
@@ -131,11 +142,31 @@ pub fn optimal_pattern(
     s2: f64,
     rho: f64,
 ) -> Result<OptimalPattern, SolveError> {
-    if m.lambda == 0.0 {
+    optimal_pattern_from(
+        &FirstOrder::time_coefficients(m, s1, s2),
+        energy_minimizer(m, s1, s2),
+        m.lambda,
+        rho,
+    )
+}
+
+/// [`optimal_pattern`] from precomputed per-pair invariants: the
+/// first-order time coefficients `t` and the unconstrained energy
+/// minimizer `w_e` (Equation 5), both independent of `ρ`.
+///
+/// This is the hot path behind [`crate::BiCritSolver`]'s candidate
+/// table: a K-speed, P-point sweep derives the invariants once per pair
+/// (O(K²)) instead of once per pair per point (O(K²·P)).
+pub fn optimal_pattern_from(
+    t: &OverheadCoefficients,
+    w_e: f64,
+    lambda: f64,
+    rho: f64,
+) -> Result<OptimalPattern, SolveError> {
+    if lambda == 0.0 {
         return Err(SolveError::Unbounded);
     }
-    let (w1, w2) = feasible_interval(m, s1, s2, rho)?;
-    let w_e = energy_minimizer(m, s1, s2);
+    let (w1, w2) = feasible_interval_from(t, rho)?;
     let (w_opt, clamp) = if w_e < w1 {
         (w1, Clamp::AtLower)
     } else if w_e > w2 {

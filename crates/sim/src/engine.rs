@@ -94,6 +94,7 @@ enum AttemptEnd {
 }
 
 /// Simulates one attempt of the pattern at `sigma`, metering time/energy.
+#[inline]
 fn run_attempt(
     cfg: &SimConfig,
     sigma: f64,
@@ -151,6 +152,7 @@ fn run_attempt(
 }
 
 /// Performs a recovery, metering its time and I/O energy.
+#[inline]
 fn run_recovery(
     cfg: &SimConfig,
     clock: &mut f64,
@@ -290,18 +292,19 @@ pub fn simulate_application(cfg: &SimConfig, w_base: f64, rng: &mut SimRng) -> A
         silent_errors: 0,
         fail_stop_errors: 0,
     };
+    // One reusable pattern config: only `w` changes per pattern (for the
+    // final remainder), so hoist the copy out of the hot loop.
+    let mut pattern_cfg = *cfg;
     while remaining > 0.0 {
-        let chunk = remaining.min(cfg.w);
-        let mut c = *cfg;
-        c.w = chunk;
-        let p = simulate_pattern(&c, rng);
+        pattern_cfg.w = remaining.min(cfg.w);
+        let p = simulate_pattern(&pattern_cfg, rng);
         out.makespan += p.time;
         out.energy += p.energy;
         out.patterns += 1;
         out.attempts += u64::from(p.attempts);
         out.silent_errors += u64::from(p.silent_errors);
         out.fail_stop_errors += u64::from(p.fail_stop_errors);
-        remaining -= chunk;
+        remaining -= pattern_cfg.w;
     }
     out
 }

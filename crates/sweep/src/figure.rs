@@ -7,6 +7,7 @@
 //! defaults (`ρ = 3`, `R = C`, `Pio = κσ_min³`).
 
 use crate::grid::Grid;
+use rayon::prelude::*;
 use rexec_core::{BiCritSolution, BiCritSolver, SilentModel};
 use rexec_platforms::Configuration;
 use serde::{Deserialize, Serialize};
@@ -180,19 +181,44 @@ pub fn apply_param(cfg: &Configuration, param: SweepParam, x: f64) -> (BiCritSol
 
 /// Sweeps one parameter over a grid for a configuration, producing the
 /// figure's data series (two-speed and one-speed optima at each point).
+///
+/// Evaluation is parallel across grid points (contiguous index-ordered
+/// chunks), so the series — and any CSV rendered from it — is
+/// byte-identical to a serial run for every `RAYON_NUM_THREADS`. A ρ
+/// sweep leaves the model untouched, so it builds the solver's candidate
+/// table once and batches the whole grid through
+/// [`BiCritSolver::solve_many`] instead of rebuilding per point.
 pub fn sweep_figure(cfg: &Configuration, param: SweepParam, grid: &Grid) -> FigureSeries {
-    let points = grid
-        .values()
-        .iter()
-        .map(|&x| {
-            let (solver, rho) = apply_param(cfg, param, x);
-            FigurePoint {
+    let _timer = rexec_obs::span!("sweep.figure");
+    let points: Vec<FigurePoint> = if param == SweepParam::Rho {
+        let (solver, _) = apply_param(cfg, param, Configuration::DEFAULT_RHO);
+        let two = solver.solve_many(grid.values());
+        let one = solver.solve_one_speed_many(grid.values());
+        grid.values()
+            .iter()
+            .zip(two)
+            .zip(one)
+            .map(|((&x, t), o)| FigurePoint {
                 x,
-                two_speed: solver.solve(rho).map(Into::into),
-                one_speed: solver.solve_one_speed(rho).map(Into::into),
-            }
-        })
-        .collect();
+                two_speed: t.map(Into::into),
+                one_speed: o.map(Into::into),
+            })
+            .collect()
+    } else {
+        grid.values()
+            .to_vec()
+            .into_par_iter()
+            .map(|x| {
+                let (solver, rho) = apply_param(cfg, param, x);
+                FigurePoint {
+                    x,
+                    two_speed: solver.solve(rho).map(Into::into),
+                    one_speed: solver.solve_one_speed(rho).map(Into::into),
+                }
+            })
+            .collect()
+    };
+    rexec_obs::counter!("sweep.figure_points").add(points.len() as u64);
     FigureSeries {
         config_name: cfg.name(),
         param,

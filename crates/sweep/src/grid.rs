@@ -9,25 +9,38 @@ pub struct Grid {
 }
 
 impl Grid {
-    /// `n` points linearly spaced over `[lo, hi]` (inclusive).
+    /// `n` points linearly spaced over `[lo, hi]` (inclusive). Both
+    /// endpoints are exact (no floating-point drift); `n = 1` yields
+    /// `[lo]` and `lo == hi` yields `n` copies of `lo`.
     pub fn linear(lo: f64, hi: f64, n: usize) -> Grid {
-        assert!(n >= 2 && hi > lo, "need n >= 2 and hi > lo");
-        let step = (hi - lo) / (n - 1) as f64;
-        Grid {
-            values: (0..n).map(|i| lo + step * i as f64).collect(),
+        assert!(n >= 1, "grid must be non-empty");
+        assert!(hi >= lo, "need lo <= hi");
+        if n == 1 {
+            return Grid { values: vec![lo] };
         }
+        let step = (hi - lo) / (n - 1) as f64;
+        let mut values: Vec<f64> = (0..n).map(|i| lo + step * i as f64).collect();
+        values[0] = lo;
+        values[n - 1] = hi;
+        Grid { values }
     }
 
     /// `n` points logarithmically spaced over `[lo, hi]` (inclusive);
-    /// requires `lo > 0`.
+    /// requires `lo > 0`. Both endpoints are exact; `n = 1` yields `[lo]`
+    /// and `lo == hi` yields `n` copies of `lo`.
     pub fn log(lo: f64, hi: f64, n: usize) -> Grid {
-        assert!(n >= 2 && lo > 0.0 && hi > lo, "need n >= 2 and 0 < lo < hi");
-        let ratio = (hi / lo).ln();
-        Grid {
-            values: (0..n)
-                .map(|i| lo * (ratio * i as f64 / (n - 1) as f64).exp())
-                .collect(),
+        assert!(n >= 1, "grid must be non-empty");
+        assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+        if n == 1 {
+            return Grid { values: vec![lo] };
         }
+        let ratio = (hi / lo).ln();
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| lo * (ratio * i as f64 / (n - 1) as f64).exp())
+            .collect();
+        values[0] = lo;
+        values[n - 1] = hi;
+        Grid { values }
     }
 
     /// An explicit list of points.
@@ -99,14 +112,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "n >= 2")]
-    fn linear_rejects_single_point() {
-        Grid::linear(0.0, 1.0, 1);
-    }
-
-    #[test]
     #[should_panic(expected = "0 < lo")]
     fn log_rejects_zero_lo() {
         Grid::log(0.0, 1.0, 3);
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        // The last point must equal `hi` bit-for-bit — no `exp`-roundoff
+        // drift — so sweep CSVs print the nominal bounds.
+        for (lo, hi, n) in [(1e-6, 1e-2, 49), (1e-6, 1e-3, 7), (3.7e-5, 0.11, 23)] {
+            let g = Grid::log(lo, hi, n);
+            assert_eq!(g.values()[0], lo);
+            assert_eq!(g.values()[n - 1], hi);
+        }
+        for (lo, hi, n) in [(0.0, 5000.0, 51), (1.0, 3.5, 51), (1.2, 6.0, 9)] {
+            let g = Grid::linear(lo, hi, n);
+            assert_eq!(g.values()[0], lo);
+            assert_eq!(g.values()[n - 1], hi);
+        }
+    }
+
+    #[test]
+    fn single_point_grids() {
+        assert_eq!(Grid::linear(2.5, 7.0, 1).values(), &[2.5]);
+        assert_eq!(Grid::log(1e-4, 1e-2, 1).values(), &[1e-4]);
+    }
+
+    #[test]
+    fn degenerate_lo_equals_hi_grids() {
+        assert_eq!(Grid::linear(3.0, 3.0, 4).values(), &[3.0; 4]);
+        assert_eq!(Grid::log(0.5, 0.5, 3).values(), &[0.5; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be non-empty")]
+    fn linear_rejects_zero_points() {
+        Grid::linear(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn linear_rejects_reversed_bounds() {
+        Grid::linear(1.0, 0.0, 3);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::figure::SolutionPoint;
 use crate::grid::Grid;
+use rayon::prelude::*;
 use rexec_core::BiCritSolver;
 use rexec_platforms::Configuration;
 use serde::{Deserialize, Serialize};
@@ -42,27 +43,45 @@ pub struct Heatmap {
 
 impl Heatmap {
     /// Computes the map over the given grids.
+    ///
+    /// Rows (λ values) are evaluated in parallel — each row builds its
+    /// solver's candidate table once and batches the whole ρ grid through
+    /// [`BiCritSolver::solve_many`]. Rows are collected in λ-index order,
+    /// so the row-major `cells` layout (and the CSV rendered from it) is
+    /// byte-identical to a serial evaluation for any `RAYON_NUM_THREADS`.
     pub fn compute(cfg: &Configuration, lambdas: &Grid, rhos: &Grid) -> Heatmap {
+        let _timer = rexec_obs::span!("sweep.heatmap");
         let base = cfg.silent_model().expect("valid configuration");
         let speeds = cfg.speed_set().expect("valid speeds");
-        let mut cells = Vec::with_capacity(lambdas.len() * rhos.len());
-        for &lambda in lambdas.values() {
-            let solver = BiCritSolver::new(base.with_lambda(lambda), speeds.clone());
-            for &rho in rhos.values() {
-                let two = solver.solve(rho);
-                let one = solver.solve_one_speed(rho);
-                let saving = match (two, one) {
-                    (Some(t), Some(o)) => Some(1.0 - t.energy_overhead / o.energy_overhead),
-                    _ => None,
-                };
-                cells.push(HeatmapCell {
-                    lambda,
-                    rho,
-                    solution: two.map(Into::into),
-                    saving,
-                });
-            }
-        }
+        let rows: Vec<Vec<HeatmapCell>> = lambdas
+            .values()
+            .to_vec()
+            .into_par_iter()
+            .map(|lambda| {
+                let solver = BiCritSolver::new(base.with_lambda(lambda), speeds.clone());
+                let two = solver.solve_many(rhos.values());
+                let one = solver.solve_one_speed_many(rhos.values());
+                rhos.values()
+                    .iter()
+                    .zip(two)
+                    .zip(one)
+                    .map(|((&rho, t), o)| {
+                        let saving = match (&t, &o) {
+                            (Some(t), Some(o)) => Some(1.0 - t.energy_overhead / o.energy_overhead),
+                            _ => None,
+                        };
+                        HeatmapCell {
+                            lambda,
+                            rho,
+                            solution: t.map(Into::into),
+                            saving,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let cells: Vec<HeatmapCell> = rows.into_iter().flatten().collect();
+        rexec_obs::counter!("sweep.heatmap_cells").add(cells.len() as u64);
         Heatmap {
             config_name: cfg.name(),
             lambdas: lambdas.values().to_vec(),

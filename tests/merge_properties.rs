@@ -1,0 +1,106 @@
+//! Property tests of the shard-merge algebra behind the parallel sweep
+//! and Monte Carlo reductions: merging per-shard `Stats` / `Histogram`
+//! aggregates must equal a single pass over the concatenated data, for
+//! *any* partition. This is the invariant that makes the parallel
+//! reductions thread-count independent.
+
+use proptest::prelude::*;
+use rexec::sim::{Histogram, Stats};
+
+/// Positive, finite sample values in a range the default histogram
+/// resolution covers comfortably.
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-3..1e6f64, 1..300)
+}
+
+/// Splits `values` at `cut` (scaled into range) into two shards.
+fn split(values: &[f64], cut: usize) -> (&[f64], &[f64]) {
+    values.split_at(cut % (values.len() + 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Stats::merge` of two shards equals one pass over the
+    /// concatenation: counts and extremes exactly, moments to float
+    /// tolerance (Chan et al.'s pairwise update reorders the additions).
+    #[test]
+    fn stats_merge_of_shards_equals_single_pass(
+        values in arb_values(),
+        cut in 0usize..301,
+    ) {
+        let (left, right) = split(&values, cut);
+        let mut a = Stats::new();
+        left.iter().for_each(|&v| a.push(v));
+        let mut b = Stats::new();
+        right.iter().for_each(|&v| b.push(v));
+        a.merge(&b);
+
+        let mut all = Stats::new();
+        values.iter().for_each(|&v| all.push(v));
+
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert_eq!(a.min(), all.min());
+        prop_assert_eq!(a.max(), all.max());
+        let mean_tol = 1e-12 * all.mean().abs().max(1.0);
+        prop_assert!(
+            (a.mean() - all.mean()).abs() <= mean_tol,
+            "mean {} vs {}", a.mean(), all.mean()
+        );
+        if all.count() >= 2 {
+            let var_tol = 1e-9 * all.variance().abs().max(1e-12);
+            prop_assert!(
+                (a.variance() - all.variance()).abs() <= var_tol,
+                "variance {} vs {}", a.variance(), all.variance()
+            );
+        }
+    }
+
+    /// Merging any k-shard partition in order equals the single pass —
+    /// the shape of the reduction tree must not matter for counts.
+    #[test]
+    fn stats_merge_is_partition_independent(
+        values in arb_values(),
+        shards in 1usize..8,
+    ) {
+        let chunk = values.len().div_ceil(shards);
+        let mut merged = Stats::new();
+        for c in values.chunks(chunk) {
+            let mut s = Stats::new();
+            c.iter().for_each(|&v| s.push(v));
+            merged.merge(&s);
+        }
+        let mut all = Stats::new();
+        values.iter().for_each(|&v| all.push(v));
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert_eq!(merged.min(), all.min());
+        prop_assert_eq!(merged.max(), all.max());
+        prop_assert!((merged.mean() - all.mean()).abs() <= 1e-12 * all.mean().abs().max(1.0));
+    }
+
+    /// `Histogram::merge` is *exact*: bucket counts are integers, so a
+    /// merge of shards equals single-pass recording bit-for-bit — counts,
+    /// extremes and every quantile.
+    #[test]
+    fn histogram_merge_of_shards_equals_single_pass(
+        values in arb_values(),
+        cut in 0usize..301,
+    ) {
+        let (left, right) = split(&values, cut);
+        let mut a = Histogram::with_default_resolution();
+        left.iter().for_each(|&v| a.record(v));
+        let mut b = Histogram::with_default_resolution();
+        right.iter().for_each(|&v| b.record(v));
+        a.merge(&b);
+
+        let mut all = Histogram::with_default_resolution();
+        values.iter().for_each(|&v| all.record(v));
+
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert_eq!(a.min(), all.min());
+        prop_assert_eq!(a.max(), all.max());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(a.quantile(q), all.quantile(q), "q = {}", q);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Byte-identity of every figure/heatmap/table artifact between serial
+//! (`RAYON_NUM_THREADS=1`) and parallel evaluation: the sweep engine
+//! parallelizes across grid points and heatmap rows but collects in index
+//! order, so rendered CSVs and tables must not change by a single byte
+//! when the thread count does.
+//!
+//! Everything lives in a single `#[test]` because the scenarios mutate
+//! the process-global `RAYON_NUM_THREADS`, which must not race with a
+//! concurrently running sibling test (mirrors `tests/obs_determinism.rs`).
+
+use rexec::sweep::figure::{lambda_hi_for, sweep_figure, SweepParam};
+use rexec::sweep::series::to_csv;
+use rexec::sweep::table_rho::{rho_table, PAPER_RHOS};
+use rexec::sweep::{Grid, Heatmap};
+use rexec_platforms::{all_configurations, Configuration};
+
+/// Renders every sweep artifact under the given thread count.
+fn artifacts(threads: &str) -> Vec<(String, String)> {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let mut out: Vec<(String, String)> = vec![];
+
+    // Every figure sweep: 8 configurations × 6 parameters (small grids so
+    // the suite stays fast; the chunking logic is identical at any size).
+    for cfg in all_configurations() {
+        let lambda_hi = lambda_hi_for(&cfg);
+        for param in SweepParam::ALL {
+            let grid = match param {
+                SweepParam::Lambda => Grid::log(1e-6, lambda_hi, 9),
+                SweepParam::Rho => Grid::linear(1.0, 3.5, 9),
+                _ => Grid::linear(0.0, 5000.0, 9),
+            };
+            let series = sweep_figure(&cfg, param, &grid);
+            out.push((format!("figure {} {param}", cfg.name()), to_csv(&series)));
+        }
+    }
+
+    // A λ × ρ heatmap.
+    let hera = hera_xscale();
+    let map = Heatmap::compute(
+        &hera,
+        &Grid::log(1e-6, 2e-3, 11),
+        &Grid::linear(1.1, 8.0, 13),
+    );
+    out.push(("heatmap Hera/XScale".to_string(), map.to_csv()));
+    out.push(("heatmap pair map".to_string(), map.render_pair_map()));
+
+    // The §4.2 tables at every paper bound.
+    for rho in PAPER_RHOS {
+        out.push((format!("table rho={rho}"), rho_table(&hera, rho).render()));
+    }
+
+    out
+}
+
+fn hera_xscale() -> Configuration {
+    use rexec_platforms::{configuration, ConfigId, PlatformId, ProcessorId};
+    configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    })
+}
+
+#[test]
+fn sweep_artifacts_are_byte_identical_across_thread_counts() {
+    let serial = artifacts("1");
+    assert!(serial.len() > 50, "expected the full artifact set");
+    for threads in ["2", "4", "13"] {
+        let parallel = artifacts(threads);
+        assert_eq!(serial.len(), parallel.len());
+        for ((name_s, bytes_s), (name_p, bytes_p)) in serial.iter().zip(&parallel) {
+            assert_eq!(name_s, name_p);
+            assert_eq!(
+                bytes_s, bytes_p,
+                "{name_s}: output differs between 1 and {threads} threads"
+            );
+        }
+    }
+}
