@@ -274,7 +274,9 @@ fn main() {
 
     let json = serde_json::to_string_pretty(&Value::Object(doc))
         .expect("benchmark report serializes infallibly");
-    std::fs::write(&out_path, json).expect("write benchmark report");
+    // Atomic: a crash mid-write must not leave a truncated report that a
+    // later `--check` run would misread as a baseline.
+    rexec_harness::atomic_write_simple(&out_path, json.as_bytes()).expect("write benchmark report");
     println!("benchmark report written: {}", out_path.display());
 }
 

@@ -40,6 +40,9 @@ pub struct Args {
     pub metrics: Option<String>,
     /// Write simulated pattern traces as JSON Lines to this path.
     pub trace_jsonl: Option<String>,
+    /// Deterministic fault injection for artifact writes (crash-recovery
+    /// testing; defaults to no faults).
+    pub fault_plan: rexec_harness::FaultPlan,
     /// Print progress lines to stderr (solver stats, Monte Carlo slices).
     pub verbose: bool,
     /// Print usage and exit.
@@ -66,6 +69,7 @@ impl Default for Args {
             pareto: None,
             metrics: None,
             trace_jsonl: None,
+            fault_plan: rexec_harness::FaultPlan::default(),
             verbose: false,
             help: false,
         }
@@ -86,6 +90,16 @@ pub enum ParseError {
     },
     /// Unrecognized option.
     UnknownOption(String),
+    /// A value parsed but fails domain validation (NaN, negative rate,
+    /// zero speed, …). The reason says what the option requires.
+    InvalidValue {
+        /// Offending option.
+        option: String,
+        /// Provided text.
+        value: String,
+        /// What the option requires.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -96,6 +110,13 @@ impl fmt::Display for ParseError {
                 write!(f, "cannot parse value `{value}` for option {option}")
             }
             ParseError::UnknownOption(o) => write!(f, "unknown option {o}"),
+            ParseError::InvalidValue {
+                option,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid value `{value}` for option {option}: {reason}")
+            }
         }
     }
 }
@@ -134,6 +155,8 @@ OBSERVABILITY:
   --trace-jsonl PATH  simulate the plan's pattern and write its event trace
                       as JSON Lines (one event per line)
   --verbose           progress lines on stderr (solver stats, Monte Carlo)
+  --fault-plan SPEC   deterministic fault injection for artifact writes
+                      (fail-write=N, corrupt-artifact=N, seed=S)
   --help              this text
 ";
 
@@ -149,6 +172,34 @@ fn parse_f64(opt: &str, text: &str) -> Result<f64, ParseError> {
     })
 }
 
+fn invalid(option: &str, value: f64, reason: &str) -> ParseError {
+    ParseError::InvalidValue {
+        option: option.to_string(),
+        value: format!("{value}"),
+        reason: reason.to_string(),
+    }
+}
+
+/// Rejects NaN/±inf and non-positive values: rates, costs and speeds
+/// must be strictly positive real numbers.
+fn check_positive(option: &str, v: Option<f64>) -> Result<(), ParseError> {
+    match v {
+        Some(x) if !x.is_finite() => Err(invalid(option, x, "must be a finite number")),
+        Some(x) if x <= 0.0 => Err(invalid(option, x, "must be strictly positive")),
+        _ => Ok(()),
+    }
+}
+
+/// Rejects NaN/±inf and negative values: powers and the recovery cost
+/// may be zero but not negative.
+fn check_non_negative(option: &str, v: Option<f64>) -> Result<(), ParseError> {
+    match v {
+        Some(x) if !x.is_finite() => Err(invalid(option, x, "must be a finite number")),
+        Some(x) if x < 0.0 => Err(invalid(option, x, "must not be negative")),
+        _ => Ok(()),
+    }
+}
+
 impl Args {
     /// Parses a raw argument list (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ParseError> {
@@ -162,6 +213,16 @@ impl Args {
                 "--platform" | "--config" => out.platform = Some(take_value(&mut it, &a)?),
                 "--metrics" => out.metrics = Some(take_value(&mut it, &a)?),
                 "--trace-jsonl" => out.trace_jsonl = Some(take_value(&mut it, &a)?),
+                "--fault-plan" => {
+                    let v = take_value(&mut it, &a)?;
+                    out.fault_plan = rexec_harness::FaultPlan::parse(&v).map_err(|e| {
+                        ParseError::InvalidValue {
+                            option: a.clone(),
+                            value: v,
+                            reason: e.to_string(),
+                        }
+                    })?;
+                }
                 "--processor" => out.processor = Some(take_value(&mut it, &a)?),
                 "--lambda" => out.lambda = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
                 "--checkpoint" => out.checkpoint = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
@@ -197,7 +258,36 @@ impl Args {
                 other => return Err(ParseError::UnknownOption(other.to_string())),
             }
         }
+        out.validate_domains()?;
         Ok(out)
+    }
+
+    /// Domain validation, run up front so a NaN or negative rate fails
+    /// with a precise message instead of surfacing as solver misbehavior
+    /// deep in a run.
+    fn validate_domains(&self) -> Result<(), ParseError> {
+        check_positive("--lambda", self.lambda)?;
+        check_positive("--checkpoint", self.checkpoint)?;
+        check_positive("--verification", self.verification)?;
+        check_non_negative("--recovery", self.recovery)?;
+        check_positive("--kappa", self.kappa)?;
+        check_non_negative("--pidle", self.p_idle)?;
+        check_non_negative("--pio", self.p_io)?;
+        check_positive("--rho", Some(self.rho))?;
+        check_positive("--wbase", self.w_base)?;
+        if let Some(speeds) = &self.speeds {
+            if speeds.is_empty() {
+                return Err(ParseError::InvalidValue {
+                    option: "--speeds".into(),
+                    value: String::new(),
+                    reason: "needs at least one speed".into(),
+                });
+            }
+            for &s in speeds {
+                check_positive("--speeds", Some(s))?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -288,6 +378,61 @@ mod tests {
                 value: "x".into()
             })
         );
+    }
+
+    fn assert_invalid(args: &[&str], expect_option: &str) {
+        match parse(args) {
+            Err(ParseError::InvalidValue { option, .. }) => {
+                assert_eq!(option, expect_option, "wrong option blamed for {args:?}")
+            }
+            other => panic!("expected InvalidValue for {args:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_and_infinite_inputs_are_rejected_up_front() {
+        assert_invalid(&["--lambda", "NaN"], "--lambda");
+        assert_invalid(&["--rho", "inf"], "--rho");
+        assert_invalid(&["--checkpoint", "-inf"], "--checkpoint");
+        assert_invalid(&["--speeds", "0.5,NaN"], "--speeds");
+    }
+
+    #[test]
+    fn negative_rates_and_costs_are_rejected_up_front() {
+        assert_invalid(&["--lambda", "-1e-5"], "--lambda");
+        assert_invalid(&["--checkpoint", "-600"], "--checkpoint");
+        assert_invalid(&["--verification", "-30"], "--verification");
+        assert_invalid(&["--recovery", "-1"], "--recovery");
+        assert_invalid(&["--kappa", "-2000"], "--kappa");
+        assert_invalid(&["--pidle", "-50"], "--pidle");
+        assert_invalid(&["--pio", "-1"], "--pio");
+        assert_invalid(&["--rho", "-3"], "--rho");
+        assert_invalid(&["--wbase", "-1e8"], "--wbase");
+    }
+
+    #[test]
+    fn zero_is_rejected_where_the_model_needs_strict_positivity() {
+        assert_invalid(&["--lambda", "0"], "--lambda");
+        assert_invalid(&["--rho", "0"], "--rho");
+        assert_invalid(&["--speeds", "0.5,0"], "--speeds");
+        // ... but is a valid recovery cost and idle/IO power.
+        assert!(parse(&["--recovery", "0", "--pidle", "0", "--pio", "0"]).is_ok());
+    }
+
+    #[test]
+    fn invalid_value_messages_name_option_value_and_reason() {
+        let msg = parse(&["--lambda", "-2"]).unwrap_err().to_string();
+        assert!(msg.contains("--lambda") && msg.contains("-2") && msg.contains("positive"));
+    }
+
+    #[test]
+    fn fault_plan_parses_and_rejects_bad_specs() {
+        let a = parse(&["--fault-plan", "fail-write=2,seed=9"]).unwrap();
+        assert_eq!(a.fault_plan.fail_write, Some(2));
+        assert_eq!(a.fault_plan.seed, 9);
+        assert_invalid(&["--fault-plan", "explode=1"], "--fault-plan");
+        assert_invalid(&["--fault-plan", "fail-write=0"], "--fault-plan");
+        assert!(USAGE.contains("--fault-plan"));
     }
 
     #[test]

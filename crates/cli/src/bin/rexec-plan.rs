@@ -1,13 +1,22 @@
 //! `rexec-plan`: energy-optimal two-speed checkpointing plans from the
 //! command line. See `--help` or the crate docs.
+//!
+//! Artifact writes (`--metrics`, `--trace-jsonl`) are atomic: the file
+//! is staged next to its destination and renamed into place, so a crash
+//! mid-write never leaves a truncated artifact under the final name.
+//! Transient write failures are retried under capped backoff, and
+//! `--fault-plan` injects deterministic failures for testing.
 
 use rexec_cli::args::{Args, USAGE};
 use rexec_cli::run::execute;
+use rexec_harness::{atomic_write, FaultInjector, RetryPolicy};
+use std::path::Path;
 
-fn write_or_die(path: &str, contents: &str, what: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
-        eprintln!("error: cannot write {what} to {path}: {e}");
-        std::process::exit(2);
+fn write_or_die(path: &str, contents: &str, what: &str, injector: &FaultInjector) {
+    let retry = RetryPolicy::default();
+    if let Err(e) = atomic_write(Path::new(path), contents.as_bytes(), &retry, injector) {
+        eprintln!("error: cannot write {what}: {e}");
+        std::process::exit(1);
     }
     eprintln!("{what} written: {path}");
 }
@@ -24,14 +33,15 @@ fn main() {
         println!("{USAGE}");
         return;
     }
+    let injector = args.fault_plan.injector();
     match execute(&args) {
         Ok(outcome) => {
             println!("{}", outcome.report);
             if let (Some(path), Some(jsonl)) = (&args.trace_jsonl, &outcome.trace_jsonl) {
-                write_or_die(path, jsonl, "trace");
+                write_or_die(path, jsonl, "trace", &injector);
             }
             if let (Some(path), Some(json)) = (&args.metrics, &outcome.metrics_json) {
-                write_or_die(path, json, "metrics");
+                write_or_die(path, json, "metrics", &injector);
             }
             if !outcome.feasible {
                 std::process::exit(1);

@@ -1,0 +1,125 @@
+//! Atomic artifact writes: temp file + rename, under retry.
+//!
+//! A crash mid-write must never leave a truncated artifact behind under
+//! its final name — downstream comparisons would silently consume it.
+//! Every write lands in a hidden temp file in the destination directory
+//! (same filesystem, so the rename is atomic on POSIX), is flushed with
+//! `sync_all`, and only then renamed over the target.
+
+use crate::error::HarnessError;
+use crate::fault::FaultInjector;
+use crate::retry::RetryPolicy;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers' temp files (plus the PID, so a
+/// crashed run's leftovers can never be renamed over by a later run).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path(path: &Path) -> std::path::PathBuf {
+    let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".into());
+    path.with_file_name(format!(".{name}.tmp-{}-{n}", std::process::id()))
+}
+
+fn write_once(path: &Path, bytes: &[u8], injector: &FaultInjector) -> std::io::Result<()> {
+    injector.on_write_attempt()?;
+    let tmp = temp_path(path);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best effort: never leave temp droppings next to the artifacts.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Atomically writes `bytes` to `path` under the retry policy, routing
+/// every attempt through the fault injector. Counted in
+/// `harness.atomic_writes`; exhausted retries surface as
+/// [`HarnessError::Io`].
+pub fn atomic_write(
+    path: &Path,
+    bytes: &[u8],
+    policy: &RetryPolicy,
+    injector: &FaultInjector,
+) -> Result<(), HarnessError> {
+    policy
+        .run(|| write_once(path, bytes, injector))
+        .map_err(|e| HarnessError::io("write", path, &e))?;
+    rexec_obs::counter!("harness.atomic_writes").incr();
+    Ok(())
+}
+
+/// Atomic write with the default retry policy and no fault injection —
+/// the drop-in replacement for plain `std::fs::write` call sites.
+pub fn atomic_write_simple(path: &Path, bytes: &[u8]) -> Result<(), HarnessError> {
+    atomic_write(path, bytes, &RetryPolicy::default(), &FaultInjector::none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rexec-harness-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces_content() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("a.csv");
+        atomic_write_simple(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write_simple(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = tmpdir("no-droppings");
+        let path = dir.join("b.csv");
+        atomic_write_simple(&path, b"data").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["b.csv".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_write_failure_is_retried_transparently() {
+        let dir = tmpdir("retry");
+        let path = dir.join("c.csv");
+        let injector = FaultPlan::parse("fail-write=1").unwrap().injector();
+        atomic_write(&path, b"survived", &RetryPolicy::immediate(3), &injector).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"survived");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_typed_io_error() {
+        let dir = tmpdir("exhaust");
+        let path = dir.join("d.csv");
+        // Fails attempts 1 and 2... but the budget is 2.
+        let injector = FaultPlan::parse("fail-write=2").unwrap().injector();
+        injector.on_write_attempt().unwrap(); // consume attempt 1 elsewhere
+        let err = atomic_write(&path, b"x", &RetryPolicy::immediate(1), &injector).unwrap_err();
+        assert!(matches!(err, HarnessError::Io { .. }));
+        assert!(!path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

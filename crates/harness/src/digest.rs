@@ -1,0 +1,106 @@
+//! Content digests sealing checkpointed artifacts.
+//!
+//! The digest plays the role of the paper's verification step `V`: a
+//! cheap check that detects silent corruption of an already-produced
+//! artifact before the run builds anything on top of it. FNV-1a (64-bit)
+//! is std-only, deterministic across platforms and fast enough to be
+//! invisible next to the solves that produce the data. It is an
+//! integrity check against accidental corruption (truncation, partial
+//! writes, bit flips), not a cryptographic seal.
+
+use std::io::Read;
+use std::path::Path;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Streaming FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Digest {
+    state: u64,
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Digest { state: FNV_OFFSET }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Final digest rendered in the manifest's `fnv1a:<16 hex>` form.
+    pub fn finish(&self) -> String {
+        format!("fnv1a:{:016x}", self.state)
+    }
+}
+
+/// Digest of an in-memory artifact.
+pub fn digest_bytes(bytes: &[u8]) -> String {
+    let mut d = Digest::new();
+    d.update(bytes);
+    d.finish()
+}
+
+/// Digest of a file on disk, streamed in 64 KiB chunks.
+pub fn digest_file(path: &Path) -> std::io::Result<String> {
+    let mut f = std::fs::File::open(path)?;
+    let mut d = Digest::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        d.update(&buf[..n]);
+    }
+    Ok(d.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_content_sensitive() {
+        assert_eq!(digest_bytes(b"abc"), digest_bytes(b"abc"));
+        assert_ne!(digest_bytes(b"abc"), digest_bytes(b"abd"));
+        assert_ne!(digest_bytes(b""), digest_bytes(b"\0"));
+        assert!(digest_bytes(b"abc").starts_with("fnv1a:"));
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut d = Digest::new();
+        d.update(b"hello ");
+        d.update(b"world");
+        assert_eq!(d.finish(), digest_bytes(b"hello world"));
+    }
+
+    #[test]
+    fn file_digest_matches_bytes_digest() {
+        let dir = std::env::temp_dir().join("rexec-harness-digest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.csv");
+        std::fs::write(&path, b"x,y\n1,2\n").unwrap();
+        assert_eq!(digest_file(&path).unwrap(), digest_bytes(b"x,y\n1,2\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn known_fnv1a_vector() {
+        // FNV-1a 64-bit of "a" is 0xaf63dc4c8601ec8c.
+        assert_eq!(digest_bytes(b"a"), "fnv1a:af63dc4c8601ec8c");
+    }
+}

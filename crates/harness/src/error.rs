@@ -1,0 +1,134 @@
+//! The typed error surface of the robustness layer.
+
+use std::fmt;
+
+/// Everything that can go wrong while running the verified-checkpoint
+/// pipeline. One variant per failure class so binaries can map each to a
+/// distinct exit code and a one-line diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// An I/O operation failed after exhausting its retry budget.
+    Io {
+        /// What the harness was doing, e.g. `write artifact fig4.csv`.
+        action: String,
+        /// Path involved.
+        path: String,
+        /// Rendered `std::io::Error`.
+        source: String,
+    },
+    /// A command-line argument was missing, malformed or out of range.
+    InvalidArg {
+        /// The offending option or positional, e.g. `--seed`.
+        what: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An experiment id that does not exist in the registry.
+    UnknownExperiment(String),
+    /// The run manifest could not be parsed or has an unsupported layout.
+    Manifest(String),
+    /// `--resume` was asked to continue a run recorded under different
+    /// parameters (seed, configuration digest, tool version).
+    ResumeMismatch {
+        /// Manifest field that disagrees.
+        field: String,
+        /// Value recorded in the manifest.
+        recorded: String,
+        /// Value of the current invocation.
+        current: String,
+    },
+    /// The fault plan killed the run after the given completed unit
+    /// (deterministic crash injection, not a real failure).
+    KilledByFaultPlan {
+        /// 1-based index of the last unit sealed before the kill.
+        after_unit: u64,
+    },
+}
+
+impl HarnessError {
+    /// Process exit code convention: `2` for usage errors, `137` for an
+    /// injected kill (mirrors SIGKILL), `1` for runtime failures.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            HarnessError::InvalidArg { .. } | HarnessError::UnknownExperiment(_) => 2,
+            HarnessError::KilledByFaultPlan { .. } => 137,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Io {
+                action,
+                path,
+                source,
+            } => write!(f, "cannot {action} ({path}): {source}"),
+            HarnessError::InvalidArg { what, reason } => write!(f, "invalid {what}: {reason}"),
+            HarnessError::UnknownExperiment(id) => write!(f, "unknown experiment id: {id}"),
+            HarnessError::Manifest(msg) => write!(f, "bad run manifest: {msg}"),
+            HarnessError::ResumeMismatch {
+                field,
+                recorded,
+                current,
+            } => write!(
+                f,
+                "cannot resume: manifest {field} is {recorded} but this run uses {current}"
+            ),
+            HarnessError::KilledByFaultPlan { after_unit } => {
+                write!(f, "fault plan killed the run after unit {after_unit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl HarnessError {
+    /// Wraps an `std::io::Error` with the action and path context.
+    pub fn io(action: impl Into<String>, path: &std::path::Path, e: &std::io::Error) -> Self {
+        HarnessError::Io {
+            action: action.into(),
+            path: path.display().to_string(),
+            source: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line_and_specific() {
+        let e = HarnessError::io(
+            "write artifact",
+            std::path::Path::new("/tmp/x.csv"),
+            &std::io::Error::other("disk full"),
+        );
+        let s = e.to_string();
+        assert!(
+            s.contains("write artifact") && s.contains("/tmp/x.csv") && s.contains("disk full")
+        );
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn exit_codes_follow_the_convention() {
+        assert_eq!(
+            HarnessError::InvalidArg {
+                what: "--seed".into(),
+                reason: "overflow".into()
+            }
+            .exit_code(),
+            2
+        );
+        assert_eq!(HarnessError::UnknownExperiment("F99".into()).exit_code(), 2);
+        assert_eq!(
+            HarnessError::KilledByFaultPlan { after_unit: 3 }.exit_code(),
+            137
+        );
+        assert_eq!(HarnessError::Manifest("truncated".into()).exit_code(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # rexec-harness
+//!
+//! Crash-tolerant robustness layer for the rexec experiment pipeline —
+//! the runner practicing what the solver preaches. The paper's premise
+//! is that silent errors are survivable when every unit of work is
+//! *verified* before it is *checkpointed*; this crate applies the same
+//! discipline to the experiments that reproduce it:
+//!
+//! * [`atomic_write`] / [`atomic_write_simple`] — artifacts land via
+//!   temp-file + atomic rename, never truncated under a crash;
+//! * [`Digest`] / [`digest_bytes`] / [`digest_file`] — FNV-1a content
+//!   digests seal each artifact (the runner's verification step `V`);
+//! * [`RunManifest`] — the per-run checkpoint state: which units are
+//!   sealed, with which artifact digests; rewritten atomically after
+//!   every unit so any crash leaves a resumable prefix;
+//! * [`RetryPolicy`] — capped exponential backoff for transient I/O;
+//! * [`FaultPlan`] / [`FaultInjector`] — deterministic, seeded fault
+//!   injection (fail the Nth write, corrupt the Nth artifact, kill after
+//!   unit K) so crash/corrupt/resume paths are exercised in-tree;
+//! * [`HarnessError`] — the typed error surface, with a process exit
+//!   code convention.
+//!
+//! Std-only, like `rexec-obs`; observability counters emitted here:
+//! `harness.atomic_writes`, `harness.write_retries`,
+//! `harness.injected_write_failures`, `harness.injected_corruptions`,
+//! `harness.artifacts_verified`, `harness.corrupt_artifacts_detected`,
+//! plus the `harness.verify` span.
+
+#![warn(missing_docs)]
+
+mod atomic;
+mod digest;
+mod error;
+mod fault;
+mod manifest;
+mod retry;
+
+pub use atomic::{atomic_write, atomic_write_simple};
+pub use digest::{digest_bytes, digest_file, Digest};
+pub use error::HarnessError;
+pub use fault::{FaultInjector, FaultPlan};
+pub use manifest::{ArtifactRecord, RunManifest, UnitRecord, VerifyOutcome, MANIFEST_NAME};
+pub use retry::RetryPolicy;

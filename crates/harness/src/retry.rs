@@ -1,0 +1,106 @@
+//! Capped exponential backoff for transient I/O failures.
+
+use std::time::Duration;
+
+/// Retry policy: up to `max_attempts` tries, sleeping
+/// `base_delay * 2^(attempt-1)` (capped at `max_delay`) between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never sleeps — used by tests so injected failures
+    /// retry instantly.
+    pub fn immediate(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based).
+    pub fn delay_before_retry(&self, retry: u32) -> Duration {
+        let factor = 1u32 << (retry - 1).min(16);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+
+    /// Runs `op` until it succeeds or the attempt budget is spent.
+    /// Every retry increments the `harness.write_retries` counter.
+    pub fn run<T>(&self, mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < self.max_attempts => {
+                    rexec_obs::counter!("harness.write_retries").incr();
+                    std::thread::sleep(self.delay_before_retry(attempt));
+                    let _ = e;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let policy = RetryPolicy::immediate(4);
+        let mut failures_left = 3;
+        let out = policy.run(|| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(std::io::Error::other("transient"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let policy = RetryPolicy::immediate(3);
+        let mut calls = 0;
+        let out: std::io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(std::io::Error::other("persistent"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(p.delay_before_retry(1), Duration::from_millis(10));
+        assert_eq!(p.delay_before_retry(2), Duration::from_millis(20));
+        assert_eq!(p.delay_before_retry(3), Duration::from_millis(35));
+        assert_eq!(p.delay_before_retry(4), Duration::from_millis(35));
+    }
+}

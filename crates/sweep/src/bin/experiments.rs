@@ -1,179 +1,35 @@
-//! Regenerates every table and figure of the paper.
+//! Regenerates every table and figure of the paper through the
+//! crash-tolerant pipeline in [`rexec_sweep::pipeline`].
 //!
-//! ```text
-//! experiments [--out DIR] [--seed N] [IDS...]
+//! Run `experiments --help` for the full CLI. Every run seals its
+//! artifacts in `<out>/manifest.json` (atomic writes + content digests);
+//! `--resume` re-verifies that manifest and recomputes only what is
+//! missing or corrupt, and `--fault-plan` injects deterministic write
+//! failures, corruptions and kills for crash-recovery testing.
 //!
-//!   IDS      experiment ids to run (default: all), e.g.
-//!            T-rho3 F1 F2 ... F14 X-thm2 X-validity X-mc X-ablation
-//!   --out    directory for CSV datasets (default: results/)
-//!   --seed   base seed for Monte Carlo experiments (default: 2024)
-//! ```
-//!
-//! Besides the CSV datasets, every run writes `<out>/metrics.json`: a
-//! run manifest with per-experiment wall time and point counts, the run
-//! metadata (seed, configuration digest, timestamps) and the full
-//! metrics-registry snapshot.
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error, 137 killed
+//! by an injected `kill-after-unit` fault.
 
-use rexec_sweep::experiments::{
-    all_experiment_ids, run_experiment_seeded, ExperimentId, DEFAULT_SEED,
-};
-use serde::{Serialize, Value};
-use std::collections::BTreeMap;
-use std::path::PathBuf;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
-
-fn parse_id(s: &str) -> Option<ExperimentId> {
-    match s {
-        "T-rho8" => Some(ExperimentId::TableRho(8.0)),
-        "T-rho3" => Some(ExperimentId::TableRho(3.0)),
-        "T-rho1_775" | "T-rho1.775" => Some(ExperimentId::TableRho(1.775)),
-        "T-rho1_4" | "T-rho1.4" => Some(ExperimentId::TableRho(1.4)),
-        "F1" => Some(ExperimentId::Figure1),
-        "X-thm2" => Some(ExperimentId::Theorem2),
-        "X-validity" => Some(ExperimentId::ValidityWindow),
-        "X-mc" => Some(ExperimentId::MonteCarloValidation),
-        "X-ablation" => Some(ExperimentId::ExactVsFirstOrder),
-        "X-pairs" => Some(ExperimentId::OptimalPairRegions),
-        "X-robust" => Some(ExperimentId::LambdaRobustness),
-        "X-pareto" => Some(ExperimentId::Pareto),
-        "X-multiverif" => Some(ExperimentId::MultiVerification),
-        "X-continuous" => Some(ExperimentId::ContinuousSpeeds),
-        "X-heatmap" => Some(ExperimentId::Heatmap),
-        _ => {
-            let n: u8 = s.strip_prefix('F')?.parse().ok()?;
-            match n {
-                2..=7 => Some(ExperimentId::Figure(n)),
-                8..=14 => Some(ExperimentId::FigureConfig(n)),
-                _ => None,
-            }
-        }
-    }
-}
-
-fn unix_secs() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0)
-}
-
-/// FNV-1a digest of every published configuration's parameters, so a
-/// manifest records exactly which model constants produced its numbers.
-fn config_digest() -> String {
-    let mut hash: u64 = 0xcbf29ce484222325;
-    for cfg in rexec_platforms::all_configurations() {
-        for byte in format!("{cfg:?}").bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x100000001b3);
-        }
-    }
-    format!("fnv1a:{hash:016x}")
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
-}
+use rexec_sweep::pipeline::{parse_cli, run, CliCommand, USAGE};
 
 fn main() {
-    let mut out_dir = PathBuf::from("results");
-    let mut seed = DEFAULT_SEED;
-    let mut ids: Vec<ExperimentId> = vec![];
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--out" => match args.next() {
-                Some(dir) => out_dir = PathBuf::from(dir),
-                None => die("--out needs a directory"),
-            },
-            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
-                Some(Ok(n)) => seed = n,
-                Some(Err(_)) => die("--seed needs an unsigned integer"),
-                None => die("--seed needs a value"),
-            },
-            "--help" | "-h" => {
-                println!(
-                    "usage: experiments [--out DIR] [--seed N] [IDS...]\n\
-                     ids: T-rho8 T-rho3 T-rho1.775 T-rho1.4 F1..F14 \
-                     X-thm2 X-validity X-mc X-ablation X-pairs X-robust X-pareto X-multiverif X-continuous X-heatmap"
-                );
-                return;
-            }
-            other => match parse_id(other) {
-                Some(id) => ids.push(id),
-                None => {
-                    eprintln!("unknown experiment id: {other}");
-                    std::process::exit(2);
-                }
-            },
+    let cmd = match parse_cli(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(e.exit_code());
         }
-    }
-    if ids.is_empty() {
-        ids = all_experiment_ids();
-    }
-
-    // The manifest wants per-experiment timings, so span timing is on.
-    rexec_obs::set_spans_enabled(true);
-    let started_unix = unix_secs();
-    let run_started = Instant::now();
-
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
-    let mut manifest_experiments: Vec<Value> = vec![];
-    for id in ids {
-        let exp_started = Instant::now();
-        let r = run_experiment_seeded(id, seed);
-        let wall_secs = exp_started.elapsed().as_secs_f64();
-        println!("================================================================");
-        println!(
-            "[{}] {}  ({:.2}s, {} points)",
-            r.id,
-            r.title,
-            wall_secs,
-            r.point_count()
-        );
-        println!("================================================================");
-        println!("{}", r.report);
-        let mut dataset_names: Vec<Value> = vec![];
-        for (name, csv) in &r.datasets {
-            let path = out_dir.join(format!("{name}.csv"));
-            std::fs::write(&path, csv).expect("write dataset");
-            println!("  dataset written: {}", path.display());
-            dataset_names.push(format!("{name}.csv").to_value());
+    };
+    let cfg = match cmd {
+        CliCommand::Help => {
+            println!("{USAGE}");
+            return;
         }
-        println!();
-
-        let mut entry = BTreeMap::new();
-        entry.insert("id".to_string(), r.id.to_value());
-        entry.insert("title".to_string(), r.title.to_value());
-        entry.insert("wall_secs".to_string(), wall_secs.to_value());
-        entry.insert("points".to_string(), (r.point_count() as u64).to_value());
-        entry.insert("datasets".to_string(), Value::Array(dataset_names));
-        manifest_experiments.push(Value::Object(entry));
+        CliCommand::Run(cfg) => cfg,
+    };
+    if let Err(e) = run(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
     }
-
-    let mut run = BTreeMap::new();
-    run.insert("tool".to_string(), "experiments".to_value());
-    run.insert("version".to_string(), env!("CARGO_PKG_VERSION").to_value());
-    run.insert("seed".to_string(), seed.to_value());
-    run.insert("config_digest".to_string(), config_digest().to_value());
-    run.insert("started_unix_secs".to_string(), started_unix.to_value());
-    run.insert("finished_unix_secs".to_string(), unix_secs().to_value());
-    run.insert(
-        "wall_secs".to_string(),
-        run_started.elapsed().as_secs_f64().to_value(),
-    );
-
-    let mut manifest = BTreeMap::new();
-    manifest.insert("run".to_string(), Value::Object(run));
-    manifest.insert(
-        "experiments".to_string(),
-        Value::Array(manifest_experiments),
-    );
-    manifest.insert("metrics".to_string(), rexec_obs::global().snapshot_value());
-
-    let manifest_path = out_dir.join("metrics.json");
-    let json = serde_json::to_string_pretty(&Value::Object(manifest))
-        .expect("manifest serializes infallibly");
-    std::fs::write(&manifest_path, json).expect("write run manifest");
-    println!("run manifest written: {}", manifest_path.display());
 }

@@ -12,6 +12,11 @@
 //! * [`experiments`] — the experiment registry: one entry per paper
 //!   artifact plus Theorem 2 scaling, the §5.2 validity window, the Monte
 //!   Carlo validation and the exact-vs-first-order ablation;
+//! * [`pipeline`] — the crash-tolerant runner behind the `experiments`
+//!   binary: every unit is sealed in a verified-checkpoint run manifest
+//!   (atomic artifact writes + content digests), `--resume` re-verifies
+//!   and skips intact units, and `--fault-plan` injects deterministic
+//!   write failures, corruptions and kills;
 //! * [`grid`], [`series`], [`render`] — parameter grids, data series with
 //!   CSV export, and ASCII rendering.
 //!
@@ -23,6 +28,7 @@ pub mod experiments;
 pub mod figure;
 pub mod grid;
 pub mod heatmap;
+pub mod pipeline;
 pub mod render;
 pub mod series;
 pub mod table_rho;
@@ -31,4 +37,5 @@ pub use experiments::{run_all, run_experiment, ExperimentId, ExperimentResult};
 pub use figure::{sweep_figure, FigurePoint, FigureSeries, SolutionPoint, SweepParam};
 pub use grid::Grid;
 pub use heatmap::{Heatmap, HeatmapCell};
+pub use pipeline::{PipelineConfig, PipelineSummary, UnitOutcome};
 pub use table_rho::{rho_table, RhoTable};

@@ -1,0 +1,533 @@
+//! Crash-tolerant experiment pipeline — the verified-checkpoint state
+//! machine behind the `experiments` binary.
+//!
+//! Every experiment is one *work unit* registered in a [`RunManifest`]
+//! (`<out>/manifest.json`). A unit executes, its artifacts (CSV datasets
+//! plus the rendered report) land via temp-file + atomic rename, each is
+//! sealed with an FNV-1a content digest, and the manifest is rewritten
+//! atomically — so a crash, kill or full disk at any instant leaves a
+//! loadable manifest describing exactly the completed prefix and never a
+//! truncated artifact under its final name.
+//!
+//! On `--resume` the pipeline re-verifies the digests of every sealed
+//! unit (the paper's verification step `V` applied to the runner
+//! itself): intact units are skipped, missing or silently-corrupted ones
+//! are detected and recomputed. Transient I/O failures are retried under
+//! capped exponential backoff, and `--fault-plan` injects deterministic
+//! faults (fail the Nth write, corrupt the Nth artifact, kill after unit
+//! K) so the recovery paths are exercised in-tree.
+
+use crate::experiments::{
+    all_experiment_ids, id_string, parse_id, quick_experiment_ids, run_experiment_seeded,
+    ExperimentId, DEFAULT_SEED,
+};
+use rexec_harness::{
+    atomic_write, ArtifactRecord, FaultInjector, FaultPlan, HarnessError, RetryPolicy, RunManifest,
+    UnitRecord, VerifyOutcome, MANIFEST_NAME,
+};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Tool name recorded in manifests (resume refuses to cross tools).
+pub const TOOL_NAME: &str = "experiments";
+
+/// Filename of the end-of-run metrics/run report inside the output
+/// directory. Unlike the manifest it contains wall-clock data and is not
+/// part of the resumable state.
+pub const METRICS_NAME: &str = "metrics.json";
+
+/// A parsed `experiments` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Output directory for artifacts, manifest and metrics.
+    pub out_dir: PathBuf,
+    /// Base Monte Carlo seed.
+    pub seed: u64,
+    /// Re-verify sealed units from an existing manifest and skip them.
+    pub resume: bool,
+    /// Experiments to run, in order.
+    pub ids: Vec<ExperimentId>,
+    /// Deterministic fault schedule (defaults to no faults).
+    pub fault: FaultPlan,
+    /// Retry policy for artifact/manifest writes.
+    pub retry: RetryPolicy,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            out_dir: PathBuf::from("results"),
+            seed: DEFAULT_SEED,
+            resume: false,
+            ids: all_experiment_ids(),
+            fault: FaultPlan::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What happened to one unit during a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitOutcome {
+    /// Computed fresh (no resume, or not sealed before).
+    Computed,
+    /// Sealed by an earlier run, re-verified intact, skipped.
+    SkippedVerified,
+    /// Sealed before but failed re-verification; recomputed. The string
+    /// says why, e.g. `digest mismatch on fig4_... .csv`.
+    Recomputed(String),
+}
+
+/// Per-run outcome summary, keyed by unit id in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSummary {
+    /// `(unit id, outcome)` in execution order.
+    pub units: Vec<(String, UnitOutcome)>,
+    /// Path of the run manifest.
+    pub manifest_path: PathBuf,
+    /// Path of the metrics report.
+    pub metrics_path: PathBuf,
+}
+
+/// Usage text of the `experiments` binary.
+pub const USAGE: &str = "\
+usage: experiments [--out DIR] [--seed N] [--resume] [--quick]
+                   [--fault-plan SPEC] [IDS...]
+
+  IDS          experiment ids to run (default: all), e.g.
+               T-rho8 T-rho3 T-rho1.775 T-rho1.4 F1..F14 X-thm2 X-validity
+               X-mc X-ablation X-pairs X-robust X-pareto X-multiverif
+               X-continuous X-heatmap
+  --out        directory for artifacts + run manifest (default: results/)
+  --seed       base seed for Monte Carlo experiments (default: 2024)
+  --quick      fast subset (tables, F4, X-thm2, X-validity) for smoke runs
+  --resume     re-verify sealed units from <out>/manifest.json, skip the
+               intact ones and recompute only what is missing or corrupt
+  --fault-plan deterministic fault injection, comma-separated:
+               fail-write=N, corrupt-artifact=N, kill-after-unit=K, seed=S
+";
+
+/// Result of parsing the command line: run, or print help.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// Execute the pipeline.
+    Run(PipelineConfig),
+    /// Print [`USAGE`] and exit 0.
+    Help,
+}
+
+fn invalid(what: &str, reason: String) -> HarnessError {
+    HarnessError::InvalidArg {
+        what: what.into(),
+        reason,
+    }
+}
+
+/// Parses the `experiments` command line (without the program name).
+/// Numeric inputs are validated up front: a malformed or overflowing
+/// `--seed` is rejected here with a clear message rather than surfacing
+/// as downstream misbehavior.
+pub fn parse_cli<I: IntoIterator<Item = String>>(raw: I) -> Result<CliCommand, HarnessError> {
+    let mut cfg = PipelineConfig::default();
+    let mut explicit_ids: Vec<ExperimentId> = vec![];
+    let mut quick = false;
+    let mut it = raw.into_iter().collect::<Vec<_>>().into_iter();
+    let take = |opt: &str, it: &mut std::vec::IntoIter<String>| {
+        it.next()
+            .ok_or_else(|| invalid(opt, "requires a value".into()))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Ok(CliCommand::Help),
+            "--resume" => cfg.resume = true,
+            "--quick" => quick = true,
+            "--out" => cfg.out_dir = PathBuf::from(take(&a, &mut it)?),
+            "--seed" => {
+                let v = take(&a, &mut it)?;
+                cfg.seed = v.parse::<u64>().map_err(|_| {
+                    invalid(
+                        "--seed",
+                        format!(
+                            "`{v}` is not an unsigned 64-bit integer \
+                             (0 ..= {}, no sign, no decimals)",
+                            u64::MAX
+                        ),
+                    )
+                })?;
+            }
+            "--fault-plan" => cfg.fault = FaultPlan::parse(&take(&a, &mut it)?)?,
+            other if other.starts_with('-') => return Err(invalid(other, "unknown option".into())),
+            other => match parse_id(other) {
+                Some(id) => explicit_ids.push(id),
+                None => return Err(HarnessError::UnknownExperiment(other.to_string())),
+            },
+        }
+    }
+    cfg.ids = match (quick, explicit_ids.is_empty()) {
+        (true, false) => {
+            return Err(invalid(
+                "--quick",
+                "cannot be combined with explicit experiment ids".into(),
+            ))
+        }
+        (true, true) => quick_experiment_ids(),
+        (false, false) => explicit_ids,
+        (false, true) => all_experiment_ids(),
+    };
+    Ok(CliCommand::Run(cfg))
+}
+
+/// FNV-1a digest of every published configuration's parameters, so a
+/// manifest records exactly which model constants produced its numbers
+/// (and `--resume` refuses to mix numbers from different constants).
+pub fn config_digest() -> String {
+    let mut d = rexec_harness::Digest::new();
+    for cfg in rexec_platforms::all_configurations() {
+        d.update(format!("{cfg:?}").as_bytes());
+    }
+    d.finish()
+}
+
+fn unix_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Reason string for a failed verification (the unit will be recomputed).
+fn verify_reason(outcome: &VerifyOutcome) -> String {
+    match outcome {
+        VerifyOutcome::Verified => unreachable!("verified units are skipped, not recomputed"),
+        VerifyOutcome::NotRecorded => "not previously sealed".into(),
+        VerifyOutcome::MissingArtifact(name) => format!("missing artifact {name}"),
+        VerifyOutcome::DigestMismatch { name, .. } => format!("digest mismatch on {name}"),
+    }
+}
+
+/// Seals one artifact: digests the intended bytes, lets the fault plan
+/// corrupt what actually lands on disk (a *silent* error: the manifest
+/// keeps the intended digest), then writes atomically under retry.
+fn seal_artifact(
+    dir: &Path,
+    name: &str,
+    bytes: &[u8],
+    retry: &RetryPolicy,
+    injector: &FaultInjector,
+) -> Result<ArtifactRecord, HarnessError> {
+    let record = ArtifactRecord {
+        name: name.to_string(),
+        bytes: bytes.len() as u64,
+        digest: rexec_harness::digest_bytes(bytes),
+    };
+    let mut on_disk = bytes.to_vec();
+    injector.corrupt_artifact(&mut on_disk);
+    atomic_write(&dir.join(name), &on_disk, retry, injector)?;
+    Ok(record)
+}
+
+/// Runs the pipeline: executes (or, on resume, verifies and skips) every
+/// unit in `cfg.ids`, sealing artifacts and checkpointing the manifest
+/// after each one, then writes the metrics report. Progress and unit
+/// reports go to stdout.
+///
+/// The fault plan's `kill-after-unit=K` aborts with
+/// [`HarnessError::KilledByFaultPlan`] after the K-th unit of *this
+/// invocation* is sealed or skipped — the manifest is already on disk,
+/// so a subsequent `--resume` continues from unit K+1.
+pub fn run(cfg: &PipelineConfig) -> Result<PipelineSummary, HarnessError> {
+    // The manifest wants per-experiment timings, so span timing is on.
+    rexec_obs::set_spans_enabled(true);
+    let injector = cfg.fault.injector();
+    let started_unix = unix_secs();
+    let run_started = Instant::now();
+    let tool_version = env!("CARGO_PKG_VERSION");
+    let digest = config_digest();
+
+    std::fs::create_dir_all(&cfg.out_dir)
+        .map_err(|e| HarnessError::io("create output directory", &cfg.out_dir, &e))?;
+    let manifest_path = cfg.out_dir.join(MANIFEST_NAME);
+    let metrics_path = cfg.out_dir.join(METRICS_NAME);
+
+    let mut manifest = if cfg.resume && manifest_path.exists() {
+        let m = RunManifest::load(&manifest_path)?;
+        m.check_resumable(TOOL_NAME, cfg.seed, &digest)?;
+        println!(
+            "resuming: manifest seals {} unit(s), re-verifying digests",
+            m.units.len()
+        );
+        m
+    } else {
+        RunManifest::new(TOOL_NAME, tool_version, cfg.seed, digest.clone())
+    };
+
+    let mut summary = PipelineSummary {
+        units: vec![],
+        manifest_path: manifest_path.clone(),
+        metrics_path: metrics_path.clone(),
+    };
+
+    for (idx, &id) in cfg.ids.iter().enumerate() {
+        let key = id_string(id);
+        let outcome = if cfg.resume {
+            match manifest.verify_unit(&cfg.out_dir, &key) {
+                VerifyOutcome::Verified => UnitOutcome::SkippedVerified,
+                other => UnitOutcome::Recomputed(verify_reason(&other)),
+            }
+        } else {
+            UnitOutcome::Computed
+        };
+
+        match &outcome {
+            UnitOutcome::SkippedVerified => {
+                println!("[{key}] verified intact, skipping (sealed by an earlier run)");
+            }
+            UnitOutcome::Recomputed(reason) => {
+                println!("[{key}] re-verification failed ({reason}); recomputing");
+                rexec_obs::counter!("harness.units_recomputed").incr();
+            }
+            UnitOutcome::Computed => {}
+        }
+
+        if outcome != UnitOutcome::SkippedVerified {
+            let exp_started = Instant::now();
+            let r = run_experiment_seeded(id, cfg.seed)?;
+            debug_assert_eq!(r.id, key, "id_string must match the experiment's own id");
+            let wall_secs = exp_started.elapsed().as_secs_f64();
+            println!("================================================================");
+            println!(
+                "[{}] {}  ({:.2}s, {} points)",
+                r.id,
+                r.title,
+                wall_secs,
+                r.point_count()
+            );
+            println!("================================================================");
+            println!("{}", r.report);
+
+            let mut artifacts = vec![];
+            for (name, csv) in &r.datasets {
+                let file = format!("{name}.csv");
+                artifacts.push(seal_artifact(
+                    &cfg.out_dir,
+                    &file,
+                    csv.as_bytes(),
+                    &cfg.retry,
+                    &injector,
+                )?);
+                println!("  dataset written: {}", cfg.out_dir.join(&file).display());
+            }
+            artifacts.push(seal_artifact(
+                &cfg.out_dir,
+                &format!("report_{key}.txt"),
+                r.report.as_bytes(),
+                &cfg.retry,
+                &injector,
+            )?);
+            println!();
+
+            manifest.record_unit(UnitRecord {
+                id: key.clone(),
+                title: r.title.clone(),
+                points: r.point_count() as u64,
+                wall_secs,
+                artifacts,
+            });
+            // Checkpoint: the manifest on disk always describes exactly
+            // the sealed prefix.
+            manifest.save(&manifest_path, &cfg.retry, &injector)?;
+            rexec_obs::counter!("harness.units_sealed").incr();
+        } else {
+            rexec_obs::counter!("harness.units_skipped").incr();
+        }
+
+        summary.units.push((key, outcome));
+        if injector.should_kill_after_unit(idx as u64 + 1) {
+            return Err(HarnessError::KilledByFaultPlan {
+                after_unit: idx as u64 + 1,
+            });
+        }
+    }
+
+    manifest.complete = true;
+    manifest.save(&manifest_path, &cfg.retry, &injector)?;
+    write_metrics(cfg, &manifest, started_unix, run_started, &injector)?;
+    println!("run manifest written: {}", manifest_path.display());
+    println!("run metrics written: {}", metrics_path.display());
+    Ok(summary)
+}
+
+/// Writes `<out>/metrics.json`: run metadata, per-unit manifest entries
+/// and the full metrics-registry snapshot. Wall-clock values live here —
+/// not in the resumable manifest state.
+fn write_metrics(
+    cfg: &PipelineConfig,
+    manifest: &RunManifest,
+    started_unix: u64,
+    run_started: Instant,
+    injector: &FaultInjector,
+) -> Result<(), HarnessError> {
+    use serde::Serialize as _;
+    let mut run = BTreeMap::new();
+    run.insert("tool".to_string(), TOOL_NAME.to_value());
+    run.insert("version".to_string(), env!("CARGO_PKG_VERSION").to_value());
+    run.insert("seed".to_string(), cfg.seed.to_value());
+    run.insert(
+        "config_digest".to_string(),
+        manifest.config_digest.to_value(),
+    );
+    run.insert("resumed".to_string(), cfg.resume.to_value());
+    run.insert("started_unix_secs".to_string(), started_unix.to_value());
+    run.insert("finished_unix_secs".to_string(), unix_secs().to_value());
+    run.insert(
+        "wall_secs".to_string(),
+        run_started.elapsed().as_secs_f64().to_value(),
+    );
+
+    let experiments: Vec<Value> = manifest
+        .units
+        .iter()
+        .map(|u| {
+            let mut entry = BTreeMap::new();
+            entry.insert("id".to_string(), u.id.to_value());
+            entry.insert("title".to_string(), u.title.to_value());
+            entry.insert("wall_secs".to_string(), u.wall_secs.to_value());
+            entry.insert("points".to_string(), u.points.to_value());
+            entry.insert(
+                "artifacts".to_string(),
+                Value::Array(u.artifacts.iter().map(|a| a.name.to_value()).collect()),
+            );
+            Value::Object(entry)
+        })
+        .collect();
+
+    let mut doc = BTreeMap::new();
+    doc.insert("run".to_string(), Value::Object(run));
+    doc.insert("experiments".to_string(), Value::Array(experiments));
+    doc.insert("metrics".to_string(), rexec_obs::global().snapshot_value());
+
+    let json = serde_json::to_string_pretty(&Value::Object(doc))
+        .expect("metrics document serializes infallibly");
+    atomic_write(
+        &cfg.out_dir.join(METRICS_NAME),
+        json.as_bytes(),
+        &cfg.retry,
+        injector,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliCommand, HarnessError> {
+        parse_cli(args.iter().map(|s| s.to_string()))
+    }
+
+    fn parsed_cfg(args: &[&str]) -> PipelineConfig {
+        match parse(args).unwrap() {
+            CliCommand::Run(cfg) => cfg,
+            CliCommand::Help => panic!("expected a run command"),
+        }
+    }
+
+    #[test]
+    fn defaults_cover_the_full_suite() {
+        let cfg = parsed_cfg(&[]);
+        assert_eq!(cfg.out_dir, PathBuf::from("results"));
+        assert_eq!(cfg.seed, DEFAULT_SEED);
+        assert!(!cfg.resume);
+        assert_eq!(cfg.ids, all_experiment_ids());
+        assert_eq!(cfg.fault, FaultPlan::default());
+    }
+
+    #[test]
+    fn quick_resume_and_fault_plan_parse() {
+        let cfg = parsed_cfg(&[
+            "--quick",
+            "--resume",
+            "--out",
+            "/tmp/r",
+            "--seed",
+            "7",
+            "--fault-plan",
+            "kill-after-unit=2,seed=3",
+        ]);
+        assert!(cfg.resume);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.ids, quick_experiment_ids());
+        assert_eq!(cfg.fault.kill_after_unit, Some(2));
+        assert_eq!(cfg.fault.seed, 3);
+    }
+
+    #[test]
+    fn explicit_ids_accept_both_spellings() {
+        let cfg = parsed_cfg(&["T-rho1.775", "T-rho1_4", "F9", "X-heatmap"]);
+        assert_eq!(
+            cfg.ids,
+            vec![
+                ExperimentId::TableRho(1.775),
+                ExperimentId::TableRho(1.4),
+                ExperimentId::FigureConfig(9),
+                ExperimentId::Heatmap,
+            ]
+        );
+    }
+
+    #[test]
+    fn seed_overflow_is_rejected_up_front_with_a_clear_message() {
+        for bad in ["18446744073709551616", "-1", "1.5", "0x10", "abc"] {
+            let err = parse(&["--seed", bad]).unwrap_err();
+            match err {
+                HarnessError::InvalidArg { what, reason } => {
+                    assert_eq!(what, "--seed");
+                    assert!(reason.contains(bad), "reason must quote `{bad}`: {reason}");
+                }
+                other => panic!("expected InvalidArg for seed `{bad}`, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_ids_and_options_are_typed_errors() {
+        assert!(matches!(
+            parse(&["F99"]),
+            Err(HarnessError::UnknownExperiment(id)) if id == "F99"
+        ));
+        assert!(matches!(
+            parse(&["--frobnicate"]),
+            Err(HarnessError::InvalidArg { .. })
+        ));
+        assert!(matches!(
+            parse(&["--quick", "F4"]),
+            Err(HarnessError::InvalidArg { what, .. }) if what == "--quick"
+        ));
+        assert!(matches!(
+            parse(&["--fault-plan", "explode=1"]),
+            Err(HarnessError::InvalidArg { .. })
+        ));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&["--help"]).unwrap(), CliCommand::Help);
+        assert_eq!(parse(&["-h"]).unwrap(), CliCommand::Help);
+        assert!(USAGE.contains("--fault-plan") && USAGE.contains("--resume"));
+    }
+
+    #[test]
+    fn id_string_round_trips_through_parse_id() {
+        for id in all_experiment_ids() {
+            let s = id_string(id);
+            assert_eq!(parse_id(&s), Some(id), "{s} must round-trip");
+        }
+    }
+
+    #[test]
+    fn config_digest_is_stable_within_a_build() {
+        assert_eq!(config_digest(), config_digest());
+        assert!(config_digest().starts_with("fnv1a:"));
+    }
+}
