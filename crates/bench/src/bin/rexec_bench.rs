@@ -18,13 +18,17 @@
 //!   §4.2 ρ-tables, reported as points/sec;
 //! * **heatmap** — a λ × ρ map, reported as cells/sec;
 //! * **simulator** — Monte Carlo pattern replication, reported as
-//!   patterns/sec (from the `sim.patterns` counter).
+//!   patterns/sec in three sub-stages: `sim_reference` (single-thread
+//!   per-attempt loop), `sim_fastpath` (single-thread geometric
+//!   sampling, with its speedup over the reference), and
+//!   `sim_fastpath_parallel` (rayon fast path, asserted bit-identical
+//!   to the sequential fast path).
 //!
 //! Every stage repeats its workload a few times and reports the *best*
 //! wall time (least-noise estimator for throughput trend lines).
 
 use rexec_bench::{atlas_crusoe, hera_xscale, synthetic_solver};
-use rexec_sim::{MonteCarlo, SimConfig};
+use rexec_sim::{Engine, MonteCarlo, SimConfig, Summary};
 use rexec_sweep::figure::{lambda_hi_for, sweep_figure_paper_grid, SweepParam};
 use rexec_sweep::{rho_table, Grid, Heatmap};
 use serde::{Serialize, Value};
@@ -187,18 +191,60 @@ fn simulator_stage(quick: bool, out: &mut Vec<StageResult>) {
     // The ρ = 3 optimum (σ1 = σ2 = 0.4, Wopt ≈ 2764) with a fast
     // re-execution speed, so the two-speed path is exercised.
     let cfg = SimConfig::from_silent_model(&model, 2764.0, 0.4, 0.8);
-    let mc = MonteCarlo::new(cfg, trials, 2024);
 
-    let before = rexec_obs::global().counter("sim.patterns").get();
-    let secs = best_of(reps, || mc.run());
-    let patterns = rexec_obs::global().counter("sim.patterns").get() - before;
-
-    let mut extra = BTreeMap::new();
-    extra.insert("patterns_total".to_string(), patterns.to_value());
+    // Single-thread reference engine: the bit-reproducible per-attempt
+    // loop, the baseline the fast path's speedup is measured against.
+    let reference = MonteCarlo::new(cfg, trials, 2024).with_engine(Engine::Reference);
+    let ref_secs = best_of(reps, || reference.run_sequential());
     out.push(StageResult {
         stage: "simulator",
-        name: "monte_carlo_hera_xscale",
-        wall_secs: secs,
+        name: "sim_reference",
+        wall_secs: ref_secs,
+        items: trials,
+        unit: "patterns",
+        extra: BTreeMap::new(),
+    });
+
+    // Single-thread geometric fast path over the same config and seed.
+    let fast = MonteCarlo::new(cfg, trials, 2024).with_engine(Engine::FastPath);
+    let fast_secs = best_of(reps, || fast.run_sequential());
+    let mut extra = BTreeMap::new();
+    extra.insert(
+        "speedup_vs_reference".to_string(),
+        (ref_secs / fast_secs.max(f64::MIN_POSITIVE)).to_value(),
+    );
+    out.push(StageResult {
+        stage: "simulator",
+        name: "sim_fastpath",
+        wall_secs: fast_secs,
+        items: trials,
+        unit: "patterns",
+        extra,
+    });
+
+    // Multi-thread fast path; its Summary must stay bit-identical to the
+    // sequential run (chunked RNG streams + order-preserving reduction).
+    let seq_summary = fast.run_sequential();
+    let before = rexec_obs::global().counter("sim.patterns").get();
+    let mut par_summary = Summary::default();
+    let par_secs = best_of(reps, || {
+        par_summary = fast.run();
+    });
+    let patterns = rexec_obs::global().counter("sim.patterns").get() - before;
+    assert_eq!(
+        par_summary, seq_summary,
+        "parallel fast path diverged from the sequential fast path"
+    );
+    let mut extra = BTreeMap::new();
+    extra.insert("patterns_total".to_string(), patterns.to_value());
+    extra.insert(
+        "speedup_vs_reference".to_string(),
+        (ref_secs / par_secs.max(f64::MIN_POSITIVE)).to_value(),
+    );
+    out.push(StageResult {
+        stage: "simulator",
+        name: "sim_fastpath_parallel",
+        wall_secs: par_secs,
         items: trials,
         unit: "patterns",
         extra,

@@ -45,6 +45,30 @@ impl Shard {
         self.sketches[name].record(value);
     }
 
+    /// Records `n` copies of `value` into the named sketch — identical
+    /// totals to `n` [`record`](Self::record) calls, one map lookup.
+    pub fn record_n(&mut self, name: &str, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if !self.sketches.contains_key(name) {
+            self.sketches
+                .insert(name.to_string(), HistogramSketch::with_default_resolution());
+        }
+        self.sketches[name].record_n(value, n);
+    }
+
+    /// Merges a locally filled sketch into the named sketch — identical
+    /// totals to recording every value through [`record`](Self::record),
+    /// but the hot loop touches a plain local sketch and pays the map
+    /// lookup once per chunk instead of once per value.
+    pub fn merge_sketch(&mut self, name: &str, other: &HistogramSketch) {
+        if !self.sketches.contains_key(name) {
+            self.sketches.insert(name.to_string(), other.empty_like());
+        }
+        self.sketches[name].merge_from(other);
+    }
+
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)

@@ -104,6 +104,27 @@ impl HistogramSketch {
         update_extreme(&self.max_bits, value, |new, cur| new > cur);
     }
 
+    /// Records `n` copies of one value in O(1) — byte-identical to `n`
+    /// successive [`record`](Self::record) calls, but the bucket index is
+    /// computed (and the extremes CAS'd) once. Hot loops that see long
+    /// runs of an identical value (e.g. the simulator fast path, where
+    /// most patterns take exactly one attempt) batch them through here.
+    pub fn record_n(&self, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if !value.is_finite() {
+            self.ignored.fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+        let value = value.max(0.0);
+        let b = self.bucket_of(value);
+        self.buckets[b].fetch_add(n, Ordering::Relaxed);
+        self.total.fetch_add(n, Ordering::Relaxed);
+        update_extreme(&self.min_bits, value, |new, cur| new < cur);
+        update_extreme(&self.max_bits, value, |new, cur| new > cur);
+    }
+
     /// Merges another sketch's counts (must share parameters).
     pub fn merge_from(&self, other: &HistogramSketch) {
         assert_eq!(self.min_value, other.min_value, "parameter mismatch");

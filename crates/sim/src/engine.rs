@@ -231,10 +231,9 @@ pub fn simulate_pattern_traced(
         tr.record(Event::new(clock, EventKind::CheckpointDone));
     }
 
-    rexec_obs::counter!("sim.patterns").incr();
-    rexec_obs::counter!("sim.attempts").add(u64::from(attempts));
-    rexec_obs::counter!("sim.silent_errors").add(u64::from(silent));
-    rexec_obs::counter!("sim.fail_stop_errors").add(u64::from(fail_stop));
+    // Deliberately *no* `rexec_obs::counter!` adds here: four registry
+    // lookups per pattern dominated the Monte Carlo hot loop. The runner
+    // batches the same `sim.*` totals once per trial chunk instead.
 
     PatternOutcome {
         time: clock,
@@ -248,6 +247,238 @@ pub fn simulate_pattern_traced(
 /// Simulates one pattern until it checkpoints successfully.
 pub fn simulate_pattern(cfg: &SimConfig, rng: &mut SimRng) -> PatternOutcome {
     simulate_pattern_traced(cfg, rng, None)
+}
+
+/// Whether `cfg` qualifies for the closed-form geometric fast path.
+///
+/// Eligible configs have no fail-stop error source: every attempt then
+/// runs its full `(W+V)/σ` phase, so a pattern is fully described by its
+/// attempt count, and that count follows the two-stage geometric law of
+/// Proposition 1 (see [`FastPattern`]). Mixed fail-stop + silent configs
+/// need the exact per-attempt loop (the attempt *duration* is random),
+/// as do trace-recording runs (the fast path never materializes events).
+#[inline]
+pub fn fast_path_eligible(cfg: &SimConfig) -> bool {
+    cfg.rates.fail_stop <= 0.0
+}
+
+/// Precomputed closed-form tables for the silent-only fast path.
+///
+/// For a silent-only config every attempt at speed `σ` takes exactly
+/// `(W+V)/σ` and fails (verification detects a latent silent error) with
+/// the Proposition-1 probability `p(σ) = 1 − e^{−λ_s W/σ}`, independently
+/// of every other attempt. The attempt count `n` therefore follows a
+/// two-stage geometric law:
+///
+/// ```text
+/// P(n = 1)      = 1 − p(σ₁)
+/// P(n = 1 + j)  = p(σ₁) · p(σ₂)^{j−1} · (1 − p(σ₂)),   j ≥ 1
+/// ```
+///
+/// Instead of replaying the per-attempt exponential-draw loop, the fast
+/// path samples `n` directly — one uniform for the first attempt, one
+/// more (inverse-CDF geometric) only if it failed — and reconstructs
+/// time and energy arithmetically:
+///
+/// ```text
+/// time(n)   = (W+V)/σ₁ + C  +  (n−1) · ((W+V)/σ₂ + R)
+/// energy(n) = analogous, at the per-phase powers
+/// ```
+///
+/// The sampled distribution of `n` (and hence of time and energy) is
+/// exactly the reference engine's; only the underlying uniform draws
+/// differ, so the equivalence is statistical, not bit-wise — pinned by
+/// the `z = 4` identity tests against the reference engine and Prop 2.
+#[derive(Debug, Clone, Copy)]
+pub struct FastPattern {
+    /// Per-attempt silent-failure probability at `σ₁`.
+    p_first: f64,
+    /// `ln(1 − p(σ₁)) = −λ_s·W/σ₁`, exact (no cancellation), cached for
+    /// run-length sampling of consecutive first-attempt successes.
+    ln_q_first: f64,
+    /// Per-attempt silent-failure probability at `σ₂`.
+    p_retry: f64,
+    /// `ln(p_retry)`, cached for the inverse-CDF geometric draw.
+    ln_p_retry: f64,
+    /// Time of a one-attempt pattern: `(W+V)/σ₁ + C`.
+    t_first: f64,
+    /// Energy of a one-attempt pattern.
+    e_first: f64,
+    /// Extra time per re-execution: `(W+V)/σ₂ + R`.
+    t_retry: f64,
+    /// Extra energy per re-execution.
+    e_retry: f64,
+    /// Success outcome (`n = 1`), precomputed: the common case by far.
+    first_try: PatternOutcome,
+}
+
+impl FastPattern {
+    /// Builds the tables, or `None` if `cfg` has a fail-stop error source
+    /// (see [`fast_path_eligible`]).
+    pub fn new(cfg: &SimConfig) -> Option<Self> {
+        if !fast_path_eligible(cfg) {
+            return None;
+        }
+        let phase = |sigma: f64| (cfg.w + cfg.costs.verification) / sigma;
+        // p = 1 − e^{−λW/σ} via expm1, exact down to subnormal rates.
+        let p_at = |sigma: f64| -(-cfg.rates.silent * cfg.w / sigma).exp_m1();
+        let p_first = p_at(cfg.sigma1);
+        let p_retry = p_at(cfg.sigma2);
+        let io = cfg.power.io_power();
+        let t_first = phase(cfg.sigma1) + cfg.costs.checkpoint;
+        let e_first =
+            phase(cfg.sigma1) * cfg.power.compute_power(cfg.sigma1) + cfg.costs.checkpoint * io;
+        let t_retry = phase(cfg.sigma2) + cfg.costs.recovery;
+        let e_retry =
+            phase(cfg.sigma2) * cfg.power.compute_power(cfg.sigma2) + cfg.costs.recovery * io;
+        Some(FastPattern {
+            p_first,
+            ln_q_first: -cfg.rates.silent * cfg.w / cfg.sigma1,
+            p_retry,
+            ln_p_retry: p_retry.ln(),
+            t_first,
+            e_first,
+            t_retry,
+            e_retry,
+            first_try: PatternOutcome {
+                time: t_first,
+                energy: e_first,
+                attempts: 1,
+                silent_errors: 0,
+                fail_stop_errors: 0,
+            },
+        })
+    }
+
+    /// The precomputed `n = 1` outcome — what [`sample`](Self::sample)
+    /// returns whenever the first attempt succeeds. Lets accumulators
+    /// batch the dominant case (its outcome never varies) instead of
+    /// re-reading it from every sample.
+    #[inline]
+    pub fn first_try_outcome(&self) -> PatternOutcome {
+        self.first_try
+    }
+
+    /// The outcome of a pattern that took `attempts` executions.
+    #[inline]
+    fn outcome(&self, attempts: u32) -> PatternOutcome {
+        let retries = f64::from(attempts - 1);
+        PatternOutcome {
+            time: self.t_first + retries * self.t_retry,
+            energy: self.e_first + retries * self.e_retry,
+            attempts,
+            silent_errors: attempts - 1,
+            fail_stop_errors: 0,
+        }
+    }
+
+    /// Samples one pattern outcome from a uniform draw source.
+    ///
+    /// Consumes one draw when the first attempt succeeds (probability
+    /// `1 − p(σ₁)`), two otherwise — never more, however many
+    /// re-executions the geometric draw encodes.
+    #[inline]
+    fn sample_with(&self, mut next: impl FnMut() -> f64) -> PatternOutcome {
+        // u ∈ (0, 1] and P(u ≤ p) = p: the first attempt fails iff u ≤ p₁.
+        if next() > self.p_first {
+            return self.first_try;
+        }
+        self.failed_first_with(next)
+    }
+
+    /// Samples the rest of a pattern whose first attempt already failed
+    /// (consumes one draw).
+    #[inline]
+    fn failed_first_with(&self, mut next: impl FnMut() -> f64) -> PatternOutcome {
+        // k = number of σ₂ attempts to first success, k ~ Geom(1 − p₂):
+        // inverse CDF, k = ⌈ln u / ln p₂⌉ (clamped to ≥ 1 for u = 1).
+        let retries = if self.p_retry <= 0.0 {
+            1.0
+        } else {
+            // p₂ rounding to 1.0 makes ln p₂ = 0 and the inverse CDF
+            // degenerate (−∞/0): the success probability is 0 within f64.
+            assert!(
+                self.p_retry < 1.0,
+                "pattern never completes: per-attempt success probability \
+                 1 - p(sigma2) is 0 within f64 precision"
+            );
+            (next().ln() / self.ln_p_retry).ceil().max(1.0)
+        };
+        assert!(
+            retries < f64::from(MAX_ATTEMPTS),
+            "pattern never completes: per-attempt success probability \
+             1 - p(sigma2) = {} is ~0 (sampled {retries} re-executions)",
+            1.0 - self.p_retry
+        );
+        self.outcome(1 + retries as u32)
+    }
+
+    /// The outcome of a pattern whose first attempt failed, sampled from
+    /// a buffered chunk stream (one draw). Pairs with
+    /// [`success_run_len`](Self::success_run_len) in the runner's
+    /// run-length-batched hot loop.
+    #[inline]
+    pub(crate) fn sample_failed_first(
+        &self,
+        draws: &mut crate::rng::UniformStream,
+    ) -> PatternOutcome {
+        self.failed_first_with(|| draws.next_uniform())
+    }
+
+    /// Number of consecutive patterns whose first attempt succeeds before
+    /// one fails, sampled from a single uniform `u ∈ (0, 1]`.
+    ///
+    /// The run length is `Geom(p(σ₁))`-distributed — `P(run = j) =
+    /// (1 − p₁)^j · p₁` — sampled by inverse CDF as `⌊ln u / ln(1 − p₁)⌋`
+    /// with `ln(1 − p₁) = −λ_s·W/σ₁` computed without cancellation. By
+    /// memorylessness a run may be truncated at a chunk boundary and
+    /// resampled fresh: `P(run ≥ k) = (1 − p₁)^k` either way. Saturates
+    /// (effectively "the whole chunk") when `p₁` rounds to 0.
+    #[inline]
+    pub(crate) fn success_run_len(&self, u: f64) -> u64 {
+        if self.p_first <= 0.0 {
+            return u64::MAX;
+        }
+        // Both logs are ≤ 0, the ratio is ≥ 0; the float→int cast
+        // saturates for tiny p₁.
+        (u.ln() / self.ln_q_first) as u64
+    }
+
+    /// Samples one pattern outcome from a buffered chunk stream (the
+    /// runner's hot path).
+    ///
+    /// # Panics
+    /// When the per-attempt success probability at `σ₂` is so close to 0
+    /// that the sampled attempt count exceeds [`MAX_ATTEMPTS`] — the same
+    /// modelling-error guard as the reference loop.
+    #[inline]
+    pub fn sample(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome {
+        self.sample_with(|| draws.next_uniform())
+    }
+
+    /// Samples one pattern outcome directly from an RNG (advancing it).
+    ///
+    /// # Panics
+    /// Same [`MAX_ATTEMPTS`] guard as [`sample`](Self::sample).
+    #[inline]
+    pub fn sample_rng(&self, rng: &mut SimRng) -> PatternOutcome {
+        self.sample_with(|| rng.uniform_open())
+    }
+}
+
+/// Simulates one silent-only pattern via the geometric fast path.
+///
+/// Statistically identical to [`simulate_pattern`] (same outcome
+/// distribution), but samples the attempt count in closed form instead of
+/// looping per attempt — see [`FastPattern`].
+///
+/// # Panics
+/// If `cfg` has a fail-stop error source (use [`simulate_pattern`]), or
+/// after the [`MAX_ATTEMPTS`] guard.
+pub fn simulate_pattern_fast(cfg: &SimConfig, rng: &mut SimRng) -> PatternOutcome {
+    let fast = FastPattern::new(cfg)
+        .expect("fast path requires a silent-only config; see fast_path_eligible()");
+    fast.sample_rng(rng)
 }
 
 /// Outcome of simulating a whole divisible-load application.
@@ -453,5 +684,122 @@ mod tests {
     fn application_rejects_zero_work() {
         let c = cfg(ErrorRates::new(0.0, 0.0).unwrap());
         simulate_application(&c, 0.0, &mut SimRng::new(1));
+    }
+
+    #[test]
+    fn fast_path_eligibility_excludes_fail_stop() {
+        assert!(fast_path_eligible(&cfg(
+            ErrorRates::silent_only(1e-4).unwrap()
+        )));
+        assert!(fast_path_eligible(&cfg(ErrorRates::new(0.0, 0.0).unwrap())));
+        assert!(!fast_path_eligible(&cfg(
+            ErrorRates::new(1e-4, 1e-5).unwrap()
+        )));
+        assert!(FastPattern::new(&cfg(ErrorRates::new(1e-4, 1e-5).unwrap())).is_none());
+    }
+
+    #[test]
+    fn fast_path_error_free_equals_reference() {
+        // λ = 0: both engines are deterministic and must agree exactly.
+        let c = cfg(ErrorRates::new(0.0, 0.0).unwrap());
+        let reference = simulate_pattern(&c, &mut SimRng::new(1));
+        let fast = simulate_pattern_fast(&c, &mut SimRng::new(1));
+        assert_eq!(fast.attempts, 1);
+        assert!((fast.time - reference.time).abs() < 1e-9);
+        assert!((fast.energy - reference.energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_path_outcomes_match_reference_per_attempt_count() {
+        // For any sampled attempt count n the fast-path time/energy must
+        // equal the reference formula: all attempts run full phases.
+        let mut c = cfg(ErrorRates::silent_only(3e-4).unwrap());
+        c.sigma2 = 0.8;
+        let fast = FastPattern::new(&c).unwrap();
+        let mut rng = SimRng::new(77);
+        let phase1 = (c.w + c.costs.verification) / c.sigma1;
+        let phase2 = (c.w + c.costs.verification) / c.sigma2;
+        let mut multi = 0;
+        for _ in 0..500 {
+            let p = fast.sample_rng(&mut rng);
+            let n = f64::from(p.attempts);
+            let expected_t =
+                phase1 + (n - 1.0) * phase2 + (n - 1.0) * c.costs.recovery + c.costs.checkpoint;
+            assert!((p.time - expected_t).abs() < 1e-6, "attempts = {n}");
+            assert_eq!(p.silent_errors, p.attempts - 1);
+            assert_eq!(p.fail_stop_errors, 0);
+            if p.attempts > 1 {
+                multi += 1;
+            }
+        }
+        assert!(multi > 0, "λW/σ1 ≈ 2 must produce re-executions");
+    }
+
+    #[test]
+    fn fast_path_mean_attempts_match_geometric_law() {
+        // E[n] = 1 + p₁ / (1 − p₂) for the two-stage geometric law.
+        let mut c = cfg(ErrorRates::silent_only(2e-4).unwrap());
+        c.sigma2 = 0.8;
+        let p1 = -(-2e-4 * c.w / c.sigma1).exp_m1();
+        let p2 = -(-2e-4 * c.w / c.sigma2).exp_m1();
+        let expected = 1.0 + p1 / (1.0 - p2);
+        let mut rng = SimRng::new(4242);
+        let n = 200_000;
+        let mean = (0..n)
+            .map(|_| f64::from(simulate_pattern_fast(&c, &mut rng).attempts))
+            .sum::<f64>()
+            / f64::from(n);
+        // SE ≈ 0.002; allow 5σ.
+        assert!(
+            (mean - expected).abs() < 0.012,
+            "mean {mean} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn success_run_lengths_follow_the_geometric_law() {
+        // E[run] = (1 − p₁)/p₁ for P(run = j) = (1 − p₁)^j · p₁.
+        let c = cfg(ErrorRates::silent_only(1e-4).unwrap());
+        let fp = FastPattern::new(&c).unwrap();
+        let p1 = -(-1e-4 * c.w / c.sigma1).exp_m1();
+        let expected = (1.0 - p1) / p1;
+        let mut rng = SimRng::new(31337);
+        let n = 100_000;
+        let mean = (0..n)
+            .map(|_| fp.success_run_len(rng.uniform_open()) as f64)
+            .sum::<f64>()
+            / f64::from(n);
+        // std(run) ≈ E[run] ≈ 1.0 here (λW/σ₁ ≈ 0.69): SE ≈ 0.004.
+        assert!(
+            (mean - expected).abs() < 5.0 * expected / f64::from(n).sqrt(),
+            "mean run {mean} vs analytic {expected}"
+        );
+        // u = 1 ⇒ the shortest run; an error-free config never fails.
+        assert_eq!(fp.success_run_len(1.0), 0);
+        let error_free = FastPattern::new(&cfg(ErrorRates::new(0.0, 0.0).unwrap())).unwrap();
+        assert_eq!(error_free.success_run_len(0.5), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "silent-only")]
+    fn fast_path_rejects_mixed_configs() {
+        let c = cfg(ErrorRates::new(1e-4, 1e-5).unwrap());
+        simulate_pattern_fast(&c, &mut SimRng::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "never completes")]
+    fn fast_path_panics_when_success_probability_vanishes() {
+        // λW/σ₂ ≈ 700: e^{−700} underflows the retry success probability
+        // to ~0, the analogue of the reference MAX_ATTEMPTS guard.
+        let mut c = cfg(ErrorRates::silent_only(1.0).unwrap());
+        c.w = 700.0;
+        c.sigma1 = 1.0;
+        c.sigma2 = 1.0;
+        let fast = FastPattern::new(&c).unwrap();
+        let mut rng = SimRng::new(3);
+        for _ in 0..100 {
+            let _ = fast.sample_rng(&mut rng);
+        }
     }
 }

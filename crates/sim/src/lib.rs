@@ -33,11 +33,14 @@ pub mod stats;
 pub mod trace;
 
 pub use energy::EnergyMeter;
-pub use engine::{simulate_application, simulate_pattern, AppOutcome, PatternOutcome, SimConfig};
+pub use engine::{
+    fast_path_eligible, simulate_application, simulate_pattern, simulate_pattern_fast, AppOutcome,
+    FastPattern, PatternOutcome, SimConfig,
+};
 pub use events::{Event, EventKind};
 pub use histogram::Histogram;
-pub use rng::SimRng;
-pub use runner::{MonteCarlo, Summary, ValidationReport};
+pub use rng::{SimRng, UniformStream};
+pub use runner::{Engine, MonteCarlo, Summary, ValidationReport};
 pub use segmented::simulate_pattern_segmented;
 pub use stats::Stats;
 pub use trace::{events_from_jsonl, events_to_jsonl, render_timeline, TraceRecorder};
@@ -46,12 +49,13 @@ pub use trace::{events_from_jsonl, events_to_jsonl, render_timeline, TraceRecord
 pub mod prelude {
     pub use crate::energy::EnergyMeter;
     pub use crate::engine::{
-        simulate_application, simulate_pattern, AppOutcome, PatternOutcome, SimConfig,
+        fast_path_eligible, simulate_application, simulate_pattern, simulate_pattern_fast,
+        AppOutcome, FastPattern, PatternOutcome, SimConfig,
     };
     pub use crate::events::{Event, EventKind};
     pub use crate::histogram::Histogram;
-    pub use crate::rng::SimRng;
-    pub use crate::runner::{MonteCarlo, Summary, ValidationReport};
+    pub use crate::rng::{SimRng, UniformStream};
+    pub use crate::runner::{Engine, MonteCarlo, Summary, ValidationReport};
     pub use crate::segmented::simulate_pattern_segmented;
     pub use crate::stats::Stats;
     pub use crate::trace::{events_from_jsonl, events_to_jsonl, render_timeline, TraceRecorder};

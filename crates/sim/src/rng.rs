@@ -3,11 +3,25 @@
 //! A thin wrapper around ChaCha8 (fast, high-quality, reproducible across
 //! platforms) exposing exactly the draws the engine needs: exponential
 //! inter-arrival times of the two Poisson error processes. Seed-splitting
-//! derives independent per-trial streams from a master seed so that a
-//! parallel Monte Carlo run is bit-identical to a sequential one.
+//! derives independent streams from a master seed so that a parallel
+//! Monte Carlo run is bit-identical to a sequential one.
+//!
+//! Two stream granularities exist, in disjoint stream-id namespaces:
+//!
+//! * [`SimRng::for_trial`] — one stream per trial (stream ids
+//!   `1..=trials`), used by the bit-reproducible reference engine;
+//! * [`SimRng::for_chunk`] — one stream per fixed-size trial *chunk*
+//!   (stream ids `2⁶³ | chunk`), used by the fast path so the cipher
+//!   setup is amortized over a whole chunk instead of paid per trial.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Stream-id namespace tag for chunk streams: chunk streams live in the
+/// top half of the 64-bit stream space, trial streams (`index + 1`) in
+/// the bottom half, so the two granularities never collide for the same
+/// master seed.
+const CHUNK_STREAM_BASE: u64 = 1 << 63;
 
 /// Simulator RNG: reproducible, splittable.
 #[derive(Debug, Clone)]
@@ -25,11 +39,38 @@ impl SimRng {
 
     /// Derives an independent stream for trial `index` from `seed`.
     ///
-    /// Uses ChaCha's stream separation rather than seed arithmetic, so
-    /// streams never overlap regardless of how much each trial consumes.
+    /// Uses ChaCha's stream separation (the 64-bit nonce words of the
+    /// cipher state) rather than seed arithmetic, so streams never
+    /// overlap regardless of how much each trial consumes: two streams
+    /// with different nonces generate disjoint keystreams for the whole
+    /// 2⁶⁴-block counter range.
+    ///
+    /// **Cost cliff**: every call builds a fresh cipher — a 32-byte key
+    /// expansion from `seed` plus a block generation on first draw
+    /// (~a few hundred ns). That is fine once per *trial*; it is a cost
+    /// cliff if paid per *draw*, and it is exactly the per-trial setup
+    /// the chunked [`for_chunk`](Self::for_chunk) streams amortize away
+    /// in the simulator fast path.
+    #[inline]
     pub fn for_trial(seed: u64, index: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         rng.set_stream(index.wrapping_add(1));
+        SimRng { inner: rng }
+    }
+
+    /// Derives an independent stream for trial-chunk `chunk` from `seed`.
+    ///
+    /// One cipher serves every trial of the chunk, so the per-trial setup
+    /// cost of [`for_trial`](Self::for_trial) is paid once per chunk.
+    /// Chunk streams are tagged into the top half of the stream-id space
+    /// ([`CHUNK_STREAM_BASE`]); trial streams use `1..=trials`, so the
+    /// two namespaces are disjoint for any realistic trial count
+    /// (`< 2⁶³`), and distinct chunks get distinct nonces — their
+    /// keystreams never overlap no matter how many draws a chunk makes.
+    #[inline]
+    pub fn for_chunk(seed: u64, chunk: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(CHUNK_STREAM_BASE | chunk);
         SimRng { inner: rng }
     }
 
@@ -38,6 +79,17 @@ impl SimRng {
     pub fn uniform_open(&mut self) -> f64 {
         // `random::<f64>()` is in [0, 1); flip to (0, 1].
         1.0 - self.inner.random::<f64>()
+    }
+
+    /// Fills `out` with uniform draws in `(0, 1]`, in the exact order
+    /// repeated [`uniform_open`](Self::uniform_open) calls would produce
+    /// them. Batching keeps the cipher state hot and lets callers refill
+    /// a local buffer once per slice instead of paying a call per draw.
+    #[inline]
+    pub fn fill_uniform(&mut self, out: &mut [f64]) {
+        for slot in out {
+            *slot = 1.0 - self.inner.random::<f64>();
+        }
     }
 
     /// Exponential draw with rate `lambda` (mean `1/λ`).
@@ -49,6 +101,46 @@ impl SimRng {
             return f64::INFINITY;
         }
         -self.uniform_open().ln() / lambda
+    }
+}
+
+/// Buffered view over one RNG stream: draws come from a small local
+/// array refilled in batches via [`SimRng::fill_uniform`], so the hot
+/// loop touches the cipher once per [`UniformStream::BUF`] draws instead
+/// of once per draw. Unconsumed buffered draws are simply discarded when
+/// the stream is dropped — each chunk owns its whole stream, so no other
+/// consumer ever observes the gap.
+#[derive(Debug)]
+pub struct UniformStream {
+    rng: SimRng,
+    buf: [f64; Self::BUF],
+    pos: usize,
+}
+
+impl UniformStream {
+    /// Draws buffered per refill.
+    pub const BUF: usize = 32;
+
+    /// Wraps an RNG stream (typically [`SimRng::for_chunk`]).
+    pub fn new(rng: SimRng) -> Self {
+        UniformStream {
+            rng,
+            buf: [0.0; Self::BUF],
+            pos: Self::BUF,
+        }
+    }
+
+    /// Next uniform draw in `(0, 1]`, identical in value and order to
+    /// calling [`SimRng::uniform_open`] directly on the wrapped stream.
+    #[inline]
+    pub fn next_uniform(&mut self) -> f64 {
+        if self.pos == Self::BUF {
+            self.rng.fill_uniform(&mut self.buf);
+            self.pos = 0;
+        }
+        let x = self.buf[self.pos];
+        self.pos += 1;
+        x
     }
 }
 
@@ -120,6 +212,72 @@ mod tests {
         for _ in 0..10_000 {
             let x = rng.exponential(1e-6);
             assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn fill_uniform_matches_repeated_uniform_open() {
+        let mut a = SimRng::for_chunk(3, 5);
+        let mut b = SimRng::for_chunk(3, 5);
+        let mut batch = [0.0; 100];
+        a.fill_uniform(&mut batch);
+        for (i, &x) in batch.iter().enumerate() {
+            assert_eq!(x, b.uniform_open(), "draw {i} diverged");
+            assert!(x > 0.0 && x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_stream_matches_unbuffered_draws() {
+        // Buffer refills at BUF-draw boundaries must be invisible.
+        let mut buffered = UniformStream::new(SimRng::for_chunk(17, 2));
+        let mut plain = SimRng::for_chunk(17, 2);
+        for i in 0..(3 * UniformStream::BUF + 7) {
+            assert_eq!(buffered.next_uniform(), plain.uniform_open(), "draw {i}");
+        }
+    }
+
+    /// Stream-separation invariant: chunk streams use distinct ChaCha
+    /// nonces, so no chunk's keystream may reproduce another's across
+    /// chunk boundaries, and the chunk namespace (`2⁶³ | chunk`) must be
+    /// disjoint from the trial namespace (`index + 1`).
+    #[test]
+    fn chunk_streams_never_overlap() {
+        use std::collections::HashSet;
+        let seed = 2024;
+        let per_stream = 512;
+        let mut seen: HashSet<u64> = HashSet::new();
+        for chunk in 0..8u64 {
+            let mut rng = SimRng::for_chunk(seed, chunk);
+            for draw in 0..per_stream {
+                // An overlap between streams would replay whole 16-word
+                // cipher blocks, i.e. massive bit-exact duplication; with
+                // disjoint keystreams a 64-bit collision among 4096+4096
+                // draws has probability ~2⁻⁴³.
+                assert!(
+                    seen.insert(rng.uniform_open().to_bits()),
+                    "chunk {chunk} draw {draw} duplicated an earlier draw"
+                );
+            }
+        }
+        // Trial streams must not alias any chunk stream either.
+        for trial in 0..8u64 {
+            let mut rng = SimRng::for_trial(seed, trial);
+            for draw in 0..per_stream {
+                assert!(
+                    seen.insert(rng.uniform_open().to_bits()),
+                    "trial {trial} draw {draw} aliased a chunk stream"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_streams_are_reproducible() {
+        let mut a = SimRng::for_chunk(9, 4);
+        let mut b = SimRng::for_chunk(9, 4);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_open(), b.uniform_open());
         }
     }
 }

@@ -1,8 +1,32 @@
 //! Parallel Monte Carlo replication and analytic-vs-sampled validation.
+//!
+//! Two engines drive the replication (selected via [`Engine`]):
+//!
+//! * **reference** — the exact per-attempt loop of
+//!   [`simulate_pattern`], one RNG stream per trial: bit-reproducible
+//!   against historical runs and required for mixed fail-stop + silent
+//!   configs and trace recording;
+//! * **fast path** — the closed-form geometric sampler of
+//!   [`FastPattern`](crate::engine::FastPattern) for silent-only configs,
+//!   one RNG stream per fixed-size trial *chunk* (stream id = chunk id),
+//!   drawing through a buffered [`UniformStream`]. Statistically
+//!   identical to the reference (same outcome law), over an order of
+//!   magnitude faster (see `sim_fastpath` in `BENCH_sweeps.json`).
+//!
+//! Either way, trials fold into plain [`Summary`] accumulators
+//! (Welford-style merge, no per-pattern allocation), chunks are aligned
+//! to a fixed absolute grid, and per-chunk results merge in chunk order —
+//! so parallel runs are **bit-identical** to sequential ones at any
+//! `RAYON_NUM_THREADS`. Observability rides along as plain-integer
+//! [`ChunkObs`] accumulators that merge exactly in the reduction and
+//! materialize one `rexec_obs` [`Shard`] per run — not one registry
+//! update per pattern, nor one sketch per chunk.
 
-use crate::engine::{simulate_pattern, simulate_pattern_traced, SimConfig};
+use crate::engine::{
+    simulate_pattern, simulate_pattern_traced, FastPattern, PatternOutcome, SimConfig,
+};
 use crate::histogram::Histogram;
-use crate::rng::SimRng;
+use crate::rng::{SimRng, UniformStream};
 use crate::stats::Stats;
 use crate::trace::TraceRecorder;
 use rayon::prelude::*;
@@ -38,9 +62,117 @@ impl Summary {
     }
 }
 
+/// Per-chunk integer totals, flushed into the obs shard once per chunk
+/// (the batched replacement for the engine's former per-pattern
+/// `counter!` adds).
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    patterns: u64,
+    attempts: u64,
+    silent: u64,
+    fail_stop: u64,
+}
+
+impl Totals {
+    #[inline]
+    fn push(&mut self, p: &PatternOutcome) {
+        self.patterns += 1;
+        self.attempts += u64::from(p.attempts);
+        self.silent += u64::from(p.silent_errors);
+        self.fail_stop += u64::from(p.fail_stop_errors);
+    }
+
+    /// Flushes into `shard` under the engine's historical counter names.
+    fn flush(&self, shard: &mut Shard) {
+        shard.incr("sim.patterns", self.patterns);
+        shard.incr("sim.attempts", self.attempts);
+        shard.incr("sim.silent_errors", self.silent);
+        shard.incr("sim.fail_stop_errors", self.fail_stop);
+    }
+}
+
+/// Plain-integer observability accumulator for one chunk (or a merge of
+/// chunks): the trial count, the `sim.*` totals, and an exact
+/// attempts-per-trial histogram (inline counts for small attempt values,
+/// a tiny spill list for pathological ones). Merging is integer addition
+/// — associative and exact — and the single [`Shard`] (with its
+/// log-bucket sketch) is built once per *run*, not per chunk: allocating
+/// and merging a ~1.7k-bucket sketch per 256-trial chunk previously cost
+/// more than the trials themselves.
+#[derive(Debug, Clone, Default)]
+struct ChunkObs {
+    trials: u64,
+    totals: Totals,
+    /// `attempt_counts[n]` = number of trials that took `n` executions,
+    /// for `n < INLINE`.
+    attempt_counts: [u64; Self::INLINE],
+    /// Exact counts for rare `attempts ≥ INLINE` trials.
+    attempt_spill: Vec<(u32, u64)>,
+}
+
+impl ChunkObs {
+    const INLINE: usize = 32;
+
+    #[inline]
+    fn record_attempts(&mut self, attempts: u32, n: u64) {
+        if (attempts as usize) < Self::INLINE {
+            self.attempt_counts[attempts as usize] += n;
+        } else if let Some(slot) = self.attempt_spill.iter_mut().find(|(a, _)| *a == attempts) {
+            slot.1 += n;
+        } else {
+            self.attempt_spill.push((attempts, n));
+        }
+    }
+
+    fn merge(mut self, other: ChunkObs) -> ChunkObs {
+        self.trials += other.trials;
+        self.totals.patterns += other.totals.patterns;
+        self.totals.attempts += other.totals.attempts;
+        self.totals.silent += other.totals.silent;
+        self.totals.fail_stop += other.totals.fail_stop;
+        for (mine, theirs) in self.attempt_counts.iter_mut().zip(other.attempt_counts) {
+            *mine += theirs;
+        }
+        for (attempts, n) in other.attempt_spill {
+            self.record_attempts(attempts, n);
+        }
+        self
+    }
+
+    /// Materializes the final shard — identical totals to recording every
+    /// trial individually (`record_n` is byte-identical to n `record`s).
+    fn into_shard(self) -> Shard {
+        let mut shard = Shard::new();
+        shard.incr("runner.trials", self.trials);
+        self.totals.flush(&mut shard);
+        for (n, &count) in self.attempt_counts.iter().enumerate() {
+            shard.record_n("runner.attempts_per_trial", n as f64, count);
+        }
+        for (attempts, count) in self.attempt_spill {
+            shard.record_n("runner.attempts_per_trial", f64::from(attempts), count);
+        }
+        shard
+    }
+}
+
+/// Which simulation engine a [`MonteCarlo`] run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Engine {
+    /// Fast path when the config is eligible (silent-only), reference
+    /// loop otherwise. The default.
+    #[default]
+    Auto,
+    /// Always the exact per-attempt loop with per-trial RNG streams —
+    /// bit-reproducible against historical runs.
+    Reference,
+    /// Always the geometric fast path with chunked RNG streams; panics
+    /// at run time if the config has a fail-stop error source.
+    FastPath,
+}
+
 /// Monte Carlo driver: replicates a pattern simulation `trials` times,
-/// in parallel, with per-trial independent RNG streams derived from a
-/// master seed (bit-reproducible regardless of thread count).
+/// in parallel, with independent RNG streams derived from a master seed
+/// (bit-reproducible regardless of thread count).
 #[derive(Debug, Clone)]
 pub struct MonteCarlo {
     /// Simulation configuration.
@@ -49,24 +181,142 @@ pub struct MonteCarlo {
     pub trials: u64,
     /// Master seed.
     pub seed: u64,
+    /// Engine selection (default [`Engine::Auto`]).
+    pub engine: Engine,
 }
 
 impl MonteCarlo {
-    /// Creates a driver.
+    /// Creates a driver with automatic engine selection.
     pub fn new(config: SimConfig, trials: u64, seed: u64) -> Self {
         MonteCarlo {
             config,
             trials,
             seed,
+            engine: Engine::Auto,
         }
+    }
+
+    /// Selects the engine explicitly (builder style).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Resolves the engine selection: `Some(tables)` for the fast path,
+    /// `None` for the reference loop.
+    ///
+    /// # Panics
+    /// If [`Engine::FastPath`] was forced for a config with a fail-stop
+    /// error source.
+    fn resolve(&self) -> Option<FastPattern> {
+        match self.engine {
+            Engine::Reference => None,
+            Engine::Auto => FastPattern::new(&self.config),
+            Engine::FastPath => Some(FastPattern::new(&self.config).expect(
+                "Engine::FastPath requires a silent-only config; \
+                 use Engine::Auto or Engine::Reference for mixed errors",
+            )),
+        }
+    }
+
+    /// Chunk triples `(chunk_lo, lo, hi)` covering `[start, end)`,
+    /// aligned to the absolute `CHUNK` grid: `chunk_lo` is the chunk's
+    /// grid origin (fixing its RNG stream id), `[lo, hi)` the trials of
+    /// this range that fall inside it. Grid alignment makes every
+    /// partition of `0..trials` reuse the same per-chunk streams.
+    fn chunk_grid(start: u64, end: u64) -> Vec<(u64, u64, u64)> {
+        let first = start - start % Self::CHUNK;
+        (first..end)
+            .step_by(Self::CHUNK as usize)
+            .map(|chunk_lo| {
+                (
+                    chunk_lo,
+                    chunk_lo.max(start),
+                    (chunk_lo + Self::CHUNK).min(end),
+                )
+            })
+            .collect()
+    }
+
+    /// Simulates one grid chunk: trials `[lo, hi)` of the chunk whose
+    /// grid origin is `chunk_lo`. Returns the folded summary plus the
+    /// chunk's plain-integer obs accumulator. Allocation-free per
+    /// pattern: outcomes fold straight into SoA `Stats` accumulators and
+    /// integer totals.
+    fn run_chunk(
+        &self,
+        fast: Option<&FastPattern>,
+        chunk_lo: u64,
+        lo: u64,
+        hi: u64,
+    ) -> (Summary, ChunkObs) {
+        let mut s = Summary::default();
+        let mut obs = ChunkObs {
+            trials: hi - lo,
+            ..ChunkObs::default()
+        };
+        match fast {
+            None => {
+                for i in lo..hi {
+                    let mut rng = SimRng::for_trial(self.seed, i);
+                    let p = simulate_pattern(&self.config, &mut rng);
+                    s.push(&p);
+                    obs.totals.push(&p);
+                    obs.record_attempts(p.attempts, 1);
+                }
+            }
+            Some(fp) => {
+                let mut draws =
+                    UniformStream::new(SimRng::for_chunk(self.seed, chunk_lo / Self::CHUNK));
+                // Run-length batching: the count of consecutive trials
+                // whose first attempt succeeds is geometric, so one
+                // uniform samples the whole run (its identical outcomes
+                // tally arithmetically), and one more samples each
+                // failing trial's re-execution count — ~2·p₁·CHUNK + 1
+                // draws per chunk instead of CHUNK, and no per-trial
+                // Welford updates for the dominant single-attempt case.
+                // A range starting mid-chunk replays the same draw
+                // sequence from the grid origin and only counts trials
+                // in `[lo, hi)`.
+                let mut first_try = 0u64;
+                let mut retried = Summary::default();
+                let mut i = chunk_lo;
+                while i < hi {
+                    let run = fp.success_run_len(draws.next_uniform()).min(hi - i);
+                    // Trials of [i, i+run) that fall inside [lo, hi).
+                    let counted_from = i.max(lo);
+                    first_try += (i + run).saturating_sub(counted_from);
+                    i += run;
+                    if i < hi {
+                        let p = fp.sample_failed_first(&mut draws);
+                        if i >= lo {
+                            retried.push(&p);
+                            obs.totals.push(&p);
+                            obs.record_attempts(p.attempts, 1);
+                        }
+                        i += 1;
+                    }
+                }
+                let ft = fp.first_try_outcome();
+                s.time = Stats::repeated(ft.time, first_try);
+                s.energy = Stats::repeated(ft.energy, first_try);
+                s.attempts = Stats::repeated(1.0, first_try);
+                s = s.merge(retried);
+                obs.totals.patterns += first_try;
+                obs.totals.attempts += first_try;
+                obs.record_attempts(1, first_try);
+            }
+        }
+        (s, obs)
     }
 
     /// Runs all replications in parallel and aggregates.
     ///
-    /// Instrumented: each worker fills a thread-local [`Shard`]
-    /// (`runner.trials` counter, `runner.attempts_per_trial` sketch); the
-    /// shards merge deterministically along the reduction and flush into
-    /// the global registry, so the aggregates are identical for any
+    /// Instrumented: each worker fills a plain-integer [`ChunkObs`]
+    /// (`runner.trials`, the `sim.*` totals, and the exact
+    /// `runner.attempts_per_trial` histogram); the accumulators merge
+    /// deterministically along the reduction and flush into the global
+    /// registry once, so the aggregates are identical for any
     /// `RAYON_NUM_THREADS`. The wall-clock `runner.trials_per_sec` gauge
     /// is excluded from that guarantee.
     pub fn run(&self) -> Summary {
@@ -102,39 +352,38 @@ impl MonteCarlo {
         summary
     }
 
-    /// Runs trial indices `[start, end)` in parallel. Each trial `i`
-    /// draws from `SimRng::for_trial(seed, i)` regardless of the range
-    /// split, so any partition of `0..trials` reproduces the trials of a
-    /// single [`run`](Self::run).
+    /// Runs trial indices `[start, end)` in parallel (empty ranges
+    /// return an empty [`Summary`] without touching the registry).
+    ///
+    /// Chunks align to the absolute `CHUNK` grid and their results merge
+    /// in chunk order, so for any `RAYON_NUM_THREADS` the summary is
+    /// bit-identical to a sequential evaluation, and any partition of
+    /// `0..trials` replays exactly the trials of a single
+    /// [`run`](Self::run): the reference engine re-derives per-trial
+    /// streams, the fast path replays each partial chunk's stream prefix.
+    /// Gluing range summaries left-to-right is bit-identical to
+    /// [`run`](Self::run) when the splits are chunk-aligned and every
+    /// range after the first is a single chunk (the glue then replays
+    /// `run`'s exact left-fold); other partitions cover the same trials
+    /// but regroup the non-associative float merges, so their moments
+    /// agree only to ~1e-9 (counts and extremes stay exact).
     pub fn run_range(&self, start: u64, end: u64) -> Summary {
-        let chunks: Vec<(u64, u64)> = (start..end)
-            .step_by(Self::CHUNK as usize)
-            .map(|lo| (lo, (lo + Self::CHUNK).min(end)))
-            .collect();
-        let (summary, shard) = chunks
+        if start >= end {
+            return Summary::default();
+        }
+        let fast = self.resolve();
+        let (summary, obs) = Self::chunk_grid(start, end)
             .into_par_iter()
-            .map(|(lo, hi)| {
-                let mut s = Summary::default();
-                let mut shard = Shard::new();
-                for i in lo..hi {
-                    let mut rng = SimRng::for_trial(self.seed, i);
-                    let p = simulate_pattern(&self.config, &mut rng);
-                    s.push(&p);
-                    shard.record("runner.attempts_per_trial", f64::from(p.attempts));
-                }
-                // One batched increment per chunk: same total as a
-                // per-trial `incr`, fewer map lookups in the hot loop.
-                shard.incr("runner.trials", hi - lo);
-                (s, shard)
-            })
+            .map(|(chunk_lo, lo, hi)| self.run_chunk(fast.as_ref(), chunk_lo, lo, hi))
             .reduce(
-                || (Summary::default(), Shard::new()),
-                |(sa, ha), (sb, hb)| (sa.merge(sb), ha.merge(hb)),
+                || (Summary::default(), ChunkObs::default()),
+                |(sa, oa), (sb, ob)| (sa.merge(sb), oa.merge(ob)),
             );
-        rexec_obs::global().absorb(&shard);
+        rexec_obs::global().absorb(&obs.into_shard());
         summary
     }
 
+    /// Trials per chunk: the RNG-stream and reduction granule.
     const CHUNK: u64 = 256;
 
     fn record_throughput(&self, started: std::time::Instant) {
@@ -147,26 +396,31 @@ impl MonteCarlo {
     /// Runs all replications in parallel, additionally collecting full
     /// time/energy distributions (1 % relative resolution). Returns
     /// `(summary, time_histogram, energy_histogram)`.
+    ///
+    /// Always uses the per-trial reference engine: distribution studies
+    /// want the historical bit-reproducible trial streams.
     pub fn run_with_histograms(&self) -> (Summary, Histogram, Histogram) {
         const CHUNK: u64 = 256;
         let chunks: Vec<(u64, u64)> = (0..self.trials)
             .step_by(CHUNK as usize)
             .map(|start| (start, (start + CHUNK).min(self.trials)))
             .collect();
-        chunks
+        let (summary, th, eh, totals) = chunks
             .into_par_iter()
             .map(|(start, end)| {
                 let mut s = Summary::default();
                 let mut th = Histogram::with_default_resolution();
                 let mut eh = Histogram::with_default_resolution();
+                let mut totals = Totals::default();
                 for i in start..end {
                     let mut rng = SimRng::for_trial(self.seed, i);
                     let p = simulate_pattern(&self.config, &mut rng);
                     s.push(&p);
+                    totals.push(&p);
                     th.record(p.time);
                     eh.record(p.energy);
                 }
-                (s, th, eh)
+                (s, th, eh, totals)
             })
             .reduce(
                 || {
@@ -174,41 +428,68 @@ impl MonteCarlo {
                         Summary::default(),
                         Histogram::with_default_resolution(),
                         Histogram::with_default_resolution(),
+                        Totals::default(),
                     )
                 },
-                |(sa, mut tha, mut eha), (sb, thb, ehb)| {
+                |(sa, mut tha, mut eha, ta), (sb, thb, ehb, tb)| {
                     tha.merge(&thb);
                     eha.merge(&ehb);
-                    (sa.merge(sb), tha, eha)
+                    (
+                        sa.merge(sb),
+                        tha,
+                        eha,
+                        Totals {
+                            patterns: ta.patterns + tb.patterns,
+                            attempts: ta.attempts + tb.attempts,
+                            silent: ta.silent + tb.silent,
+                            fail_stop: ta.fail_stop + tb.fail_stop,
+                        },
+                    )
                 },
-            )
+            );
+        let mut shard = Shard::new();
+        totals.flush(&mut shard);
+        rexec_obs::global().absorb(&shard);
+        (summary, th, eh)
     }
 
-    /// Runs sequentially (for determinism tests and tiny workloads).
+    /// Runs sequentially — no thread pool, same chunk grid. The summary
+    /// *and* the absorbed obs aggregates are bit-identical to
+    /// [`run`](Self::run) at any thread count (the baseline the
+    /// determinism tests and the tracked bench compare against).
     pub fn run_sequential(&self) -> Summary {
-        let mut s = Summary::default();
-        for i in 0..self.trials {
-            let mut rng = SimRng::for_trial(self.seed, i);
-            s.push(&simulate_pattern(&self.config, &mut rng));
+        let fast = self.resolve();
+        let mut summary = Summary::default();
+        let mut obs = ChunkObs::default();
+        for (chunk_lo, lo, hi) in Self::chunk_grid(0, self.trials) {
+            let (s, o) = self.run_chunk(fast.as_ref(), chunk_lo, lo, hi);
+            summary = summary.merge(s);
+            obs = obs.merge(o);
         }
-        s
+        rexec_obs::global().absorb(&obs.into_shard());
+        summary
     }
 
     /// Runs sequentially while recording every trial's events into one
     /// bounded trace (at most `capacity` events; the rest are counted as
     /// dropped and surfaced in [`Summary::dropped_events`]).
+    ///
+    /// Always uses the reference engine: the fast path never materializes
+    /// events.
     pub fn run_with_trace(&self, capacity: usize) -> (Summary, TraceRecorder) {
         let mut recorder = TraceRecorder::new(capacity);
         let mut s = Summary::default();
+        let mut totals = Totals::default();
         for i in 0..self.trials {
             let mut rng = SimRng::for_trial(self.seed, i);
-            s.push(&simulate_pattern_traced(
-                &self.config,
-                &mut rng,
-                Some(&mut recorder),
-            ));
+            let p = simulate_pattern_traced(&self.config, &mut rng, Some(&mut recorder));
+            s.push(&p);
+            totals.push(&p);
         }
         s.dropped_events = recorder.dropped() as u64;
+        let mut shard = Shard::new();
+        totals.flush(&mut shard);
+        rexec_obs::global().absorb(&shard);
         (s, recorder)
     }
 
@@ -282,12 +563,129 @@ mod tests {
     fn parallel_equals_sequential() {
         let m = silent_model(1e-4);
         let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
-        let mc = MonteCarlo::new(cfg, 2000, 42);
-        let par = mc.run();
-        let seq = mc.run_sequential();
-        assert_eq!(par.time.count(), seq.time.count());
-        assert!((par.time.mean() - seq.time.mean()).abs() < 1e-9);
-        assert!((par.energy.mean() - seq.energy.mean()).abs() < 1e-6);
+        for engine in [Engine::Reference, Engine::FastPath, Engine::Auto] {
+            let mc = MonteCarlo::new(cfg, 2000, 42).with_engine(engine);
+            let par = mc.run();
+            let seq = mc.run_sequential();
+            // Same chunk grid, same per-chunk streams, in-order merge:
+            // parallel and sequential runs are bit-identical.
+            assert_eq!(par, seq, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn auto_engine_matches_explicit_selection() {
+        let m = silent_model(1e-4);
+        // Silent-only: Auto must resolve to the fast path...
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        let auto = MonteCarlo::new(cfg, 1024, 9).run();
+        let fast = MonteCarlo::new(cfg, 1024, 9)
+            .with_engine(Engine::FastPath)
+            .run();
+        assert_eq!(auto, fast);
+        // ...and with fail-stop errors, to the reference loop.
+        let mixed = SimConfig {
+            rates: rexec_core::ErrorRates::new(1e-4, 5e-5).unwrap(),
+            ..cfg
+        };
+        let auto = MonteCarlo::new(mixed, 1024, 9).run();
+        let reference = MonteCarlo::new(mixed, 1024, 9)
+            .with_engine(Engine::Reference)
+            .run();
+        assert_eq!(auto, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "silent-only")]
+    fn forced_fast_path_rejects_mixed_configs() {
+        let m = silent_model(1e-4);
+        let mut cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        cfg.rates = rexec_core::ErrorRates::new(1e-4, 5e-5).unwrap();
+        let _ = MonteCarlo::new(cfg, 16, 1)
+            .with_engine(Engine::FastPath)
+            .run();
+    }
+
+    #[test]
+    fn empty_range_yields_empty_summary() {
+        let m = silent_model(1e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        for engine in [Engine::Reference, Engine::FastPath] {
+            let mc = MonteCarlo::new(cfg, 1000, 5).with_engine(engine);
+            for start in [0, 100, 256, 1000] {
+                let s = mc.run_range(start, start);
+                assert_eq!(s, Summary::default(), "engine {engine:?} start {start}");
+                assert_eq!(s.time.count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_trial_ranges_compose_the_full_run() {
+        let m = silent_model(2e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        for engine in [Engine::Reference, Engine::FastPath] {
+            let mc = MonteCarlo::new(cfg, 40, 77).with_engine(engine);
+            let whole = mc.run();
+            let mut glued = Summary::default();
+            for i in 0..40 {
+                let one = mc.run_range(i, i + 1);
+                assert_eq!(one.time.count(), 1, "engine {engine:?} trial {i}");
+                glued = glued.merge(one);
+            }
+            // Same trials (single-trial ranges replay each chunk prefix),
+            // so counts and exact extremes agree; the float moments see a
+            // different merge tree, hence the tolerance.
+            assert_eq!(glued.time.count(), whole.time.count());
+            assert_eq!(glued.time.min(), whole.time.min());
+            assert_eq!(glued.time.max(), whole.time.max());
+            assert!((glued.time.mean() - whole.time.mean()).abs() < 1e-9);
+            assert!((glued.energy.mean() - whole.energy.mean()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn chunk_aligned_ranges_merge_to_exactly_run() {
+        // 1000 trials = chunks [0,256) [256,512) [512,768) [768,1000).
+        // Gluing left-to-right with chunk-aligned boundaries reproduces
+        // run()'s exact left-fold over the chunk sequence (a leading
+        // multi-chunk prefix plus single-chunk continuations), so the
+        // glued summary is bit-identical — `Stats::merge` is not float-
+        // associative, so arbitrary regrouping would only agree to ~1e-9.
+        let m = silent_model(1e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        for engine in [Engine::Reference, Engine::FastPath] {
+            let mc = MonteCarlo::new(cfg, 1000, 21).with_engine(engine);
+            let whole = mc.run();
+            let glued = mc
+                .run_range(0, 512)
+                .merge(mc.run_range(512, 768))
+                .merge(mc.run_range(768, 1000));
+            assert_eq!(glued, whole, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn unaligned_ranges_replay_the_same_trials() {
+        let m = silent_model(1e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        for engine in [Engine::Reference, Engine::FastPath] {
+            let mc = MonteCarlo::new(cfg, 700, 33).with_engine(engine);
+            let whole = mc.run();
+            // Splits inside chunks: the fast path must replay stream
+            // prefixes so trial outcomes are identical.
+            let glued = mc
+                .run_range(0, 100)
+                .merge(mc.run_range(100, 300))
+                .merge(mc.run_range(300, 700));
+            assert_eq!(glued.time.count(), whole.time.count());
+            assert_eq!(glued.time.min(), whole.time.min());
+            assert_eq!(glued.time.max(), whole.time.max());
+            assert_eq!(glued.attempts.min(), whole.attempts.min());
+            assert_eq!(glued.attempts.max(), whole.attempts.max());
+            assert!((glued.time.mean() - whole.time.mean()).abs() < 1e-9);
+            assert!((glued.attempts.mean() - whole.attempts.mean()).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -33,6 +33,24 @@ impl Stats {
         }
     }
 
+    /// Accumulator of `n` copies of `x` in O(1): mean `x`, zero spread.
+    /// Merging it is mathematically identical to `n` successive
+    /// [`push`](Self::push)`(x)` calls (the Chan update with `m2 = 0`),
+    /// which lets hot loops batch a dominant repeated outcome instead of
+    /// paying the Welford update per observation.
+    pub fn repeated(x: f64, n: u64) -> Self {
+        if n == 0 {
+            return Stats::new();
+        }
+        Stats {
+            n,
+            mean: x,
+            m2: 0.0,
+            min: x,
+            max: x,
+        }
+    }
+
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         self.n += 1;
@@ -197,6 +215,41 @@ mod tests {
         d.merge(&src);
         assert_eq!(d.min(), 7248.5);
         assert_eq!(d.max(), 7248.5);
+    }
+
+    #[test]
+    fn repeated_matches_pushed_copies() {
+        let mut pushed = Stats::new();
+        for _ in 0..1000 {
+            pushed.push(7.25);
+        }
+        let batched = Stats::repeated(7.25, 1000);
+        assert_eq!(batched.count(), pushed.count());
+        assert!((batched.mean() - pushed.mean()).abs() < 1e-12);
+        assert_eq!(batched.variance(), 0.0);
+        assert_eq!(batched.min(), pushed.min());
+        assert_eq!(batched.max(), pushed.max());
+        assert_eq!(Stats::repeated(7.25, 0), Stats::new());
+
+        // Merging a repeated block into a mixed accumulator agrees with
+        // pushing the same copies one by one.
+        let data: Vec<f64> = (0..50).map(|i| (i as f64).cos() * 3.0).collect();
+        let mut serial = Stats::new();
+        for _ in 0..200 {
+            serial.push(1.0);
+        }
+        for &x in &data {
+            serial.push(x);
+        }
+        let mut block = Stats::repeated(1.0, 200);
+        let mut rest = Stats::new();
+        for &x in &data {
+            rest.push(x);
+        }
+        block.merge(&rest);
+        assert_eq!(block.count(), serial.count());
+        assert!((block.mean() - serial.mean()).abs() < 1e-12);
+        assert!((block.variance() - serial.variance()).abs() < 1e-10);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! which must not race with a concurrently running sibling test.
 
 use rexec::obs::{self, Shard};
-use rexec::sim::{MonteCarlo, SimConfig};
+use rexec::sim::{Engine, MonteCarlo, SimConfig};
 use rexec_cli::args::Args;
 use rexec_cli::run::execute;
 
@@ -87,6 +87,46 @@ fn aggregates_are_byte_identical_across_thread_counts() {
         plain, sliced,
         "run_with_progress must absorb identical aggregates"
     );
+
+    // The runner now flushes the `sim.*` counters once per trial chunk
+    // instead of the engine bumping them per pattern; the batched adds
+    // must preserve the exact totals. Every attempt ends in success, a
+    // detected silent error, or a fail-stop interrupt, so
+    // `sim.attempts = sim.patterns + sim.silent_errors +
+    // sim.fail_stop_errors` holds exactly, and `sim.patterns` counts
+    // every trial.
+    let sim_totals = |engine: Engine, cfg: SimConfig| {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        obs::reset();
+        MonteCarlo::new(cfg, 4096, 42).with_engine(engine).run();
+        let g = obs::global();
+        (
+            g.counter("sim.patterns").get(),
+            g.counter("sim.attempts").get(),
+            g.counter("sim.silent_errors").get(),
+            g.counter("sim.fail_stop_errors").get(),
+        )
+    };
+    let (patterns, attempts, silent, fail_stop) = sim_totals(Engine::Reference, sim_config());
+    assert_eq!(patterns, 4096);
+    assert!(silent > 0 && fail_stop > 0, "mixed config must hit errors");
+    assert_eq!(
+        attempts,
+        patterns + silent + fail_stop,
+        "batched counter flush lost attempts"
+    );
+
+    // Same invariant on the geometric fast path (silent-only config),
+    // where it degenerates to attempts = patterns + silent errors.
+    let silent_cfg = SimConfig {
+        rates: rexec::core::ErrorRates::silent_only(1e-4).unwrap(),
+        ..sim_config()
+    };
+    let (patterns, attempts, silent, fail_stop) = sim_totals(Engine::FastPath, silent_cfg);
+    assert_eq!(patterns, 4096);
+    assert_eq!(fail_stop, 0);
+    assert!(silent > 0, "inflated λ must produce retries");
+    assert_eq!(attempts, patterns + silent);
 
     // Hand-built shards: any partition merges to the same aggregate and
     // absorbs into a registry exactly once.

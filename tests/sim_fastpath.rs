@@ -1,0 +1,80 @@
+//! Acceptance tests for the geometric fast-path engine: bit-identical
+//! summaries across thread counts (chunked RNG streams + deterministic
+//! merge), and statistical identity with both the per-attempt reference
+//! engine and the analytic expectations (Propositions 2–3).
+//!
+//! Everything lives in a single `#[test]` because the thread-count
+//! section mutates process-global state (`RAYON_NUM_THREADS`), which
+//! must not race with a concurrently running sibling test.
+
+use rexec::prelude::*;
+
+#[test]
+fn fast_path_is_bit_identical_and_statistically_exact() {
+    let m = configuration(ConfigId {
+        platform: PlatformId::Hera,
+        processor: ProcessorId::IntelXScale,
+    })
+    .silent_model()
+    .unwrap()
+    .with_lambda(1e-4); // inflated λ so re-executions are actually hit
+    let (w, s1, s2) = (2764.0, 0.4, 0.8);
+    let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
+
+    // Bit-identity: one trial chunk = one RNG stream, and the vendored
+    // rayon reduction preserves input order, so the parallel summary is
+    // the sequential summary byte for byte at any worker count.
+    let mc = MonteCarlo::new(cfg, 20_000, 77).with_engine(Engine::FastPath);
+    let baseline = mc.run_sequential();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        assert_eq!(
+            mc.run(),
+            baseline,
+            "parallel fast path diverged at {threads} threads"
+        );
+    }
+
+    // Statistical identity on 10⁵ trials: the fast path samples attempt
+    // counts geometrically instead of replaying attempts, so its draws
+    // differ from the reference engine's — but both must agree with
+    // Propositions 2–3 within z = 4, and with each other within 4
+    // combined standard errors (two-sample z-test).
+    let trials = 100_000;
+    let fast = MonteCarlo::new(cfg, trials, 31)
+        .with_engine(Engine::FastPath)
+        .run();
+    let reference = MonteCarlo::new(cfg, trials, 32)
+        .with_engine(Engine::Reference)
+        .run();
+
+    let (t_exp, e_exp) = (m.expected_time(w, s1, s2), m.expected_energy(w, s1, s2));
+    assert!(
+        fast.time.contains(t_exp, 4.0),
+        "Prop 2: fast-path time {} vs analytic {t_exp}",
+        fast.time.mean()
+    );
+    assert!(
+        fast.energy.contains(e_exp, 4.0),
+        "Prop 3: fast-path energy {} vs analytic {e_exp}",
+        fast.energy.mean()
+    );
+
+    for (name, f, r) in [
+        ("time", &fast.time, &reference.time),
+        ("energy", &fast.energy, &reference.energy),
+        ("attempts", &fast.attempts, &reference.attempts),
+    ] {
+        let se = (f.std_error().powi(2) + r.std_error().powi(2)).sqrt();
+        let gap = (f.mean() - r.mean()).abs();
+        assert!(
+            gap <= 4.0 * se,
+            "{name}: fast-path mean {} vs reference mean {} (gap {gap:.3e} > 4·se {:.3e})",
+            f.mean(),
+            r.mean(),
+            4.0 * se
+        );
+        assert_eq!(f.count(), trials);
+        assert_eq!(r.count(), trials);
+    }
+}
