@@ -47,7 +47,19 @@ fn bench_simulator(c: &mut Criterion) {
     group.throughput(Throughput::Elements(trials));
     group.bench_function("monte_carlo_parallel_10k", |b| {
         let mc = MonteCarlo::new(cfg, trials, 7);
-        b.iter(|| black_box(mc.run()));
+        b.iter(|| black_box(mc.run().unwrap()));
+    });
+
+    group.bench_function("monte_carlo_mixed_parallel_10k", |b| {
+        let m = hera_xscale().silent_model().unwrap();
+        let mm =
+            rexec_core::MixedModel::new(ErrorRates::new(8e-5, 5e-5).unwrap(), m.costs, m.power);
+        let mc = MonteCarlo::new(
+            SimConfig::from_mixed_model(&mm, 3000.0, 0.6, 1.0),
+            trials,
+            7,
+        );
+        b.iter(|| black_box(mc.run().unwrap()));
     });
 
     group.bench_function("segmented_pattern_q4", |b| {
@@ -64,7 +76,7 @@ fn bench_simulator(c: &mut Criterion) {
 
     group.bench_function("monte_carlo_with_histograms_5k", |b| {
         let mc = MonteCarlo::new(base_config(1e-4), 5_000, 9);
-        b.iter(|| black_box(mc.run_with_histograms()));
+        b.iter(|| black_box(mc.run_with_histograms().unwrap()));
     });
 
     group.bench_function("figure1_trace_and_render", |b| {

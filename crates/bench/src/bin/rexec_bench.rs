@@ -22,7 +22,9 @@
 //!   per-attempt loop), `sim_fastpath` (single-thread geometric
 //!   sampling, with its speedup over the reference), and
 //!   `sim_fastpath_parallel` (rayon fast path, asserted bit-identical
-//!   to the sequential fast path).
+//!   to the sequential fast path); the same trio runs again on a mixed
+//!   fail-stop + silent config as `sim_mixed_reference`,
+//!   `sim_mixed_fastpath` and `sim_mixed_fastpath_parallel`.
 //!
 //! Every stage repeats its workload a few times and reports the *best*
 //! wall time (least-noise estimator for throughput trend lines).
@@ -51,12 +53,10 @@ struct StageResult {
 }
 
 impl StageResult {
+    /// Items per second; 0 for a zero-duration stage so the JSON report
+    /// never contains `inf`/NaN (which downstream parsers misread).
     fn per_sec(&self) -> f64 {
-        if self.wall_secs > 0.0 {
-            self.items as f64 / self.wall_secs
-        } else {
-            f64::INFINITY
-        }
+        finite_ratio(self.items as f64, self.wall_secs)
     }
 
     fn to_value(&self) -> Value {
@@ -71,6 +71,17 @@ impl StageResult {
             m.insert(k.clone(), v.clone());
         }
         Value::Object(m)
+    }
+}
+
+/// `num / den` kept finite: a non-positive or non-finite denominator
+/// (e.g. a zero-duration reference stage on a coarse clock) yields 0.0
+/// instead of leaking `inf`/NaN into `BENCH_sweeps.json`.
+fn finite_ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 && num.is_finite() {
+        num / den
+    } else {
+        0.0
     }
 }
 
@@ -118,7 +129,7 @@ fn solver_stages(quick: bool, out: &mut Vec<StageResult>) {
         extra.insert("per_point_wall_secs".to_string(), per_point_secs.to_value());
         extra.insert(
             "batched_speedup".to_string(),
-            (per_point_secs / batched_secs.max(f64::MIN_POSITIVE)).to_value(),
+            finite_ratio(per_point_secs, batched_secs).to_value(),
         );
         out.push(StageResult {
             stage: "solver",
@@ -184,38 +195,48 @@ fn sweep_stages(quick: bool, out: &mut Vec<StageResult>) {
     });
 }
 
-fn simulator_stage(quick: bool, out: &mut Vec<StageResult>) {
+/// Benches one config through the reference engine, the sequential fast
+/// path and the parallel fast path (asserted bit-identical to the
+/// sequential one), pushing the three named stages.
+fn simulator_trio(
+    quick: bool,
+    out: &mut Vec<StageResult>,
+    cfg: SimConfig,
+    names: [&'static str; 3],
+) {
     let reps = if quick { 2 } else { 5 };
     let trials: u64 = if quick { 4_000 } else { 40_000 };
-    let model = hera_xscale().silent_model().expect("valid configuration");
-    // The ρ = 3 optimum (σ1 = σ2 = 0.4, Wopt ≈ 2764) with a fast
-    // re-execution speed, so the two-speed path is exercised.
-    let cfg = SimConfig::from_silent_model(&model, 2764.0, 0.4, 0.8);
 
     // Single-thread reference engine: the bit-reproducible per-attempt
     // loop, the baseline the fast path's speedup is measured against.
     let reference = MonteCarlo::new(cfg, trials, 2024).with_engine(Engine::Reference);
-    let ref_secs = best_of(reps, || reference.run_sequential());
+    let ref_secs = best_of(reps, || {
+        reference
+            .run_sequential()
+            .expect("benchmark config is valid")
+    });
     out.push(StageResult {
         stage: "simulator",
-        name: "sim_reference",
+        name: names[0],
         wall_secs: ref_secs,
         items: trials,
         unit: "patterns",
         extra: BTreeMap::new(),
     });
 
-    // Single-thread geometric fast path over the same config and seed.
+    // Single-thread closed-form fast path over the same config and seed.
     let fast = MonteCarlo::new(cfg, trials, 2024).with_engine(Engine::FastPath);
-    let fast_secs = best_of(reps, || fast.run_sequential());
+    let fast_secs = best_of(reps, || {
+        fast.run_sequential().expect("benchmark config is valid")
+    });
     let mut extra = BTreeMap::new();
     extra.insert(
         "speedup_vs_reference".to_string(),
-        (ref_secs / fast_secs.max(f64::MIN_POSITIVE)).to_value(),
+        finite_ratio(ref_secs, fast_secs).to_value(),
     );
     out.push(StageResult {
         stage: "simulator",
-        name: "sim_fastpath",
+        name: names[1],
         wall_secs: fast_secs,
         items: trials,
         unit: "patterns",
@@ -224,11 +245,11 @@ fn simulator_stage(quick: bool, out: &mut Vec<StageResult>) {
 
     // Multi-thread fast path; its Summary must stay bit-identical to the
     // sequential run (chunked RNG streams + order-preserving reduction).
-    let seq_summary = fast.run_sequential();
+    let seq_summary = fast.run_sequential().expect("benchmark config is valid");
     let before = rexec_obs::global().counter("sim.patterns").get();
     let mut par_summary = Summary::default();
     let par_secs = best_of(reps, || {
-        par_summary = fast.run();
+        par_summary = fast.run().expect("benchmark config is valid");
     });
     let patterns = rexec_obs::global().counter("sim.patterns").get() - before;
     assert_eq!(
@@ -239,16 +260,48 @@ fn simulator_stage(quick: bool, out: &mut Vec<StageResult>) {
     extra.insert("patterns_total".to_string(), patterns.to_value());
     extra.insert(
         "speedup_vs_reference".to_string(),
-        (ref_secs / par_secs.max(f64::MIN_POSITIVE)).to_value(),
+        finite_ratio(ref_secs, par_secs).to_value(),
     );
     out.push(StageResult {
         stage: "simulator",
-        name: "sim_fastpath_parallel",
+        name: names[2],
         wall_secs: par_secs,
         items: trials,
         unit: "patterns",
         extra,
     });
+}
+
+fn simulator_stage(quick: bool, out: &mut Vec<StageResult>) {
+    let model = hera_xscale().silent_model().expect("valid configuration");
+    // The ρ = 3 optimum (σ1 = σ2 = 0.4, Wopt ≈ 2764) with a fast
+    // re-execution speed, so the two-speed path is exercised.
+    let silent_cfg = SimConfig::from_silent_model(&model, 2764.0, 0.4, 0.8);
+    simulator_trio(
+        quick,
+        out,
+        silent_cfg,
+        ["sim_reference", "sim_fastpath", "sim_fastpath_parallel"],
+    );
+
+    // Mixed fail-stop + silent errors at §5 rates: exercises the
+    // three-way categorical fast path instead of the geometric one.
+    let mm = rexec_core::MixedModel::new(
+        rexec_core::ErrorRates::new(8e-5, 5e-5).expect("valid rates"),
+        model.costs,
+        model.power,
+    );
+    let mixed_cfg = SimConfig::from_mixed_model(&mm, 3000.0, 0.6, 1.0);
+    simulator_trio(
+        quick,
+        out,
+        mixed_cfg,
+        [
+            "sim_mixed_reference",
+            "sim_mixed_fastpath",
+            "sim_mixed_fastpath_parallel",
+        ],
+    );
 }
 
 fn die(msg: &str) -> ! {

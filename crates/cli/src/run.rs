@@ -32,6 +32,8 @@ pub enum RunError {
     Model(ModelError),
     /// Neither a named configuration nor enough custom parameters.
     Underspecified(&'static str),
+    /// The simulation engine refused the config (degenerate pattern).
+    Engine(rexec_sim::EngineError),
 }
 
 impl std::fmt::Display for RunError {
@@ -45,6 +47,7 @@ impl std::fmt::Display for RunError {
                     "missing parameter: {what} (give --platform/--processor or custom values)"
                 )
             }
+            RunError::Engine(e) => write!(f, "simulation refused: {e}"),
         }
     }
 }
@@ -54,6 +57,12 @@ impl std::error::Error for RunError {}
 impl From<ModelError> for RunError {
     fn from(e: ModelError) -> Self {
         RunError::Model(e)
+    }
+}
+
+impl From<rexec_sim::EngineError> for RunError {
+    fn from(e: rexec_sim::EngineError) -> Self {
+        RunError::Engine(e)
     }
 }
 
@@ -231,9 +240,9 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
             eprintln!("[rexec-plan] Monte Carlo: {} trials", args.validate);
             mc.run_with_progress(&mut |done, total| {
                 eprintln!("[rexec-plan]   {done}/{total} trials");
-            })
+            })?
         } else {
-            mc.run()
+            mc.run()?
         };
         let rep = ValidationReport {
             summary,
@@ -277,7 +286,7 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
     if args.trace_jsonl.is_some() {
         let cfg = SimConfig::from_silent_model(&m, best.w_opt, best.sigma1, best.sigma2);
         let (ts, recorder) =
-            MonteCarlo::new(cfg, TRACE_TRIALS, 0xC0FFEE).run_with_trace(TRACE_CAPACITY);
+            MonteCarlo::new(cfg, TRACE_TRIALS, 0xC0FFEE).run_with_trace(TRACE_CAPACITY)?;
         let _ = writeln!(
             report,
             "\n=== simulated pattern trace ({TRACE_TRIALS} patterns) ===",

@@ -35,18 +35,43 @@ pub fn time_overhead(c: f64, r: f64, lambda: f64, w: f64, sigma: f64) -> f64 {
 
 /// Fits the slope of `log Wopt` vs `log λ` by least squares over a set of
 /// error rates. Theorem 2 predicts `−2/3`; Young/Daly predicts `−1/2`.
+///
+/// Callers feeding *measured* `Wopt` samples (e.g. the simulated-slope
+/// experiment) get their inputs validated here instead of a silent NaN:
+/// every coordinate must be strictly positive (the fit runs in log
+/// space) and the `λ` values must not all coincide (the slope would be a
+/// 0/0).
+///
+/// # Panics
+///
+/// * fewer than two points;
+/// * any coordinate `≤ 0` or non-finite — its logarithm is undefined;
+/// * zero variance in `ln λ` (all abscissae equal), which would divide
+///   by zero.
 pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
     let n = points.len() as f64;
     assert!(points.len() >= 2, "need at least two points to fit a slope");
     let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
     for &(x, y) in points {
+        assert!(
+            x > 0.0 && x.is_finite() && y > 0.0 && y.is_finite(),
+            "log-log fit needs strictly positive finite coordinates, got ({x}, {y})"
+        );
         let (lx, ly) = (x.ln(), y.ln());
         sx += lx;
         sy += ly;
         sxx += lx * lx;
         sxy += lx * ly;
     }
-    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    let x_variance = n * sxx - sx * sx;
+    // Exact-zero check is not enough: rounding can leave a tiny negative
+    // residual when all abscissae are equal, so compare against the
+    // magnitude of the sums.
+    assert!(
+        x_variance > f64::EPSILON * sxx.abs().max(1.0),
+        "log-log fit needs at least two distinct abscissae (zero variance in ln x)"
+    );
+    (n * sxy - sx * sy) / x_variance
 }
 
 /// Convenience: `(λ, Wopt(λ))` samples of the Theorem 2 law over
@@ -141,5 +166,23 @@ mod tests {
     #[should_panic(expected = "at least two points")]
     fn slope_needs_two_points() {
         loglog_slope(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive finite coordinates")]
+    fn slope_rejects_non_positive_coordinates() {
+        loglog_slope(&[(1e-6, 1000.0), (1e-5, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive finite coordinates")]
+    fn slope_rejects_nan_coordinates() {
+        loglog_slope(&[(1e-6, 1000.0), (f64::NAN, 500.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct abscissae")]
+    fn slope_rejects_coincident_abscissae() {
+        loglog_slope(&[(1e-5, 1000.0), (1e-5, 500.0)]);
     }
 }

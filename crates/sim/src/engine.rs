@@ -177,6 +177,95 @@ fn run_recovery(
 /// instead of looping forever.
 pub const MAX_ATTEMPTS: u32 = 10_000_000;
 
+/// Structured error for configurations the sampling engines cannot run.
+///
+/// Raised at *construction* time ([`FastPattern::new`],
+/// [`MixedFastPattern::new`], [`ensure_completes`]) and surfaced from
+/// `MonteCarlo::run*` via engine resolution — never mid-sample from
+/// inside a rayon worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineError {
+    /// The silent-only geometric sampler ([`FastPattern`]) was asked to
+    /// handle a config with a fail-stop error source. Mixed configs use
+    /// [`MixedFastPattern`] (which is what `Engine::Auto` and
+    /// `Engine::FastPath` resolve to).
+    FailStopUnsupported {
+        /// The offending fail-stop rate `λᶠ`.
+        fail_stop: f64,
+    },
+    /// The mixed sampler ([`MixedFastPattern`]) was asked to handle a
+    /// config with no fail-stop error source; use [`FastPattern`].
+    SilentOnlyConfig,
+    /// Degenerate configuration: the per-attempt success probability at
+    /// `σ₂` is so close to zero that a pattern will effectively never
+    /// complete (the expected execution count overruns a comfortable
+    /// fraction of [`MAX_ATTEMPTS`]) — a modelling error, the pattern is
+    /// far too large for the error rate.
+    NeverCompletes {
+        /// Per-attempt success probability at `σ₂`,
+        /// `e^{−(λᶠ(W+V)+λˢW)/σ₂}`.
+        success_probability: f64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::FailStopUnsupported { fail_stop } => write!(
+                f,
+                "silent-only fast path cannot simulate a fail-stop error source \
+                 (lambda_f = {fail_stop}); use the mixed fast path"
+            ),
+            EngineError::SilentOnlyConfig => write!(
+                f,
+                "mixed fast path requires a fail-stop error source; \
+                 use the silent-only fast path"
+            ),
+            EngineError::NeverCompletes {
+                success_probability,
+            } => write!(
+                f,
+                "pattern never completes: per-attempt success probability \
+                 {success_probability:.3e} at sigma2 would overrun the \
+                 {MAX_ATTEMPTS}-execution cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Per-attempt success probability at speed `sigma`:
+/// `e^{−(λᶠ(W+V) + λˢW)/σ}` — both error sources must spare the attempt
+/// (the fail-stop process over the whole `(W+V)/σ` phase, the silent
+/// process over the `W/σ` work sub-phase).
+#[inline]
+fn attempt_success_probability(cfg: &SimConfig, sigma: f64) -> f64 {
+    let hazard = cfg.rates.fail_stop * (cfg.w + cfg.costs.verification) + cfg.rates.silent * cfg.w;
+    (-hazard / sigma).exp()
+}
+
+/// Rejects configurations whose per-attempt success probability at `σ₂`
+/// is so small that sampled attempt counts would overrun
+/// [`MAX_ATTEMPTS`].
+///
+/// The bound leaves a factor-128 margin: for accepted configs a single
+/// pattern reaches the cap with probability at most `e^{−128}`, so the
+/// closed-form samplers clamp at the cap instead of asserting per sample
+/// and `MonteCarlo::run*` cannot panic on a validated config.
+///
+/// # Errors
+/// [`EngineError::NeverCompletes`] when `1/q(σ₂) > MAX_ATTEMPTS/128`.
+pub fn ensure_completes(cfg: &SimConfig) -> Result<(), EngineError> {
+    let q = attempt_success_probability(cfg, cfg.sigma2);
+    if q * f64::from(MAX_ATTEMPTS) < 128.0 {
+        return Err(EngineError::NeverCompletes {
+            success_probability: q,
+        });
+    }
+    Ok(())
+}
+
 /// Simulates one pattern until it checkpoints successfully, optionally
 /// recording a trace.
 ///
@@ -249,14 +338,16 @@ pub fn simulate_pattern(cfg: &SimConfig, rng: &mut SimRng) -> PatternOutcome {
     simulate_pattern_traced(cfg, rng, None)
 }
 
-/// Whether `cfg` qualifies for the closed-form geometric fast path.
+/// Whether `cfg` qualifies for the *silent-only* closed-form fast path.
 ///
 /// Eligible configs have no fail-stop error source: every attempt then
 /// runs its full `(W+V)/σ` phase, so a pattern is fully described by its
 /// attempt count, and that count follows the two-stage geometric law of
 /// Proposition 1 (see [`FastPattern`]). Mixed fail-stop + silent configs
-/// need the exact per-attempt loop (the attempt *duration* is random),
-/// as do trace-recording runs (the fast path never materializes events).
+/// have their own closed-form sampler, [`MixedFastPattern`], which also
+/// draws each abort's random duration; only trace-recording runs still
+/// need the exact per-attempt loop (the fast paths never materialize
+/// events).
 #[inline]
 pub fn fast_path_eligible(cfg: &SimConfig) -> bool {
     cfg.rates.fail_stop <= 0.0
@@ -313,12 +404,20 @@ pub struct FastPattern {
 }
 
 impl FastPattern {
-    /// Builds the tables, or `None` if `cfg` has a fail-stop error source
-    /// (see [`fast_path_eligible`]).
-    pub fn new(cfg: &SimConfig) -> Option<Self> {
+    /// Builds the tables.
+    ///
+    /// # Errors
+    /// [`EngineError::FailStopUnsupported`] if `cfg` has a fail-stop
+    /// error source (see [`fast_path_eligible`]; mixed configs use
+    /// [`MixedFastPattern`]), or [`EngineError::NeverCompletes`] for the
+    /// degenerate regime [`ensure_completes`] rejects.
+    pub fn new(cfg: &SimConfig) -> Result<Self, EngineError> {
         if !fast_path_eligible(cfg) {
-            return None;
+            return Err(EngineError::FailStopUnsupported {
+                fail_stop: cfg.rates.fail_stop,
+            });
         }
+        ensure_completes(cfg)?;
         let phase = |sigma: f64| (cfg.w + cfg.costs.verification) / sigma;
         // p = 1 − e^{−λW/σ} via expm1, exact down to subnormal rates.
         let p_at = |sigma: f64| -(-cfg.rates.silent * cfg.w / sigma).exp_m1();
@@ -331,7 +430,7 @@ impl FastPattern {
         let t_retry = phase(cfg.sigma2) + cfg.costs.recovery;
         let e_retry =
             phase(cfg.sigma2) * cfg.power.compute_power(cfg.sigma2) + cfg.costs.recovery * io;
-        Some(FastPattern {
+        Ok(FastPattern {
             p_first,
             ln_q_first: -cfg.rates.silent * cfg.w / cfg.sigma1,
             p_retry,
@@ -392,24 +491,18 @@ impl FastPattern {
     fn failed_first_with(&self, mut next: impl FnMut() -> f64) -> PatternOutcome {
         // k = number of σ₂ attempts to first success, k ~ Geom(1 − p₂):
         // inverse CDF, k = ⌈ln u / ln p₂⌉ (clamped to ≥ 1 for u = 1).
+        // Construction rejected the degenerate p₂ → 1 regime
+        // (`ensure_completes`), so ln p₂ < 0 and the inverse CDF is
+        // well-defined; the cap clamp covers the ≤ e⁻¹²⁸ tail that the
+        // factor-128 construction margin leaves possible.
         let retries = if self.p_retry <= 0.0 {
             1.0
         } else {
-            // p₂ rounding to 1.0 makes ln p₂ = 0 and the inverse CDF
-            // degenerate (−∞/0): the success probability is 0 within f64.
-            assert!(
-                self.p_retry < 1.0,
-                "pattern never completes: per-attempt success probability \
-                 1 - p(sigma2) is 0 within f64 precision"
-            );
-            (next().ln() / self.ln_p_retry).ceil().max(1.0)
+            (next().ln() / self.ln_p_retry)
+                .ceil()
+                .max(1.0)
+                .min(f64::from(MAX_ATTEMPTS - 1))
         };
-        assert!(
-            retries < f64::from(MAX_ATTEMPTS),
-            "pattern never completes: per-attempt success probability \
-             1 - p(sigma2) = {} is ~0 (sampled {retries} re-executions)",
-            1.0 - self.p_retry
-        );
         self.outcome(1 + retries as u32)
     }
 
@@ -445,21 +538,14 @@ impl FastPattern {
     }
 
     /// Samples one pattern outcome from a buffered chunk stream (the
-    /// runner's hot path).
-    ///
-    /// # Panics
-    /// When the per-attempt success probability at `σ₂` is so close to 0
-    /// that the sampled attempt count exceeds [`MAX_ATTEMPTS`] — the same
-    /// modelling-error guard as the reference loop.
+    /// runner's hot path). Never panics: the degenerate never-completes
+    /// regime is rejected at [construction](Self::new).
     #[inline]
     pub fn sample(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome {
         self.sample_with(|| draws.next_uniform())
     }
 
     /// Samples one pattern outcome directly from an RNG (advancing it).
-    ///
-    /// # Panics
-    /// Same [`MAX_ATTEMPTS`] guard as [`sample`](Self::sample).
     #[inline]
     pub fn sample_rng(&self, rng: &mut SimRng) -> PatternOutcome {
         self.sample_with(|| rng.uniform_open())
@@ -473,12 +559,324 @@ impl FastPattern {
 /// looping per attempt — see [`FastPattern`].
 ///
 /// # Panics
-/// If `cfg` has a fail-stop error source (use [`simulate_pattern`]), or
-/// after the [`MAX_ATTEMPTS`] guard.
+/// If `cfg` has a fail-stop error source (use [`simulate_pattern`] or
+/// [`MixedFastPattern`]) or is degenerate (see [`ensure_completes`]).
+/// Fallible callers should go through [`FastPattern::new`] instead.
 pub fn simulate_pattern_fast(cfg: &SimConfig, rng: &mut SimRng) -> PatternOutcome {
     let fast = FastPattern::new(cfg)
         .expect("fast path requires a silent-only config; see fast_path_eligible()");
     fast.sample_rng(rng)
+}
+
+/// Precomputed closed-form tables for the mixed fail-stop + silent fast
+/// path (paper §5).
+///
+/// Per attempt at speed `σ` the outcome is a **three-way categorical**:
+///
+/// ```text
+/// fail-stop abort      pᶠ(σ) = 1 − e^{−λᶠ(W+V)/σ}       (duration random)
+/// survive-but-silent   (1 − pᶠ(σ)) · pˢ(σ),   pˢ(σ) = 1 − e^{−λˢW/σ}
+/// success              q(σ)  = (1 − pᶠ(σ))(1 − pˢ(σ))
+/// ```
+///
+/// so the attempt count follows the same two-stage geometric law as the
+/// silent-only [`FastPattern`], only in the combined per-attempt success
+/// probability `q(σ)`. Conditioned on a failed attempt, the cause is
+/// fail-stop with probability `pᶠ/p` where `p = 1 − q` — classifying each
+/// failure independently binomially thins the fail-stop aborts out of the
+/// failure count — and each abort's duration follows the exponential
+/// truncated to the phase, sampled by inverse CDF
+///
+/// ```text
+/// t = −ln(1 − u·pᶠ)/λᶠ,    u ~ U(0, 1]
+/// ```
+///
+/// evaluated through `ln_1p` so the `λᶠ t → 0` regime keeps full
+/// precision (the same series discipline as
+/// `rexec_core::expected_time_lost`, which is the analytic mean of this
+/// very draw). Unlike the silent-only law the per-pattern time and energy
+/// are *not* functions of the attempt count alone — each abort
+/// contributes its own random `t` — so failed attempts accumulate
+/// explicitly while successes stay precomputed.
+///
+/// A success consumes exactly one uniform draw, like [`FastPattern`], so
+/// the runner's first-try run-length batching applies unchanged. The
+/// sampled law is exactly the reference engine's (only the underlying
+/// uniforms differ), pinned by the `z = 4` identity tests against the
+/// reference engine and Propositions 4–5.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedFastPattern {
+    /// Per-attempt failure probability (any cause) at `σ₁`: `1 − q(σ₁)`.
+    p_any_first: f64,
+    /// `ln q(σ₁) = −(λᶠ(W+V) + λˢW)/σ₁`, exact (no cancellation), for
+    /// run-length sampling of consecutive first-attempt successes.
+    ln_q_first: f64,
+    /// Per-attempt failure probability at `σ₂`.
+    p_any_retry: f64,
+    /// `ln(p(σ₂))`, cached for the inverse-CDF geometric draw.
+    ln_p_retry: f64,
+    /// `P(fail-stop | failure)` at `σ₁`: `pᶠ(σ₁)/p(σ₁)`.
+    frac_fail_first: f64,
+    /// `P(fail-stop | failure)` at `σ₂`.
+    frac_fail_retry: f64,
+    /// Fail-stop rate `λᶠ` (> 0 by construction).
+    lambda_fail: f64,
+    /// Compute power at `σ₁` (energy per second of aborted first work).
+    power_first: f64,
+    /// Compute power at `σ₂`.
+    power_retry: f64,
+    /// Time of a silently-failed attempt at `σ₁`: `(W+V)/σ₁ + R`.
+    t_silent_first: f64,
+    /// Energy of a silently-failed attempt at `σ₁`.
+    e_silent_first: f64,
+    /// Time of a silently-failed attempt at `σ₂`: `(W+V)/σ₂ + R`.
+    t_silent_retry: f64,
+    /// Energy of a silently-failed attempt at `σ₂`.
+    e_silent_retry: f64,
+    /// Time of the final successful attempt at `σ₂`: `(W+V)/σ₂ + C`.
+    t_success_retry: f64,
+    /// Energy of the final successful attempt at `σ₂`.
+    e_success_retry: f64,
+    /// Recovery time appended to every fail-stop abort: `R`.
+    t_recovery: f64,
+    /// Recovery energy appended to every fail-stop abort: `R·Pio`.
+    e_recovery: f64,
+    /// Success outcome (`n = 1`), precomputed: the common case by far.
+    first_try: PatternOutcome,
+}
+
+impl MixedFastPattern {
+    /// Builds the tables.
+    ///
+    /// # Errors
+    /// [`EngineError::SilentOnlyConfig`] if `cfg` has no fail-stop error
+    /// source (use [`FastPattern`]), or [`EngineError::NeverCompletes`]
+    /// for the degenerate regime [`ensure_completes`] rejects.
+    pub fn new(cfg: &SimConfig) -> Result<Self, EngineError> {
+        if cfg.rates.fail_stop <= 0.0 {
+            return Err(EngineError::SilentOnlyConfig);
+        }
+        ensure_completes(cfg)?;
+        let phase = |sigma: f64| (cfg.w + cfg.costs.verification) / sigma;
+        // Combined hazard per attempt; q(σ) = e^{−hazard/σ}.
+        let hazard =
+            cfg.rates.fail_stop * (cfg.w + cfg.costs.verification) + cfg.rates.silent * cfg.w;
+        let p_any = |sigma: f64| -(-hazard / sigma).exp_m1();
+        let p_fail = |sigma: f64| -(-cfg.rates.fail_stop * phase(sigma)).exp_m1();
+        let p_any_first = p_any(cfg.sigma1);
+        let p_any_retry = p_any(cfg.sigma2);
+        // P(fail-stop | failure). A subnormal hazard can underflow p to
+        // 0; those attempts never fail, so the ratio is never consulted —
+        // pin it to 1 to keep the field finite.
+        let frac = |pf: f64, p: f64| if p > 0.0 { pf / p } else { 1.0 };
+        let io = cfg.power.io_power();
+        let power_first = cfg.power.compute_power(cfg.sigma1);
+        let power_retry = cfg.power.compute_power(cfg.sigma2);
+        let t_first = phase(cfg.sigma1) + cfg.costs.checkpoint;
+        let e_first = phase(cfg.sigma1) * power_first + cfg.costs.checkpoint * io;
+        Ok(MixedFastPattern {
+            p_any_first,
+            ln_q_first: -hazard / cfg.sigma1,
+            p_any_retry,
+            ln_p_retry: p_any_retry.ln(),
+            frac_fail_first: frac(p_fail(cfg.sigma1), p_any_first),
+            frac_fail_retry: frac(p_fail(cfg.sigma2), p_any_retry),
+            lambda_fail: cfg.rates.fail_stop,
+            power_first,
+            power_retry,
+            t_silent_first: phase(cfg.sigma1) + cfg.costs.recovery,
+            e_silent_first: phase(cfg.sigma1) * power_first + cfg.costs.recovery * io,
+            t_silent_retry: phase(cfg.sigma2) + cfg.costs.recovery,
+            e_silent_retry: phase(cfg.sigma2) * power_retry + cfg.costs.recovery * io,
+            t_success_retry: phase(cfg.sigma2) + cfg.costs.checkpoint,
+            e_success_retry: phase(cfg.sigma2) * power_retry + cfg.costs.checkpoint * io,
+            t_recovery: cfg.costs.recovery,
+            e_recovery: cfg.costs.recovery * io,
+            first_try: PatternOutcome {
+                time: t_first,
+                energy: e_first,
+                attempts: 1,
+                silent_errors: 0,
+                fail_stop_errors: 0,
+            },
+        })
+    }
+
+    /// The precomputed `n = 1` outcome — what sampling returns whenever
+    /// the first attempt succeeds.
+    #[inline]
+    pub fn first_try_outcome(&self) -> PatternOutcome {
+        self.first_try
+    }
+
+    /// Number of consecutive patterns whose first attempt succeeds before
+    /// one fails, sampled from a single uniform `u ∈ (0, 1]` — the same
+    /// inverse-CDF geometric as [`FastPattern::success_run_len`], with
+    /// `ln q(σ₁)` the combined two-source log-success.
+    #[inline]
+    pub(crate) fn success_run_len(&self, u: f64) -> u64 {
+        if self.p_any_first <= 0.0 {
+            return u64::MAX;
+        }
+        (u.ln() / self.ln_q_first) as u64
+    }
+
+    /// Samples one pattern outcome from a uniform draw source. A success
+    /// consumes exactly one draw; a failed first attempt reuses that draw
+    /// for its cause and abort duration (see
+    /// [`complete_failed_first`](Self::complete_failed_first)).
+    #[inline]
+    fn sample_with(&self, mut next: impl FnMut() -> f64) -> PatternOutcome {
+        // u ∈ (0, 1] and P(u ≤ p) = p: the first attempt fails iff
+        // u ≤ p₁; conditioned on that, u/p₁ ~ U(0, 1] classifies it.
+        let u = next();
+        if u > self.p_any_first {
+            return self.first_try;
+        }
+        self.complete_failed_first(u / self.p_any_first, next)
+    }
+
+    /// Samples the rest of a pattern whose first attempt already failed:
+    /// one classification draw for the first failure, one geometric draw
+    /// for the σ₂ attempt count, one classification draw per failed σ₂
+    /// attempt.
+    #[inline]
+    fn failed_first_with(&self, mut next: impl FnMut() -> f64) -> PatternOutcome {
+        let v = next();
+        self.complete_failed_first(v, next)
+    }
+
+    /// Completes a pattern whose first attempt failed, `v ∈ (0, 1]` being
+    /// the classification draw for that failure: fail-stop iff
+    /// `v ≤ pᶠ(σ₁)/p(σ₁)`, in which case `v·p(σ₁) ~ U(0, pᶠ(σ₁)]` is
+    /// reused as the truncated-exponential abort draw
+    /// `t = −ln(1 − v·p₁)/λᶠ ≤ (W+V)/σ₁`.
+    fn complete_failed_first(&self, v: f64, mut next: impl FnMut() -> f64) -> PatternOutcome {
+        let mut time;
+        let mut energy;
+        let mut silent = 0u32;
+        let mut fail_stop = 0u32;
+        if v <= self.frac_fail_first {
+            fail_stop = 1;
+            let t = -(-v * self.p_any_first).ln_1p() / self.lambda_fail;
+            time = t + self.t_recovery;
+            energy = t * self.power_first + self.e_recovery;
+        } else {
+            silent = 1;
+            time = self.t_silent_first;
+            energy = self.e_silent_first;
+        }
+        // k = number of σ₂ attempts to first success, k ~ Geom(q₂) by
+        // inverse CDF (same clamp discipline as the silent-only path:
+        // `ensure_completes` keeps ln p₂ < 0, the cap covers the e⁻¹²⁸
+        // tail).
+        let k = if self.p_any_retry <= 0.0 {
+            1.0
+        } else {
+            (next().ln() / self.ln_p_retry)
+                .ceil()
+                .max(1.0)
+                .min(f64::from(MAX_ATTEMPTS - 1))
+        };
+        let failed_retries = k as u32 - 1;
+        for _ in 0..failed_retries {
+            // Binomial thinning: each failed σ₂ attempt is independently
+            // a fail-stop abort with probability pᶠ(σ₂)/p(σ₂), and the
+            // same draw re-scales into the truncated-exponential abort
+            // duration (u ≤ pᶠ/p ⇒ u·p ~ U(0, pᶠ], so
+            // t = −ln(1 − u·p₂)/λᶠ ≤ (W+V)/σ₂).
+            let u = next();
+            if u <= self.frac_fail_retry {
+                fail_stop += 1;
+                let t = -(-u * self.p_any_retry).ln_1p() / self.lambda_fail;
+                time += t + self.t_recovery;
+                energy += t * self.power_retry + self.e_recovery;
+            } else {
+                silent += 1;
+                time += self.t_silent_retry;
+                energy += self.e_silent_retry;
+            }
+        }
+        // The k-th σ₂ attempt succeeds: full phase + checkpoint.
+        time += self.t_success_retry;
+        energy += self.e_success_retry;
+        PatternOutcome {
+            time,
+            energy,
+            attempts: 1 + k as u32,
+            silent_errors: silent,
+            fail_stop_errors: fail_stop,
+        }
+    }
+
+    /// The outcome of a pattern whose first attempt failed, sampled from
+    /// a buffered chunk stream. Pairs with
+    /// [`success_run_len`](Self::success_run_len) in the runner's
+    /// run-length-batched hot loop.
+    #[inline]
+    pub(crate) fn sample_failed_first(
+        &self,
+        draws: &mut crate::rng::UniformStream,
+    ) -> PatternOutcome {
+        self.failed_first_with(|| draws.next_uniform())
+    }
+
+    /// Samples one pattern outcome from a buffered chunk stream. Never
+    /// panics: the degenerate regime is rejected at
+    /// [construction](Self::new).
+    #[inline]
+    pub fn sample(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome {
+        self.sample_with(|| draws.next_uniform())
+    }
+
+    /// Samples one pattern outcome directly from an RNG (advancing it).
+    #[inline]
+    pub fn sample_rng(&self, rng: &mut SimRng) -> PatternOutcome {
+        self.sample_with(|| rng.uniform_open())
+    }
+}
+
+/// The closed-form attempt-law interface the runner's chunked hot loop
+/// drives — both fast-path samplers expose a precomputed first-try
+/// outcome, geometric success-run sampling (one draw per run), and a
+/// failed-first completion sampler, so one generic loop serves both.
+pub(crate) trait AttemptLaw {
+    /// Precomputed `n = 1` outcome.
+    fn first_try_outcome(&self) -> PatternOutcome;
+    /// Consecutive first-try successes encoded by one uniform.
+    fn success_run_len(&self, u: f64) -> u64;
+    /// Completes a pattern whose first attempt failed.
+    fn sample_failed_first(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome;
+}
+
+impl AttemptLaw for FastPattern {
+    #[inline]
+    fn first_try_outcome(&self) -> PatternOutcome {
+        FastPattern::first_try_outcome(self)
+    }
+    #[inline]
+    fn success_run_len(&self, u: f64) -> u64 {
+        FastPattern::success_run_len(self, u)
+    }
+    #[inline]
+    fn sample_failed_first(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome {
+        FastPattern::sample_failed_first(self, draws)
+    }
+}
+
+impl AttemptLaw for MixedFastPattern {
+    #[inline]
+    fn first_try_outcome(&self) -> PatternOutcome {
+        MixedFastPattern::first_try_outcome(self)
+    }
+    #[inline]
+    fn success_run_len(&self, u: f64) -> u64 {
+        MixedFastPattern::success_run_len(self, u)
+    }
+    #[inline]
+    fn sample_failed_first(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome {
+        MixedFastPattern::sample_failed_first(self, draws)
+    }
 }
 
 /// Outcome of simulating a whole divisible-load application.
@@ -695,7 +1093,16 @@ mod tests {
         assert!(!fast_path_eligible(&cfg(
             ErrorRates::new(1e-4, 1e-5).unwrap()
         )));
-        assert!(FastPattern::new(&cfg(ErrorRates::new(1e-4, 1e-5).unwrap())).is_none());
+        // Each sampler rejects the other's domain with a structured error.
+        assert_eq!(
+            FastPattern::new(&cfg(ErrorRates::new(1e-4, 1e-5).unwrap())).err(),
+            Some(EngineError::FailStopUnsupported { fail_stop: 1e-5 })
+        );
+        assert_eq!(
+            MixedFastPattern::new(&cfg(ErrorRates::silent_only(1e-4).unwrap())).err(),
+            Some(EngineError::SilentOnlyConfig)
+        );
+        assert!(MixedFastPattern::new(&cfg(ErrorRates::new(1e-4, 1e-5).unwrap())).is_ok());
     }
 
     #[test]
@@ -788,18 +1195,99 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "never completes")]
-    fn fast_path_panics_when_success_probability_vanishes() {
+    fn degenerate_configs_are_rejected_at_construction() {
         // λW/σ₂ ≈ 700: e^{−700} underflows the retry success probability
-        // to ~0, the analogue of the reference MAX_ATTEMPTS guard.
+        // to ~0. Both samplers must refuse at construction (never in the
+        // sampling hot loop) so degenerate configs surface as a
+        // structured error, not a panic inside a rayon worker.
         let mut c = cfg(ErrorRates::silent_only(1.0).unwrap());
         c.w = 700.0;
         c.sigma1 = 1.0;
         c.sigma2 = 1.0;
-        let fast = FastPattern::new(&c).unwrap();
-        let mut rng = SimRng::new(3);
-        for _ in 0..100 {
-            let _ = fast.sample_rng(&mut rng);
+        assert!(matches!(
+            FastPattern::new(&c),
+            Err(EngineError::NeverCompletes { .. })
+        ));
+        assert!(ensure_completes(&c).is_err());
+        c.rates = ErrorRates::new(0.5, 0.5).unwrap();
+        assert!(matches!(
+            MixedFastPattern::new(&c),
+            Err(EngineError::NeverCompletes { .. })
+        ));
+        // Just inside the margin: 1/q(σ₂) ≤ MAX_ATTEMPTS/128 constructs.
+        let mut ok = cfg(ErrorRates::new(8e-5, 5e-5).unwrap());
+        ok.sigma2 = 0.8;
+        assert!(MixedFastPattern::new(&ok).is_ok());
+        assert!(ensure_completes(&ok).is_ok());
+    }
+
+    #[test]
+    fn mixed_fast_path_attempts_match_two_stage_geometric() {
+        // E[n] = 1 + p₁/q₂ for the two-stage geometric law in the
+        // combined per-attempt success probability.
+        let mut c = cfg(ErrorRates::new(2e-4, 8e-5).unwrap());
+        c.sigma2 = 0.8;
+        let mixed = MixedFastPattern::new(&c).unwrap();
+        let hazard = |sigma: f64| (8e-5 * (c.w + c.costs.verification) + 2e-4 * c.w) / sigma;
+        let p1 = -(-hazard(c.sigma1)).exp_m1();
+        let q2 = (-hazard(c.sigma2)).exp();
+        let expected = 1.0 + p1 / q2;
+        let mut rng = SimRng::new(4242);
+        let n = 200_000;
+        let mean = (0..n)
+            .map(|_| f64::from(mixed.sample_rng(&mut rng).attempts))
+            .sum::<f64>()
+            / f64::from(n);
+        assert!(
+            (mean - expected).abs() < 0.02,
+            "mean {mean} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn mixed_outcomes_are_internally_consistent() {
+        let mut c = cfg(ErrorRates::new(1e-4, 8e-5).unwrap());
+        c.sigma2 = 0.8;
+        let mixed = MixedFastPattern::new(&c).unwrap();
+        let phase1 = (c.w + c.costs.verification) / c.sigma1;
+        let phase2 = (c.w + c.costs.verification) / c.sigma2;
+        let mut rng = SimRng::new(77);
+        let mut saw_fail_stop = false;
+        let mut saw_silent = false;
+        for _ in 0..2000 {
+            let p = mixed.sample_rng(&mut rng);
+            assert_eq!(p.attempts, 1 + p.silent_errors + p.fail_stop_errors);
+            // Every attempt takes at most its full phase; every failure
+            // adds one recovery, the success one checkpoint.
+            let n = f64::from(p.attempts);
+            let upper = phase1
+                + (n - 1.0) * (phase2.max(phase1) + c.costs.recovery)
+                + c.costs.checkpoint
+                + 1e-9;
+            assert!(p.time <= upper, "time {} > bound {upper}", p.time);
+            // Aborts lose at least zero time but the recoveries, final
+            // phase and checkpoint are always paid.
+            let lower = (n - 1.0) * c.costs.recovery + phase2.min(phase1) + c.costs.checkpoint;
+            assert!(p.time >= lower - 1e-9, "time {} < bound {lower}", p.time);
+            saw_fail_stop |= p.fail_stop_errors > 0;
+            saw_silent |= p.silent_errors > 0;
         }
+        assert!(saw_fail_stop && saw_silent, "both causes must occur");
+    }
+
+    #[test]
+    fn mixed_fail_stop_only_config_never_reports_silent_errors() {
+        // λˢ = 0 makes every failure a fail-stop abort: the categorical
+        // collapses and P(fail-stop | failure) = 1.
+        let c = cfg(ErrorRates::fail_stop_only(2e-4).unwrap());
+        let mixed = MixedFastPattern::new(&c).unwrap();
+        let mut rng = SimRng::new(9);
+        let mut failures = 0u32;
+        for _ in 0..2000 {
+            let p = mixed.sample_rng(&mut rng);
+            assert_eq!(p.silent_errors, 0);
+            failures += p.fail_stop_errors;
+        }
+        assert!(failures > 0, "λf(W+V)/σ ≈ 1.4 must produce aborts");
     }
 }

@@ -34,8 +34,9 @@ pub mod trace;
 
 pub use energy::EnergyMeter;
 pub use engine::{
-    fast_path_eligible, simulate_application, simulate_pattern, simulate_pattern_fast, AppOutcome,
-    FastPattern, PatternOutcome, SimConfig,
+    ensure_completes, fast_path_eligible, simulate_application, simulate_pattern,
+    simulate_pattern_fast, AppOutcome, EngineError, FastPattern, MixedFastPattern, PatternOutcome,
+    SimConfig,
 };
 pub use events::{Event, EventKind};
 pub use histogram::Histogram;
@@ -49,8 +50,9 @@ pub use trace::{events_from_jsonl, events_to_jsonl, render_timeline, TraceRecord
 pub mod prelude {
     pub use crate::energy::EnergyMeter;
     pub use crate::engine::{
-        fast_path_eligible, simulate_application, simulate_pattern, simulate_pattern_fast,
-        AppOutcome, FastPattern, PatternOutcome, SimConfig,
+        ensure_completes, fast_path_eligible, simulate_application, simulate_pattern,
+        simulate_pattern_fast, AppOutcome, EngineError, FastPattern, MixedFastPattern,
+        PatternOutcome, SimConfig,
     };
     pub use crate::events::{Event, EventKind};
     pub use crate::histogram::Histogram;

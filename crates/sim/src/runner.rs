@@ -4,14 +4,20 @@
 //!
 //! * **reference** — the exact per-attempt loop of
 //!   [`simulate_pattern`], one RNG stream per trial: bit-reproducible
-//!   against historical runs and required for mixed fail-stop + silent
-//!   configs and trace recording;
-//! * **fast path** — the closed-form geometric sampler of
-//!   [`FastPattern`](crate::engine::FastPattern) for silent-only configs,
-//!   one RNG stream per fixed-size trial *chunk* (stream id = chunk id),
-//!   drawing through a buffered [`UniformStream`]. Statistically
-//!   identical to the reference (same outcome law), over an order of
-//!   magnitude faster (see `sim_fastpath` in `BENCH_sweeps.json`).
+//!   against historical runs and required for trace recording;
+//! * **fast path** — a closed-form attempt-law sampler, one RNG stream
+//!   per fixed-size trial *chunk* (stream id = chunk id), drawing
+//!   through a buffered [`UniformStream`]:
+//!   [`FastPattern`](crate::engine::FastPattern) for silent-only configs
+//!   and [`MixedFastPattern`](crate::engine::MixedFastPattern) for mixed
+//!   fail-stop + silent ones. Statistically identical to the reference
+//!   (same outcome law), over an order of magnitude faster (see
+//!   `sim_fastpath` and `sim_mixed_fastpath` in `BENCH_sweeps.json`).
+//!
+//! Engine resolution is fallible, never panicking: a degenerate
+//! never-completes config surfaces as an
+//! [`EngineError`](crate::engine::EngineError) from `run*` before any
+//! worker starts, and sweeps degrade it to a tagged `ERR(...)` row.
 //!
 //! Either way, trials fold into plain [`Summary`] accumulators
 //! (Welford-style merge, no per-pattern allocation), chunks are aligned
@@ -23,7 +29,8 @@
 //! update per pattern, nor one sketch per chunk.
 
 use crate::engine::{
-    simulate_pattern, simulate_pattern_traced, FastPattern, PatternOutcome, SimConfig,
+    ensure_completes, fast_path_eligible, simulate_pattern, simulate_pattern_traced, AttemptLaw,
+    EngineError, FastPattern, MixedFastPattern, PatternOutcome, SimConfig,
 };
 use crate::histogram::Histogram;
 use crate::rng::{SimRng, UniformStream};
@@ -53,7 +60,11 @@ impl Summary {
         self.attempts.push(f64::from(p.attempts));
     }
 
-    fn merge(mut self, other: Summary) -> Summary {
+    /// Folds another summary into this one — the deterministic reduction
+    /// the parallel runner uses, also handy for gluing [`MonteCarlo::run_range`]
+    /// slices back together.
+    #[must_use]
+    pub fn merge(mut self, other: Summary) -> Summary {
         self.time.merge(&other.time);
         self.energy.merge(&other.energy);
         self.attempts.merge(&other.attempts);
@@ -165,9 +176,21 @@ pub enum Engine {
     /// Always the exact per-attempt loop with per-trial RNG streams —
     /// bit-reproducible against historical runs.
     Reference,
-    /// Always the geometric fast path with chunked RNG streams; panics
-    /// at run time if the config has a fail-stop error source.
+    /// Always a closed-form fast path with chunked RNG streams: the
+    /// silent-only geometric sampler or, for configs with a fail-stop
+    /// error source, the mixed attempt-law sampler.
     FastPath,
+}
+
+/// A resolved engine selection: the concrete sampler `run*` drives.
+#[derive(Debug, Clone, Copy)]
+enum Sampler {
+    /// Exact per-attempt loop, one RNG stream per trial.
+    Reference,
+    /// Silent-only geometric fast path.
+    Silent(FastPattern),
+    /// Mixed fail-stop + silent fast path.
+    Mixed(MixedFastPattern),
 }
 
 /// Monte Carlo driver: replicates a pattern simulation `trials` times,
@@ -202,20 +225,29 @@ impl MonteCarlo {
         self
     }
 
-    /// Resolves the engine selection: `Some(tables)` for the fast path,
-    /// `None` for the reference loop.
+    /// Resolves the engine selection into a concrete sampler.
     ///
-    /// # Panics
-    /// If [`Engine::FastPath`] was forced for a config with a fail-stop
-    /// error source.
-    fn resolve(&self) -> Option<FastPattern> {
+    /// `Auto` and `FastPath` pick the silent-only geometric sampler or
+    /// the mixed attempt-law sampler from the config's error sources;
+    /// the reference loop is also pre-checked so that no engine can hit
+    /// the `MAX_ATTEMPTS` assertion mid-run.
+    ///
+    /// # Errors
+    /// [`EngineError::NeverCompletes`] for a degenerate config whose
+    /// per-attempt success probability at `σ₂` is ~0 (any engine).
+    fn resolve(&self) -> Result<Sampler, EngineError> {
         match self.engine {
-            Engine::Reference => None,
-            Engine::Auto => FastPattern::new(&self.config),
-            Engine::FastPath => Some(FastPattern::new(&self.config).expect(
-                "Engine::FastPath requires a silent-only config; \
-                 use Engine::Auto or Engine::Reference for mixed errors",
-            )),
+            Engine::Reference => {
+                ensure_completes(&self.config)?;
+                Ok(Sampler::Reference)
+            }
+            Engine::Auto | Engine::FastPath => {
+                if fast_path_eligible(&self.config) {
+                    FastPattern::new(&self.config).map(Sampler::Silent)
+                } else {
+                    MixedFastPattern::new(&self.config).map(Sampler::Mixed)
+                }
+            }
         }
     }
 
@@ -243,9 +275,34 @@ impl MonteCarlo {
     /// chunk's plain-integer obs accumulator. Allocation-free per
     /// pattern: outcomes fold straight into SoA `Stats` accumulators and
     /// integer totals.
-    fn run_chunk(
+    fn run_chunk(&self, sampler: &Sampler, chunk_lo: u64, lo: u64, hi: u64) -> (Summary, ChunkObs) {
+        match sampler {
+            Sampler::Reference => {
+                let mut s = Summary::default();
+                let mut obs = ChunkObs {
+                    trials: hi - lo,
+                    ..ChunkObs::default()
+                };
+                for i in lo..hi {
+                    let mut rng = SimRng::for_trial(self.seed, i);
+                    let p = simulate_pattern(&self.config, &mut rng);
+                    s.push(&p);
+                    obs.totals.push(&p);
+                    obs.record_attempts(p.attempts, 1);
+                }
+                (s, obs)
+            }
+            Sampler::Silent(fp) => self.run_chunk_fast(fp, chunk_lo, lo, hi),
+            Sampler::Mixed(fp) => self.run_chunk_fast(fp, chunk_lo, lo, hi),
+        }
+    }
+
+    /// The chunked fast-path hot loop, generic over the two closed-form
+    /// samplers (they share the [`AttemptLaw`] surface: one draw per
+    /// first-try success run, a bounded number per failed trial).
+    fn run_chunk_fast<S: AttemptLaw>(
         &self,
-        fast: Option<&FastPattern>,
+        fp: &S,
         chunk_lo: u64,
         lo: u64,
         hi: u64,
@@ -255,58 +312,44 @@ impl MonteCarlo {
             trials: hi - lo,
             ..ChunkObs::default()
         };
-        match fast {
-            None => {
-                for i in lo..hi {
-                    let mut rng = SimRng::for_trial(self.seed, i);
-                    let p = simulate_pattern(&self.config, &mut rng);
-                    s.push(&p);
+        let mut draws = UniformStream::new(SimRng::for_chunk(self.seed, chunk_lo / Self::CHUNK));
+        // Run-length batching: the count of consecutive trials
+        // whose first attempt succeeds is geometric, so one
+        // uniform samples the whole run (its identical outcomes
+        // tally arithmetically), and a bounded number more sample
+        // each failing trial's completion (re-execution count, and
+        // for the mixed sampler each failure's cause and abort
+        // duration) — no per-trial Welford updates for the dominant
+        // single-attempt case. A range starting mid-chunk replays
+        // the same draw sequence from the grid origin and only
+        // counts trials in `[lo, hi)`.
+        let mut first_try = 0u64;
+        let mut retried = Summary::default();
+        let mut i = chunk_lo;
+        while i < hi {
+            let run = fp.success_run_len(draws.next_uniform()).min(hi - i);
+            // Trials of [i, i+run) that fall inside [lo, hi).
+            let counted_from = i.max(lo);
+            first_try += (i + run).saturating_sub(counted_from);
+            i += run;
+            if i < hi {
+                let p = fp.sample_failed_first(&mut draws);
+                if i >= lo {
+                    retried.push(&p);
                     obs.totals.push(&p);
                     obs.record_attempts(p.attempts, 1);
                 }
-            }
-            Some(fp) => {
-                let mut draws =
-                    UniformStream::new(SimRng::for_chunk(self.seed, chunk_lo / Self::CHUNK));
-                // Run-length batching: the count of consecutive trials
-                // whose first attempt succeeds is geometric, so one
-                // uniform samples the whole run (its identical outcomes
-                // tally arithmetically), and one more samples each
-                // failing trial's re-execution count — ~2·p₁·CHUNK + 1
-                // draws per chunk instead of CHUNK, and no per-trial
-                // Welford updates for the dominant single-attempt case.
-                // A range starting mid-chunk replays the same draw
-                // sequence from the grid origin and only counts trials
-                // in `[lo, hi)`.
-                let mut first_try = 0u64;
-                let mut retried = Summary::default();
-                let mut i = chunk_lo;
-                while i < hi {
-                    let run = fp.success_run_len(draws.next_uniform()).min(hi - i);
-                    // Trials of [i, i+run) that fall inside [lo, hi).
-                    let counted_from = i.max(lo);
-                    first_try += (i + run).saturating_sub(counted_from);
-                    i += run;
-                    if i < hi {
-                        let p = fp.sample_failed_first(&mut draws);
-                        if i >= lo {
-                            retried.push(&p);
-                            obs.totals.push(&p);
-                            obs.record_attempts(p.attempts, 1);
-                        }
-                        i += 1;
-                    }
-                }
-                let ft = fp.first_try_outcome();
-                s.time = Stats::repeated(ft.time, first_try);
-                s.energy = Stats::repeated(ft.energy, first_try);
-                s.attempts = Stats::repeated(1.0, first_try);
-                s = s.merge(retried);
-                obs.totals.patterns += first_try;
-                obs.totals.attempts += first_try;
-                obs.record_attempts(1, first_try);
+                i += 1;
             }
         }
+        let ft = fp.first_try_outcome();
+        s.time = Stats::repeated(ft.time, first_try);
+        s.energy = Stats::repeated(ft.energy, first_try);
+        s.attempts = Stats::repeated(1.0, first_try);
+        s = s.merge(retried);
+        obs.totals.patterns += first_try;
+        obs.totals.attempts += first_try;
+        obs.record_attempts(1, first_try);
         (s, obs)
     }
 
@@ -319,12 +362,16 @@ impl MonteCarlo {
     /// registry once, so the aggregates are identical for any
     /// `RAYON_NUM_THREADS`. The wall-clock `runner.trials_per_sec` gauge
     /// is excluded from that guarantee.
-    pub fn run(&self) -> Summary {
+    ///
+    /// # Errors
+    /// [`EngineError::NeverCompletes`] for a degenerate config (before
+    /// any trial runs).
+    pub fn run(&self) -> Result<Summary, EngineError> {
         let _timer = rexec_obs::span!("runner.run");
         let started = std::time::Instant::now();
-        let summary = self.run_range(0, self.trials);
+        let summary = self.run_range(0, self.trials)?;
         self.record_throughput(started);
-        summary
+        Ok(summary)
     }
 
     /// Like [`run`](Self::run), invoking `progress(done, total)` after
@@ -333,7 +380,14 @@ impl MonteCarlo {
     /// per-trial RNG streams (and all counter/histogram aggregates) match
     /// [`run`](Self::run); the float `Stats` moments may differ in the
     /// last bits because the merge tree is shaped differently.
-    pub fn run_with_progress(&self, progress: &mut dyn FnMut(u64, u64)) -> Summary {
+    ///
+    /// # Errors
+    /// [`EngineError::NeverCompletes`] for a degenerate config (before
+    /// any trial runs or progress is reported).
+    pub fn run_with_progress(
+        &self,
+        progress: &mut dyn FnMut(u64, u64),
+    ) -> Result<Summary, EngineError> {
         let _timer = rexec_obs::span!("runner.run");
         let started = std::time::Instant::now();
         // ~10 progress slices, each a multiple of CHUNK trials.
@@ -344,12 +398,12 @@ impl MonteCarlo {
         let mut done = 0;
         while done < self.trials {
             let end = (done + slice).min(self.trials);
-            summary = summary.merge(self.run_range(done, end));
+            summary = summary.merge(self.run_range(done, end)?);
             done = end;
             progress(done, self.trials);
         }
         self.record_throughput(started);
-        summary
+        Ok(summary)
     }
 
     /// Runs trial indices `[start, end)` in parallel (empty ranges
@@ -367,20 +421,24 @@ impl MonteCarlo {
     /// `run`'s exact left-fold); other partitions cover the same trials
     /// but regroup the non-associative float merges, so their moments
     /// agree only to ~1e-9 (counts and extremes stay exact).
-    pub fn run_range(&self, start: u64, end: u64) -> Summary {
+    ///
+    /// # Errors
+    /// [`EngineError::NeverCompletes`] for a degenerate config — raised
+    /// here at resolution, never from inside a rayon worker.
+    pub fn run_range(&self, start: u64, end: u64) -> Result<Summary, EngineError> {
         if start >= end {
-            return Summary::default();
+            return Ok(Summary::default());
         }
-        let fast = self.resolve();
+        let sampler = self.resolve()?;
         let (summary, obs) = Self::chunk_grid(start, end)
             .into_par_iter()
-            .map(|(chunk_lo, lo, hi)| self.run_chunk(fast.as_ref(), chunk_lo, lo, hi))
+            .map(|(chunk_lo, lo, hi)| self.run_chunk(&sampler, chunk_lo, lo, hi))
             .reduce(
                 || (Summary::default(), ChunkObs::default()),
                 |(sa, oa), (sb, ob)| (sa.merge(sb), oa.merge(ob)),
             );
         rexec_obs::global().absorb(&obs.into_shard());
-        summary
+        Ok(summary)
     }
 
     /// Trials per chunk: the RNG-stream and reduction granule.
@@ -399,7 +457,11 @@ impl MonteCarlo {
     ///
     /// Always uses the per-trial reference engine: distribution studies
     /// want the historical bit-reproducible trial streams.
-    pub fn run_with_histograms(&self) -> (Summary, Histogram, Histogram) {
+    ///
+    /// # Errors
+    /// [`EngineError::NeverCompletes`] for a degenerate config.
+    pub fn run_with_histograms(&self) -> Result<(Summary, Histogram, Histogram), EngineError> {
+        ensure_completes(&self.config)?;
         const CHUNK: u64 = 256;
         let chunks: Vec<(u64, u64)> = (0..self.trials)
             .step_by(CHUNK as usize)
@@ -450,24 +512,27 @@ impl MonteCarlo {
         let mut shard = Shard::new();
         totals.flush(&mut shard);
         rexec_obs::global().absorb(&shard);
-        (summary, th, eh)
+        Ok((summary, th, eh))
     }
 
     /// Runs sequentially — no thread pool, same chunk grid. The summary
     /// *and* the absorbed obs aggregates are bit-identical to
     /// [`run`](Self::run) at any thread count (the baseline the
     /// determinism tests and the tracked bench compare against).
-    pub fn run_sequential(&self) -> Summary {
-        let fast = self.resolve();
+    ///
+    /// # Errors
+    /// [`EngineError::NeverCompletes`] for a degenerate config.
+    pub fn run_sequential(&self) -> Result<Summary, EngineError> {
+        let sampler = self.resolve()?;
         let mut summary = Summary::default();
         let mut obs = ChunkObs::default();
         for (chunk_lo, lo, hi) in Self::chunk_grid(0, self.trials) {
-            let (s, o) = self.run_chunk(fast.as_ref(), chunk_lo, lo, hi);
+            let (s, o) = self.run_chunk(&sampler, chunk_lo, lo, hi);
             summary = summary.merge(s);
             obs = obs.merge(o);
         }
         rexec_obs::global().absorb(&obs.into_shard());
-        summary
+        Ok(summary)
     }
 
     /// Runs sequentially while recording every trial's events into one
@@ -476,7 +541,11 @@ impl MonteCarlo {
     ///
     /// Always uses the reference engine: the fast path never materializes
     /// events.
-    pub fn run_with_trace(&self, capacity: usize) -> (Summary, TraceRecorder) {
+    ///
+    /// # Errors
+    /// [`EngineError::NeverCompletes`] for a degenerate config.
+    pub fn run_with_trace(&self, capacity: usize) -> Result<(Summary, TraceRecorder), EngineError> {
+        ensure_completes(&self.config)?;
         let mut recorder = TraceRecorder::new(capacity);
         let mut s = Summary::default();
         let mut totals = Totals::default();
@@ -490,18 +559,26 @@ impl MonteCarlo {
         let mut shard = Shard::new();
         totals.flush(&mut shard);
         rexec_obs::global().absorb(&shard);
-        (s, recorder)
+        Ok((s, recorder))
     }
 
     /// Runs and compares the sampled means against analytic expectations.
-    pub fn validate(&self, expected_time: f64, expected_energy: f64, z: f64) -> ValidationReport {
-        let summary = self.run();
-        ValidationReport {
+    ///
+    /// # Errors
+    /// [`EngineError::NeverCompletes`] for a degenerate config.
+    pub fn validate(
+        &self,
+        expected_time: f64,
+        expected_energy: f64,
+        z: f64,
+    ) -> Result<ValidationReport, EngineError> {
+        let summary = self.run()?;
+        Ok(ValidationReport {
             summary,
             expected_time,
             expected_energy,
             z,
-        }
+        })
     }
 }
 
@@ -559,51 +636,93 @@ mod tests {
         .unwrap()
     }
 
+    fn mixed_config() -> SimConfig {
+        let m = silent_model(1e-4);
+        SimConfig {
+            rates: rexec_core::ErrorRates::new(1e-4, 5e-5).unwrap(),
+            ..SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8)
+        }
+    }
+
     #[test]
     fn parallel_equals_sequential() {
         let m = silent_model(1e-4);
-        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
-        for engine in [Engine::Reference, Engine::FastPath, Engine::Auto] {
-            let mc = MonteCarlo::new(cfg, 2000, 42).with_engine(engine);
-            let par = mc.run();
-            let seq = mc.run_sequential();
-            // Same chunk grid, same per-chunk streams, in-order merge:
-            // parallel and sequential runs are bit-identical.
-            assert_eq!(par, seq, "engine {engine:?}");
+        let silent = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        for cfg in [silent, mixed_config()] {
+            for engine in [Engine::Reference, Engine::FastPath, Engine::Auto] {
+                let mc = MonteCarlo::new(cfg, 2000, 42).with_engine(engine);
+                let par = mc.run().unwrap();
+                let seq = mc.run_sequential().unwrap();
+                // Same chunk grid, same per-chunk streams, in-order merge:
+                // parallel and sequential runs are bit-identical.
+                assert_eq!(par, seq, "engine {engine:?}");
+            }
         }
     }
 
     #[test]
     fn auto_engine_matches_explicit_selection() {
         let m = silent_model(1e-4);
-        // Silent-only: Auto must resolve to the fast path...
+        // Silent-only: Auto must resolve to the silent-only fast path...
         let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
-        let auto = MonteCarlo::new(cfg, 1024, 9).run();
+        let auto = MonteCarlo::new(cfg, 1024, 9).run().unwrap();
         let fast = MonteCarlo::new(cfg, 1024, 9)
             .with_engine(Engine::FastPath)
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(auto, fast);
-        // ...and with fail-stop errors, to the reference loop.
-        let mixed = SimConfig {
-            rates: rexec_core::ErrorRates::new(1e-4, 5e-5).unwrap(),
-            ..cfg
-        };
-        let auto = MonteCarlo::new(mixed, 1024, 9).run();
-        let reference = MonteCarlo::new(mixed, 1024, 9)
-            .with_engine(Engine::Reference)
-            .run();
-        assert_eq!(auto, reference);
+        // ...and with fail-stop errors, to the mixed fast path (also what
+        // forcing FastPath selects — the former panic path).
+        let mixed = mixed_config();
+        let auto = MonteCarlo::new(mixed, 1024, 9).run().unwrap();
+        let forced = MonteCarlo::new(mixed, 1024, 9)
+            .with_engine(Engine::FastPath)
+            .run()
+            .unwrap();
+        assert_eq!(auto, forced);
     }
 
     #[test]
-    #[should_panic(expected = "silent-only")]
-    fn forced_fast_path_rejects_mixed_configs() {
-        let m = silent_model(1e-4);
-        let mut cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
-        cfg.rates = rexec_core::ErrorRates::new(1e-4, 5e-5).unwrap();
-        let _ = MonteCarlo::new(cfg, 16, 1)
+    fn forced_fast_path_accepts_mixed_configs() {
+        // Regression: this used to panic inside resolve(); the mixed
+        // attempt-law sampler now serves forced-FastPath runs.
+        let summary = MonteCarlo::new(mixed_config(), 512, 1)
             .with_engine(Engine::FastPath)
-            .run();
+            .run()
+            .unwrap();
+        assert_eq!(summary.time.count(), 512);
+    }
+
+    #[test]
+    fn degenerate_configs_return_err_from_every_entry_point() {
+        // λW/σ₂ ≈ 700 underflows the per-attempt success probability:
+        // every engine must refuse up front instead of panicking (or
+        // spinning for ~e⁷⁰⁰ attempts) inside a worker.
+        let m = silent_model(1.0);
+        let cfg = SimConfig::from_silent_model(&m, 700.0, 1.0, 1.0);
+        for engine in [Engine::Auto, Engine::Reference, Engine::FastPath] {
+            let mc = MonteCarlo::new(cfg, 16, 1).with_engine(engine);
+            assert!(
+                matches!(mc.run(), Err(EngineError::NeverCompletes { .. })),
+                "engine {engine:?}"
+            );
+            assert!(mc.run_sequential().is_err(), "engine {engine:?}");
+            assert!(mc.run_range(0, 8).is_err(), "engine {engine:?}");
+            assert!(mc.validate(1.0, 1.0, 3.0).is_err(), "engine {engine:?}");
+            assert!(mc.run_with_progress(&mut |_, _| {}).is_err());
+        }
+        let mc = MonteCarlo::new(cfg, 16, 1);
+        assert!(mc.run_with_histograms().is_err());
+        assert!(mc.run_with_trace(64).is_err());
+        // Degenerate mixed configs are rejected the same way.
+        let mixed = SimConfig {
+            rates: rexec_core::ErrorRates::new(0.5, 0.5).unwrap(),
+            ..cfg
+        };
+        assert!(matches!(
+            MonteCarlo::new(mixed, 16, 1).run(),
+            Err(EngineError::NeverCompletes { .. })
+        ));
     }
 
     #[test]
@@ -613,7 +732,7 @@ mod tests {
         for engine in [Engine::Reference, Engine::FastPath] {
             let mc = MonteCarlo::new(cfg, 1000, 5).with_engine(engine);
             for start in [0, 100, 256, 1000] {
-                let s = mc.run_range(start, start);
+                let s = mc.run_range(start, start).unwrap();
                 assert_eq!(s, Summary::default(), "engine {engine:?} start {start}");
                 assert_eq!(s.time.count(), 0);
             }
@@ -626,10 +745,10 @@ mod tests {
         let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
         for engine in [Engine::Reference, Engine::FastPath] {
             let mc = MonteCarlo::new(cfg, 40, 77).with_engine(engine);
-            let whole = mc.run();
+            let whole = mc.run().unwrap();
             let mut glued = Summary::default();
             for i in 0..40 {
-                let one = mc.run_range(i, i + 1);
+                let one = mc.run_range(i, i + 1).unwrap();
                 assert_eq!(one.time.count(), 1, "engine {engine:?} trial {i}");
                 glued = glued.merge(one);
             }
@@ -656,11 +775,12 @@ mod tests {
         let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
         for engine in [Engine::Reference, Engine::FastPath] {
             let mc = MonteCarlo::new(cfg, 1000, 21).with_engine(engine);
-            let whole = mc.run();
+            let whole = mc.run().unwrap();
             let glued = mc
                 .run_range(0, 512)
-                .merge(mc.run_range(512, 768))
-                .merge(mc.run_range(768, 1000));
+                .unwrap()
+                .merge(mc.run_range(512, 768).unwrap())
+                .merge(mc.run_range(768, 1000).unwrap());
             assert_eq!(glued, whole, "engine {engine:?}");
         }
     }
@@ -668,23 +788,30 @@ mod tests {
     #[test]
     fn unaligned_ranges_replay_the_same_trials() {
         let m = silent_model(1e-4);
-        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
-        for engine in [Engine::Reference, Engine::FastPath] {
-            let mc = MonteCarlo::new(cfg, 700, 33).with_engine(engine);
-            let whole = mc.run();
-            // Splits inside chunks: the fast path must replay stream
-            // prefixes so trial outcomes are identical.
-            let glued = mc
-                .run_range(0, 100)
-                .merge(mc.run_range(100, 300))
-                .merge(mc.run_range(300, 700));
-            assert_eq!(glued.time.count(), whole.time.count());
-            assert_eq!(glued.time.min(), whole.time.min());
-            assert_eq!(glued.time.max(), whole.time.max());
-            assert_eq!(glued.attempts.min(), whole.attempts.min());
-            assert_eq!(glued.attempts.max(), whole.attempts.max());
-            assert!((glued.time.mean() - whole.time.mean()).abs() < 1e-9);
-            assert!((glued.attempts.mean() - whole.attempts.mean()).abs() < 1e-12);
+        let silent = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        // The mixed fast path consumes a *variable* number of draws per
+        // failed trial (cause + duration per failure), so replaying each
+        // partial chunk's stream prefix from the grid origin is the only
+        // thing keeping unaligned splits bit-identical — exercise it.
+        for cfg in [silent, mixed_config()] {
+            for engine in [Engine::Reference, Engine::FastPath] {
+                let mc = MonteCarlo::new(cfg, 700, 33).with_engine(engine);
+                let whole = mc.run().unwrap();
+                // Splits inside chunks: the fast path must replay stream
+                // prefixes so trial outcomes are identical.
+                let glued = mc
+                    .run_range(0, 100)
+                    .unwrap()
+                    .merge(mc.run_range(100, 300).unwrap())
+                    .merge(mc.run_range(300, 700).unwrap());
+                assert_eq!(glued.time.count(), whole.time.count());
+                assert_eq!(glued.time.min(), whole.time.min());
+                assert_eq!(glued.time.max(), whole.time.max());
+                assert_eq!(glued.attempts.min(), whole.attempts.min());
+                assert_eq!(glued.attempts.max(), whole.attempts.max());
+                assert!((glued.time.mean() - whole.time.mean()).abs() < 1e-9);
+                assert!((glued.attempts.mean() - whole.attempts.mean()).abs() < 1e-12);
+            }
         }
     }
 
@@ -693,7 +820,7 @@ mod tests {
         let m = silent_model(1e-4);
         let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
         let mc = MonteCarlo::new(cfg, 5000, 42);
-        let (summary, th, eh) = mc.run_with_histograms();
+        let (summary, th, eh) = mc.run_with_histograms().unwrap();
         assert_eq!(th.count(), summary.time.count());
         assert_eq!(eh.count(), summary.energy.count());
         // Exact extremes agree; histogram median sits between them.
@@ -719,11 +846,13 @@ mod tests {
         let (w, s1, s2) = (2764.0, 0.4, 0.8);
         let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
         let mc = MonteCarlo::new(cfg, 60_000, 7);
-        let report = mc.validate(
-            m.expected_time(w, s1, s2),
-            m.expected_energy(w, s1, s2),
-            3.5,
-        );
+        let report = mc
+            .validate(
+                m.expected_time(w, s1, s2),
+                m.expected_energy(w, s1, s2),
+                3.5,
+            )
+            .unwrap();
         assert!(
             report.ok(),
             "time: sampled {} vs analytic {} (rel {:.4}); energy: sampled {} vs analytic {} (rel {:.4})",
@@ -741,7 +870,7 @@ mod tests {
         let m = silent_model(2e-4);
         let (w, s1, s2) = (2000.0, 0.4, 1.0);
         let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
-        let summary = MonteCarlo::new(cfg, 40_000, 11).run();
+        let summary = MonteCarlo::new(cfg, 40_000, 11).run().unwrap();
         let expected = m.expected_executions(w, s1, s2);
         assert!(
             summary.attempts.contains(expected, 3.5),
@@ -759,12 +888,16 @@ mod tests {
         );
         let (w, s1, s2) = (3000.0, 0.6, 1.0);
         let cfg = SimConfig::from_mixed_model(&mm, w, s1, s2);
+        // Auto now resolves mixed configs to the mixed fast path, so this
+        // pins the new sampler against the Props 4–5 recursion values.
         let mc = MonteCarlo::new(cfg, 60_000, 13);
-        let report = mc.validate(
-            mm.expected_time(w, s1, s2),
-            mm.expected_energy(w, s1, s2),
-            3.5,
-        );
+        let report = mc
+            .validate(
+                mm.expected_time(w, s1, s2),
+                mm.expected_energy(w, s1, s2),
+                3.5,
+            )
+            .unwrap();
         assert!(
             report.ok(),
             "time rel {:.4}, energy rel {:.4}",
@@ -779,11 +912,13 @@ mod tests {
         let (w, s1, s2) = (2764.0, 0.4, 0.4);
         let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
         let mc = MonteCarlo::new(cfg, 10_000, 3);
-        let report = mc.validate(
-            m.expected_time(w, s1, s2) * 1.2,
-            m.expected_energy(w, s1, s2),
-            3.0,
-        );
+        let report = mc
+            .validate(
+                m.expected_time(w, s1, s2) * 1.2,
+                m.expected_energy(w, s1, s2),
+                3.0,
+            )
+            .unwrap();
         assert!(!report.time_ok());
     }
 }

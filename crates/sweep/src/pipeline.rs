@@ -98,8 +98,8 @@ usage: experiments [--out DIR] [--seed N] [--resume] [--quick]
 
   IDS          experiment ids to run (default: all), e.g.
                T-rho8 T-rho3 T-rho1.775 T-rho1.4 F1..F14 X-thm2 X-validity
-               X-mc X-ablation X-pairs X-robust X-pareto X-multiverif
-               X-continuous X-heatmap
+               X-mc X-mc-mixed X-ablation X-pairs X-robust X-pareto
+               X-multiverif X-continuous X-heatmap
   --out        directory for artifacts + run manifest (default: results/)
   --seed       base seed for Monte Carlo experiments (default: 2024)
   --quick      fast subset (tables, F4, X-thm2, X-validity) for smoke runs

@@ -19,7 +19,9 @@ fn check(
     trials: u64,
     seed: u64,
 ) {
-    let report = MonteCarlo::new(cfg, trials, seed).validate(expected_time, expected_energy, 3.29);
+    let report = MonteCarlo::new(cfg, trials, seed)
+        .validate(expected_time, expected_energy, 3.29)
+        .expect("example configs are well-formed");
     let s = &report.summary;
     println!("--- {label} ({trials} trials) ---");
     println!(

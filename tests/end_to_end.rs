@@ -17,11 +17,13 @@ fn plan_then_simulate_every_configuration() {
         // exact expectation (errors are rare at real λ, so a moderate
         // trial count suffices for a 5σ envelope).
         let sim = SimConfig::from_silent_model(m, best.w_opt, best.sigma1, best.sigma2);
-        let report = MonteCarlo::new(sim, 20_000, 7).validate(
-            m.expected_time(best.w_opt, best.sigma1, best.sigma2),
-            m.expected_energy(best.w_opt, best.sigma1, best.sigma2),
-            5.0,
-        );
+        let report = MonteCarlo::new(sim, 20_000, 7)
+            .validate(
+                m.expected_time(best.w_opt, best.sigma1, best.sigma2),
+                m.expected_energy(best.w_opt, best.sigma1, best.sigma2),
+                5.0,
+            )
+            .unwrap();
         assert!(
             report.ok(),
             "{}: plan ({}, {}, W = {:.0}) not confirmed by simulation \
@@ -88,13 +90,15 @@ fn simulated_two_speed_plan_beats_simulated_one_speed_plan() {
         trials,
         11,
     )
-    .run();
+    .run()
+    .unwrap();
     let sim_one = MonteCarlo::new(
         SimConfig::from_silent_model(&m, one.w_opt, one.sigma1, one.sigma2),
         trials,
         12,
     )
-    .run();
+    .run()
+    .unwrap();
     let e_two = sim_two.energy.mean() / two.w_opt;
     let e_one = sim_one.energy.mean() / one.w_opt;
     assert!(

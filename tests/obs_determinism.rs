@@ -38,7 +38,7 @@ fn deterministic_snapshot(threads: &str, work: impl FnOnce()) -> String {
 fn aggregates_are_byte_identical_across_thread_counts() {
     // Monte Carlo runner: shards merge along the parallel reduction.
     let run_mc = || {
-        let s = MonteCarlo::new(sim_config(), 4096, 42).run();
+        let s = MonteCarlo::new(sim_config(), 4096, 42).run().unwrap();
         assert_eq!(s.time.count(), 4096);
     };
     let one = deterministic_snapshot("1", run_mc);
@@ -78,7 +78,9 @@ fn aggregates_are_byte_identical_across_thread_counts() {
     // Progress-sliced runs absorb the same totals as plain runs.
     let run_progress = || {
         let mut ticks = 0;
-        MonteCarlo::new(sim_config(), 4096, 42).run_with_progress(&mut |_, _| ticks += 1);
+        MonteCarlo::new(sim_config(), 4096, 42)
+            .run_with_progress(&mut |_, _| ticks += 1)
+            .unwrap();
         assert!(ticks > 0);
     };
     let plain = deterministic_snapshot("4", run_mc);
@@ -98,7 +100,10 @@ fn aggregates_are_byte_identical_across_thread_counts() {
     let sim_totals = |engine: Engine, cfg: SimConfig| {
         std::env::set_var("RAYON_NUM_THREADS", "4");
         obs::reset();
-        MonteCarlo::new(cfg, 4096, 42).with_engine(engine).run();
+        MonteCarlo::new(cfg, 4096, 42)
+            .with_engine(engine)
+            .run()
+            .unwrap();
         let g = obs::global();
         (
             g.counter("sim.patterns").get(),

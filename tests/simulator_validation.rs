@@ -15,11 +15,13 @@ fn hera_xscale_model() -> SilentModel {
 fn validate_silent(lambda: f64, w: f64, s1: f64, s2: f64, trials: u64, seed: u64) {
     let m = hera_xscale_model().with_lambda(lambda);
     let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
-    let report = MonteCarlo::new(cfg, trials, seed).validate(
-        m.expected_time(w, s1, s2),
-        m.expected_energy(w, s1, s2),
-        4.0, // 4σ: false-failure probability ~6e-5 per check
-    );
+    let report = MonteCarlo::new(cfg, trials, seed)
+        .validate(
+            m.expected_time(w, s1, s2),
+            m.expected_energy(w, s1, s2),
+            4.0, // 4σ: false-failure probability ~6e-5 per check
+        )
+        .unwrap();
     assert!(
         report.ok(),
         "λ={lambda} W={w} σ=({s1},{s2}): time rel {:.5} energy rel {:.5}",
@@ -51,7 +53,7 @@ fn silent_equal_speeds_matches_proposition_1() {
     let m = hera_xscale_model().with_lambda(8e-5);
     let (w, s) = (4000.0, 0.6);
     let cfg = SimConfig::from_silent_model(&m, w, s, s);
-    let summary = MonteCarlo::new(cfg, 40_000, 104).run();
+    let summary = MonteCarlo::new(cfg, 40_000, 104).run().unwrap();
     let t1 = m.expected_time_single(w, s);
     assert!(
         summary.time.contains(t1, 4.0),
@@ -66,11 +68,13 @@ fn mixed_errors_converge_to_recursion_values() {
     let mm = MixedModel::new(ErrorRates::new(6e-5, 6e-5).unwrap(), m.costs, m.power);
     let (w, s1, s2) = (2500.0, 0.4, 1.0);
     let cfg = SimConfig::from_mixed_model(&mm, w, s1, s2);
-    let report = MonteCarlo::new(cfg, 50_000, 105).validate(
-        mm.expected_time(w, s1, s2),
-        mm.expected_energy(w, s1, s2),
-        4.0,
-    );
+    let report = MonteCarlo::new(cfg, 50_000, 105)
+        .validate(
+            mm.expected_time(w, s1, s2),
+            mm.expected_energy(w, s1, s2),
+            4.0,
+        )
+        .unwrap();
     assert!(
         report.ok(),
         "time rel {:.5} energy rel {:.5}",
@@ -85,11 +89,13 @@ fn fail_stop_only_converges() {
     let mm = MixedModel::new(ErrorRates::fail_stop_only(1e-4).unwrap(), m.costs, m.power);
     let (w, s1, s2) = (3000.0, 0.5, 1.0); // σ2 = 2σ1, the Theorem 2 line
     let cfg = SimConfig::from_mixed_model(&mm, w, s1, s2);
-    let report = MonteCarlo::new(cfg, 50_000, 106).validate(
-        mm.expected_time(w, s1, s2),
-        mm.expected_energy(w, s1, s2),
-        4.0,
-    );
+    let report = MonteCarlo::new(cfg, 50_000, 106)
+        .validate(
+            mm.expected_time(w, s1, s2),
+            mm.expected_energy(w, s1, s2),
+            4.0,
+        )
+        .unwrap();
     assert!(
         report.ok(),
         "time rel {:.5} energy rel {:.5}",
@@ -156,7 +162,7 @@ fn expected_executions_matches_over_many_rates() {
         let m = hera_xscale_model().with_lambda(lambda);
         let (w, s1, s2) = (2764.0, 0.4, 0.6);
         let cfg = SimConfig::from_silent_model(&m, w, s1, s2);
-        let summary = MonteCarlo::new(cfg, 30_000, 900 + i as u64).run();
+        let summary = MonteCarlo::new(cfg, 30_000, 900 + i as u64).run().unwrap();
         let expected = m.expected_executions(w, s1, s2);
         assert!(
             summary.attempts.contains(expected, 4.0),
