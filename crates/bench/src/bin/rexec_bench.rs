@@ -3,10 +3,20 @@
 //! so every PR records the perf trajectory alongside the paper artifacts.
 //!
 //! ```text
-//! rexec-bench [--quick] [--out PATH]
+//! rexec-bench [--quick] [--repeat N] [--out PATH] [--no-history]
+//! rexec-bench compare BASELINE CURRENT [--iqr-band K] [--min-pct P]
 //!
-//!   --quick   CI-sized workloads (seconds, not minutes)
-//!   --out     output path (default: BENCH_sweeps.json)
+//!   --quick       CI-sized workloads (seconds, not minutes)
+//!   --repeat N    run the whole suite N times; report per-stage
+//!                 median wall time with the interquartile range
+//!                 (default 1: a single pass, IQR 0)
+//!   --out         output path (default: BENCH_sweeps.json)
+//!   --no-history  skip appending this run to BENCH_history.jsonl
+//!
+//!   compare       read two reports and flag stages whose current
+//!                 median is more than K× the wider IQR *and* more
+//!                 than P% above the baseline median (defaults K = 3,
+//!                 P = 5); exits 1 when any stage regressed
 //! ```
 //!
 //! Stages:
@@ -24,26 +34,42 @@
 //!   `sim_fastpath_parallel` (rayon fast path, asserted bit-identical
 //!   to the sequential fast path); the same trio runs again on a mixed
 //!   fail-stop + silent config as `sim_mixed_reference`,
-//!   `sim_mixed_fastpath` and `sim_mixed_fastpath_parallel`.
+//!   `sim_mixed_fastpath` and `sim_mixed_fastpath_parallel`;
+//! * **obs** — `obs_overhead`: the `sim_fastpath` workload with span
+//!   timing *and* the span timeline fully enabled vs fully disabled;
+//!   its `overhead_pct` extra records the observability tax on the
+//!   hottest loop (CI asserts it stays under 2%).
 //!
-//! Every stage repeats its workload a few times and reports the *best*
-//! wall time (least-noise estimator for throughput trend lines).
+//! Within one suite pass every stage still repeats its workload a few
+//! times and keeps the *best* wall time (least-noise estimator for a
+//! single pass); `--repeat` then takes the median of those best times
+//! across passes, which is what `compare` and `BENCH_history.jsonl`
+//! track.
 
+use rexec_bench::stats::{median_sorted, quartiles_sorted, regressions, sorted, StageSample};
 use rexec_bench::{atlas_crusoe, hera_xscale, synthetic_solver};
 use rexec_sim::{Engine, MonteCarlo, SimConfig, Summary};
 use rexec_sweep::figure::{lambda_hi_for, sweep_figure_paper_grid, SweepParam};
 use rexec_sweep::{rho_table, Grid, Heatmap};
 use serde::{Serialize, Value};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-/// One measured stage: wall time of the best repetition plus throughput.
+/// One measured stage: robust wall-time summary plus throughput.
 struct StageResult {
     stage: &'static str,
     name: &'static str,
-    /// Best wall time over the repetitions (seconds).
+    /// Median (across `--repeat` passes) of the best wall time per pass
+    /// (seconds). For a single pass this is just the best wall time.
     wall_secs: f64,
+    /// First quartile of the per-pass wall times.
+    q1_secs: f64,
+    /// Third quartile of the per-pass wall times.
+    q3_secs: f64,
+    /// How many suite passes the summary aggregates.
+    repeats: u64,
     /// Work items processed per repetition (points, cells, solves...).
     items: u64,
     /// What `items` counts.
@@ -53,8 +79,31 @@ struct StageResult {
 }
 
 impl StageResult {
-    /// Items per second; 0 for a zero-duration stage so the JSON report
-    /// never contains `inf`/NaN (which downstream parsers misread).
+    /// A single-pass result: quartiles degenerate to the measured time.
+    fn single(
+        stage: &'static str,
+        name: &'static str,
+        wall_secs: f64,
+        items: u64,
+        unit: &'static str,
+        extra: BTreeMap<String, Value>,
+    ) -> StageResult {
+        StageResult {
+            stage,
+            name,
+            wall_secs,
+            q1_secs: wall_secs,
+            q3_secs: wall_secs,
+            repeats: 1,
+            items,
+            unit,
+            extra,
+        }
+    }
+
+    /// Items per second from the median wall time; 0 for a zero-duration
+    /// stage so the JSON report never contains `inf`/NaN (which
+    /// downstream parsers misread).
     fn per_sec(&self) -> f64 {
         finite_ratio(self.items as f64, self.wall_secs)
     }
@@ -64,6 +113,13 @@ impl StageResult {
         m.insert("stage".to_string(), self.stage.to_value());
         m.insert("name".to_string(), self.name.to_value());
         m.insert("wall_secs".to_string(), self.wall_secs.to_value());
+        m.insert("wall_q1_secs".to_string(), self.q1_secs.to_value());
+        m.insert("wall_q3_secs".to_string(), self.q3_secs.to_value());
+        m.insert(
+            "wall_iqr_secs".to_string(),
+            (self.q3_secs - self.q1_secs).to_value(),
+        );
+        m.insert("repeats".to_string(), self.repeats.to_value());
         m.insert("items".to_string(), self.items.to_value());
         m.insert("unit".to_string(), self.unit.to_value());
         m.insert(format!("{}_per_sec", self.unit), self.per_sec().to_value());
@@ -131,14 +187,14 @@ fn solver_stages(quick: bool, out: &mut Vec<StageResult>) {
             "batched_speedup".to_string(),
             finite_ratio(per_point_secs, batched_secs).to_value(),
         );
-        out.push(StageResult {
-            stage: "solver",
+        out.push(StageResult::single(
+            "solver",
             name,
-            wall_secs: batched_secs,
-            items: rhos.len() as u64,
-            unit: "solves",
+            batched_secs,
+            rhos.len() as u64,
+            "solves",
             extra,
-        });
+        ));
     }
 }
 
@@ -155,14 +211,14 @@ fn sweep_stages(quick: bool, out: &mut Vec<StageResult>) {
             points += s.points.len() as u64;
         }
     });
-    out.push(StageResult {
-        stage: "sweep",
-        name: "figures_atlas_crusoe",
-        wall_secs: figure_secs,
-        items: points,
-        unit: "points",
-        extra: BTreeMap::new(),
-    });
+    out.push(StageResult::single(
+        "sweep",
+        "figures_atlas_crusoe",
+        figure_secs,
+        points,
+        "points",
+        BTreeMap::new(),
+    ));
 
     let hera = hera_xscale();
     let mut rows = 0u64;
@@ -172,27 +228,27 @@ fn sweep_stages(quick: bool, out: &mut Vec<StageResult>) {
             rows += rho_table(&hera, rho).rows.len() as u64;
         }
     });
-    out.push(StageResult {
-        stage: "sweep",
-        name: "tables_rho",
-        wall_secs: table_secs,
-        items: rows,
-        unit: "rows",
-        extra: BTreeMap::new(),
-    });
+    out.push(StageResult::single(
+        "sweep",
+        "tables_rho",
+        table_secs,
+        rows,
+        "rows",
+        BTreeMap::new(),
+    ));
 
     let (nl, nr) = if quick { (8, 20) } else { (16, 40) };
     let lambdas = Grid::log(1e-6, 2e-3, nl);
     let rhos = Grid::linear(1.1, 8.0, nr);
     let heatmap_secs = best_of(reps, || Heatmap::compute(&hera, &lambdas, &rhos));
-    out.push(StageResult {
-        stage: "heatmap",
-        name: "hera_xscale_lambda_rho",
-        wall_secs: heatmap_secs,
-        items: (nl * nr) as u64,
-        unit: "cells",
-        extra: BTreeMap::new(),
-    });
+    out.push(StageResult::single(
+        "heatmap",
+        "hera_xscale_lambda_rho",
+        heatmap_secs,
+        (nl * nr) as u64,
+        "cells",
+        BTreeMap::new(),
+    ));
 }
 
 /// Benches one config through the reference engine, the sequential fast
@@ -215,14 +271,14 @@ fn simulator_trio(
             .run_sequential()
             .expect("benchmark config is valid")
     });
-    out.push(StageResult {
-        stage: "simulator",
-        name: names[0],
-        wall_secs: ref_secs,
-        items: trials,
-        unit: "patterns",
-        extra: BTreeMap::new(),
-    });
+    out.push(StageResult::single(
+        "simulator",
+        names[0],
+        ref_secs,
+        trials,
+        "patterns",
+        BTreeMap::new(),
+    ));
 
     // Single-thread closed-form fast path over the same config and seed.
     let fast = MonteCarlo::new(cfg, trials, 2024).with_engine(Engine::FastPath);
@@ -234,14 +290,14 @@ fn simulator_trio(
         "speedup_vs_reference".to_string(),
         finite_ratio(ref_secs, fast_secs).to_value(),
     );
-    out.push(StageResult {
-        stage: "simulator",
-        name: names[1],
-        wall_secs: fast_secs,
-        items: trials,
-        unit: "patterns",
+    out.push(StageResult::single(
+        "simulator",
+        names[1],
+        fast_secs,
+        trials,
+        "patterns",
         extra,
-    });
+    ));
 
     // Multi-thread fast path; its Summary must stay bit-identical to the
     // sequential run (chunked RNG streams + order-preserving reduction).
@@ -262,14 +318,14 @@ fn simulator_trio(
         "speedup_vs_reference".to_string(),
         finite_ratio(ref_secs, par_secs).to_value(),
     );
-    out.push(StageResult {
-        stage: "simulator",
-        name: names[2],
-        wall_secs: par_secs,
-        items: trials,
-        unit: "patterns",
+    out.push(StageResult::single(
+        "simulator",
+        names[2],
+        par_secs,
+        trials,
+        "patterns",
         extra,
-    });
+    ));
 }
 
 fn simulator_stage(quick: bool, out: &mut Vec<StageResult>) {
@@ -304,6 +360,118 @@ fn simulator_stage(quick: bool, out: &mut Vec<StageResult>) {
     );
 }
 
+/// Observability self-overhead: the `sim_fastpath` workload with span
+/// timing *and* the span timeline enabled, against the same workload
+/// with both disabled. The hot loop batches its metrics into per-chunk
+/// integer accumulators, so the toggles should only gate the per-run
+/// `runner.run` span — `overhead_pct` records how true that stays.
+fn obs_overhead_stage(quick: bool, out: &mut Vec<StageResult>) {
+    let model = hera_xscale().silent_model().expect("valid configuration");
+    let cfg = SimConfig::from_silent_model(&model, 2764.0, 0.4, 0.8);
+    // Even in --quick this stage uses a sizeable workload: the overhead
+    // ratio of two ~microsecond runs would be pure timer noise.
+    let trials: u64 = if quick { 100_000 } else { 400_000 };
+    let reps = if quick { 5 } else { 7 };
+    let mc = MonteCarlo::new(cfg, trials, 2024).with_engine(Engine::FastPath);
+
+    rexec_obs::set_spans_enabled(false);
+    rexec_obs::set_timeline_enabled(false);
+    let off_secs = best_of(reps, || mc.run().expect("benchmark config is valid"));
+
+    rexec_obs::set_spans_enabled(true);
+    rexec_obs::set_timeline_enabled(true);
+    let on_secs = best_of(reps, || mc.run().expect("benchmark config is valid"));
+    rexec_obs::set_spans_enabled(false);
+    rexec_obs::set_timeline_enabled(false);
+    // Free the timeline events the enabled runs accumulated.
+    drop(rexec_obs::timeline_drain());
+
+    // Best-of-N noise can make the instrumented run *faster*; clamp at
+    // zero so the tracked number is the observability tax, not jitter.
+    let overhead_pct = (finite_ratio(on_secs, off_secs) - 1.0).max(0.0) * 100.0;
+    let mut extra = BTreeMap::new();
+    extra.insert("baseline_wall_secs".to_string(), off_secs.to_value());
+    extra.insert("overhead_pct".to_string(), overhead_pct.to_value());
+    out.push(StageResult::single(
+        "obs",
+        "obs_overhead",
+        on_secs,
+        trials,
+        "patterns",
+        extra,
+    ));
+}
+
+/// One full pass over every stage, in report order.
+fn run_suite(quick: bool) -> Vec<StageResult> {
+    let mut stages: Vec<StageResult> = vec![];
+    solver_stages(quick, &mut stages);
+    sweep_stages(quick, &mut stages);
+    simulator_stage(quick, &mut stages);
+    obs_overhead_stage(quick, &mut stages);
+    stages
+}
+
+/// Folds `--repeat` suite passes into one row per stage: median and
+/// quartiles of the per-pass wall times, median of numeric extras
+/// (exactly-equal integer extras stay integers).
+fn aggregate(mut passes: Vec<Vec<StageResult>>) -> Vec<StageResult> {
+    if passes.len() == 1 {
+        return passes.pop().expect("non-empty");
+    }
+    let n = passes.len() as u64;
+    let mut out = vec![];
+    for i in 0..passes[0].len() {
+        let walls = sorted(passes.iter().map(|p| p[i].wall_secs).collect());
+        let (q1, med, q3) = quartiles_sorted(&walls);
+        let proto = &passes[0][i];
+        debug_assert!(passes
+            .iter()
+            .all(|p| p[i].stage == proto.stage && p[i].name == proto.name));
+        let mut extra = BTreeMap::new();
+        for key in proto.extra.keys() {
+            let vals: Vec<&Value> = passes.iter().filter_map(|p| p[i].extra.get(key)).collect();
+            let ints: Vec<u64> = vals
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Number(n) => n.as_u64(),
+                    _ => None,
+                })
+                .collect();
+            let merged = if ints.len() == vals.len() && ints.windows(2).all(|w| w[0] == w[1]) {
+                ints[0].to_value()
+            } else {
+                let nums = sorted(
+                    vals.iter()
+                        .filter_map(|v| match v {
+                            Value::Number(n) => Some(n.as_f64()),
+                            _ => None,
+                        })
+                        .collect(),
+                );
+                if nums.is_empty() {
+                    (*vals[0]).clone()
+                } else {
+                    median_sorted(&nums).to_value()
+                }
+            };
+            extra.insert(key.clone(), merged);
+        }
+        out.push(StageResult {
+            stage: proto.stage,
+            name: proto.name,
+            wall_secs: med,
+            q1_secs: q1,
+            q3_secs: q3,
+            repeats: n,
+            items: proto.items,
+            unit: proto.unit,
+            extra,
+        });
+    }
+    out
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
@@ -316,19 +484,140 @@ fn unix_secs() -> u64 {
         .unwrap_or(0)
 }
 
+/// Extracts `"stage/name" → (median, IQR)` samples from a report file
+/// (both the current quartile schema and the older best-of schema, which
+/// has no IQR fields and gets a zero-width band).
+fn load_samples(path: &Path) -> Vec<StageSample> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    let doc: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| die(&format!("{} is not valid JSON: {e}", path.display())));
+    let Some(Value::Array(stages)) = doc.get("stages") else {
+        die(&format!("{}: no `stages` array", path.display()));
+    };
+    let num = |v: Option<&Value>| match v {
+        Some(Value::Number(n)) => Some(n.as_f64()),
+        _ => None,
+    };
+    let text_of = |v: Option<&Value>| match v {
+        Some(Value::String(s)) => Some(s.clone()),
+        _ => None,
+    };
+    stages
+        .iter()
+        .filter_map(|s| {
+            let key = format!("{}/{}", text_of(s.get("stage"))?, text_of(s.get("name"))?);
+            Some(StageSample {
+                key,
+                median_secs: num(s.get("wall_secs"))?,
+                iqr_secs: num(s.get("wall_iqr_secs")).unwrap_or(0.0),
+            })
+        })
+        .collect()
+}
+
+/// `rexec-bench compare BASELINE CURRENT [--iqr-band K] [--min-pct P]`.
+fn run_compare(args: &[String]) -> ! {
+    let mut paths: Vec<PathBuf> = vec![];
+    let mut iqr_band = 3.0;
+    let mut min_pct = 5.0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iqr-band" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => iqr_band = k,
+                None => die("--iqr-band needs a number"),
+            },
+            "--min-pct" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(p) => min_pct = p,
+                None => die("--min-pct needs a number"),
+            },
+            other if !other.starts_with('-') => paths.push(PathBuf::from(other)),
+            other => die(&format!("unknown compare argument: {other}")),
+        }
+    }
+    let [base_path, cur_path] = paths.as_slice() else {
+        die("compare needs exactly BASELINE and CURRENT report paths");
+    };
+    let base = load_samples(base_path);
+    let cur = load_samples(cur_path);
+    let shared = cur.iter().filter(|c| base.iter().any(|b| b.key == c.key));
+    for c in shared.clone() {
+        let b = base.iter().find(|b| b.key == c.key).expect("filtered");
+        println!(
+            "{:<40} {:>12.3} ms -> {:>12.3} ms  ({:+.1}%)",
+            c.key,
+            b.median_secs * 1e3,
+            c.median_secs * 1e3,
+            finite_ratio(c.median_secs - b.median_secs, b.median_secs) * 100.0,
+        );
+    }
+    if shared.count() == 0 {
+        die("the two reports share no stages");
+    }
+    let regs = regressions(&base, &cur, iqr_band, min_pct);
+    if regs.is_empty() {
+        println!("no regressions beyond the noise band (>{iqr_band}x IQR and >{min_pct}%)");
+        std::process::exit(0);
+    }
+    for r in &regs {
+        eprintln!(
+            "REGRESSION {:<34} {:>10.3} ms -> {:>10.3} ms  (+{:.1}%, band {:.3} ms)",
+            r.key,
+            r.base_secs * 1e3,
+            r.cur_secs * 1e3,
+            r.pct,
+            r.band_secs * 1e3
+        );
+    }
+    std::process::exit(1);
+}
+
+/// Appends the run's compact JSON to `BENCH_history.jsonl` next to the
+/// report, one line per run — the longitudinal record `compare` and the
+/// perf trend lines read.
+fn append_history(out_path: &Path, doc: &Value) {
+    let history = out_path.with_file_name("BENCH_history.jsonl");
+    let line = serde_json::to_string(doc).expect("benchmark report serializes infallibly");
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    match result {
+        Ok(()) => println!("history appended: {}", history.display()),
+        Err(e) => eprintln!("warning: cannot append {}: {e}", history.display()),
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("compare") {
+        run_compare(&argv[1..]);
+    }
+
     let mut quick = false;
+    let mut repeat = 1usize;
+    let mut history = true;
     let mut out_path = PathBuf::from("BENCH_sweeps.json");
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--no-history" => history = false,
+            "--repeat" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => repeat = n,
+                _ => die("--repeat needs a count of at least 1"),
+            },
             "--out" => match args.next() {
                 Some(p) => out_path = PathBuf::from(p),
                 None => die("--out needs a path"),
             },
             "--help" | "-h" => {
-                println!("usage: rexec-bench [--quick] [--out PATH]");
+                println!(
+                    "usage: rexec-bench [--quick] [--repeat N] [--out PATH] [--no-history]\n\
+                            rexec-bench compare BASELINE CURRENT [--iqr-band K] [--min-pct P]"
+                );
                 return;
             }
             other => die(&format!("unknown argument: {other}")),
@@ -337,17 +626,16 @@ fn main() {
 
     let started_unix = unix_secs();
     let run_started = Instant::now();
-    let mut stages: Vec<StageResult> = vec![];
-    solver_stages(quick, &mut stages);
-    sweep_stages(quick, &mut stages);
-    simulator_stage(quick, &mut stages);
+    let passes: Vec<Vec<StageResult>> = (0..repeat).map(|_| run_suite(quick)).collect();
+    let stages = aggregate(passes);
 
     for s in &stages {
         println!(
-            "[{:<9}] {:<28} {:>10.3} ms   {:>12.0} {}/s",
+            "[{:<9}] {:<28} {:>10.3} ms (iqr {:>8.3})  {:>12.0} {}/s",
             s.stage,
             s.name,
             s.wall_secs * 1e3,
+            (s.q3_secs - s.q1_secs) * 1e3,
             s.per_sec(),
             s.unit
         );
@@ -357,6 +645,7 @@ fn main() {
     run.insert("tool".to_string(), "rexec-bench".to_value());
     run.insert("version".to_string(), env!("CARGO_PKG_VERSION").to_value());
     run.insert("quick".to_string(), quick.to_value());
+    run.insert("repeat".to_string(), (repeat as u64).to_value());
     run.insert("threads".to_string(), (rayon_threads() as u64).to_value());
     run.insert("started_unix_secs".to_string(), started_unix.to_value());
     run.insert(
@@ -370,13 +659,16 @@ fn main() {
         "stages".to_string(),
         Value::Array(stages.iter().map(StageResult::to_value).collect()),
     );
+    let doc = Value::Object(doc);
 
-    let json = serde_json::to_string_pretty(&Value::Object(doc))
-        .expect("benchmark report serializes infallibly");
+    let json = serde_json::to_string_pretty(&doc).expect("benchmark report serializes infallibly");
     // Atomic: a crash mid-write must not leave a truncated report that a
-    // later `--check` run would misread as a baseline.
+    // later `compare` run would misread as a baseline.
     rexec_harness::atomic_write_simple(&out_path, json.as_bytes()).expect("write benchmark report");
     println!("benchmark report written: {}", out_path.display());
+    if history {
+        append_history(&out_path, &doc);
+    }
 }
 
 /// Worker-thread count the parallel stages ran with.

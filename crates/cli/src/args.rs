@@ -38,6 +38,13 @@ pub struct Args {
     /// Write a JSON metrics snapshot (counters, histograms, span timings)
     /// to this path; also enables span timing.
     pub metrics: Option<String>,
+    /// Write a Prometheus text-exposition rendering of the metrics
+    /// snapshot to this path; also enables span timing.
+    pub metrics_prom: Option<String>,
+    /// Write a Chrome trace-event JSON span timeline to this path
+    /// (loadable in Perfetto / `chrome://tracing`); enables the span
+    /// timeline for the run.
+    pub trace_chrome: Option<String>,
     /// Write simulated pattern traces as JSON Lines to this path.
     pub trace_jsonl: Option<String>,
     /// Deterministic fault injection for artifact writes (crash-recovery
@@ -68,6 +75,8 @@ impl Default for Args {
             compare_one_speed: false,
             pareto: None,
             metrics: None,
+            metrics_prom: None,
+            trace_chrome: None,
             trace_jsonl: None,
             fault_plan: rexec_harness::FaultPlan::default(),
             verbose: false,
@@ -152,6 +161,10 @@ OPTIONS:
 OBSERVABILITY:
   --metrics PATH      write a JSON metrics snapshot (counters, histograms,
                       span timings) after the run
+  --metrics-prom PATH write the metrics snapshot in Prometheus text
+                      exposition format after the run
+  --trace-chrome PATH record a span timeline and write it as Chrome
+                      trace-event JSON (open in Perfetto)
   --trace-jsonl PATH  simulate the plan's pattern and write its event trace
                       as JSON Lines (one event per line)
   --verbose           progress lines on stderr (solver stats, Monte Carlo)
@@ -212,6 +225,8 @@ impl Args {
                 "--verbose" => out.verbose = true,
                 "--platform" | "--config" => out.platform = Some(take_value(&mut it, &a)?),
                 "--metrics" => out.metrics = Some(take_value(&mut it, &a)?),
+                "--metrics-prom" => out.metrics_prom = Some(take_value(&mut it, &a)?),
+                "--trace-chrome" => out.trace_chrome = Some(take_value(&mut it, &a)?),
                 "--trace-jsonl" => out.trace_jsonl = Some(take_value(&mut it, &a)?),
                 "--fault-plan" => {
                     let v = take_value(&mut it, &a)?;
@@ -461,6 +476,26 @@ mod tests {
             Err(ParseError::MissingValue("--metrics".into()))
         );
         assert!(USAGE.contains("--metrics") && USAGE.contains("--trace-jsonl"));
+    }
+
+    #[test]
+    fn exporter_flags() {
+        let a = parse(&[
+            "--config",
+            "hera",
+            "--metrics-prom",
+            "/tmp/m.prom",
+            "--trace-chrome",
+            "/tmp/t.trace.json",
+        ])
+        .unwrap();
+        assert_eq!(a.metrics_prom.as_deref(), Some("/tmp/m.prom"));
+        assert_eq!(a.trace_chrome.as_deref(), Some("/tmp/t.trace.json"));
+        assert_eq!(
+            parse(&["--trace-chrome"]),
+            Err(ParseError::MissingValue("--trace-chrome".into()))
+        );
+        assert!(USAGE.contains("--metrics-prom") && USAGE.contains("--trace-chrome"));
     }
 
     #[test]

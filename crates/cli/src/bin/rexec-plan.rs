@@ -1,9 +1,10 @@
 //! `rexec-plan`: energy-optimal two-speed checkpointing plans from the
 //! command line. See `--help` or the crate docs.
 //!
-//! Artifact writes (`--metrics`, `--trace-jsonl`) are atomic: the file
-//! is staged next to its destination and renamed into place, so a crash
-//! mid-write never leaves a truncated artifact under the final name.
+//! Artifact writes (`--metrics`, `--metrics-prom`, `--trace-chrome`,
+//! `--trace-jsonl`) are atomic: the file is staged next to its
+//! destination and renamed into place, so a crash mid-write never
+//! leaves a truncated artifact under the final name.
 //! Transient write failures are retried under capped backoff, and
 //! `--fault-plan` injects deterministic failures for testing.
 
@@ -42,6 +43,12 @@ fn main() {
             }
             if let (Some(path), Some(json)) = (&args.metrics, &outcome.metrics_json) {
                 write_or_die(path, json, "metrics", &injector);
+            }
+            if let (Some(path), Some(text)) = (&args.metrics_prom, &outcome.metrics_prom) {
+                write_or_die(path, text, "prometheus metrics", &injector);
+            }
+            if let (Some(path), Some(json)) = (&args.trace_chrome, &outcome.trace_chrome) {
+                write_or_die(path, json, "chrome trace", &injector);
             }
             if !outcome.feasible {
                 std::process::exit(1);

@@ -18,6 +18,12 @@ pub struct Outcome {
     pub feasible: bool,
     /// JSON metrics snapshot (present when `--metrics` was given).
     pub metrics_json: Option<String>,
+    /// Prometheus text exposition of the metrics snapshot (present when
+    /// `--metrics-prom` was given).
+    pub metrics_prom: Option<String>,
+    /// Chrome trace-event JSON of the run's span timeline (present when
+    /// `--trace-chrome` was given).
+    pub trace_chrome: Option<String>,
     /// JSON Lines event trace (present when `--trace-jsonl` was given
     /// and a feasible plan could be simulated).
     pub trace_jsonl: Option<String>,
@@ -142,10 +148,13 @@ const TRACE_CAPACITY: usize = 4096;
 
 /// Runs the planner and renders the report.
 pub fn execute(args: &Args) -> Result<Outcome, RunError> {
-    if args.metrics.is_some() {
+    if args.metrics.is_some() || args.metrics_prom.is_some() {
         // Span timing is off by default (it reads the clock); a metrics
         // snapshot is the explicit request for it.
         rexec_obs::set_spans_enabled(true);
+    }
+    if args.trace_chrome.is_some() {
+        rexec_obs::set_timeline_enabled(true);
     }
     let solver = build_solver(args)?;
     let m = *solver.model();
@@ -201,6 +210,14 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
             report,
             feasible: false,
             metrics_json: args.metrics.is_some().then(rexec_obs::snapshot_json),
+            metrics_prom: args
+                .metrics_prom
+                .is_some()
+                .then(|| rexec_obs::prometheus_text(rexec_obs::global())),
+            trace_chrome: args
+                .trace_chrome
+                .is_some()
+                .then(rexec_obs::chrome_trace_json),
             trace_jsonl: None,
         });
     };
@@ -305,6 +322,14 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
         report,
         feasible: true,
         metrics_json: args.metrics.is_some().then(rexec_obs::snapshot_json),
+        metrics_prom: args
+            .metrics_prom
+            .is_some()
+            .then(|| rexec_obs::prometheus_text(rexec_obs::global())),
+        trace_chrome: args
+            .trace_chrome
+            .is_some()
+            .then(rexec_obs::chrome_trace_json),
         trace_jsonl,
     })
 }
@@ -491,7 +516,32 @@ mod tests {
     fn plain_runs_produce_no_observability_payloads() {
         let out = execute(&parse(&["--platform", "hera", "--processor", "xscale"])).unwrap();
         assert!(out.metrics_json.is_none());
+        assert!(out.metrics_prom.is_none());
+        assert!(out.trace_chrome.is_none());
         assert!(out.trace_jsonl.is_none());
+    }
+
+    #[test]
+    fn prom_and_chrome_exports_are_well_formed() {
+        let out = execute(&parse(&[
+            "--config",
+            "hera",
+            "--processor",
+            "xscale",
+            "--validate",
+            "2000",
+            "--metrics-prom",
+            "ignored.prom",
+            "--trace-chrome",
+            "ignored.trace.json",
+        ]))
+        .unwrap();
+        let prom = out.metrics_prom.expect("--metrics-prom fills metrics_prom");
+        rexec_obs::check_prometheus_text(&prom).expect("exposition passes the strict checker");
+        assert!(prom.contains("rexec_bicrit_pairs_evaluated_total"));
+        let trace = out.trace_chrome.expect("--trace-chrome fills trace_chrome");
+        let n = rexec_obs::validate_chrome_trace(&trace).expect("trace-event JSON validates");
+        assert!(n > 0, "the run recorded at least the solve span");
     }
 
     #[test]

@@ -26,15 +26,25 @@
 //! disabled); enable it with [`set_spans_enabled`] when timings are
 //! wanted, e.g. when the CLI is asked for a `--metrics` snapshot.
 
+mod export;
 mod metrics;
 mod registry;
 mod shard;
 mod sketch;
+mod timeline;
+mod window;
 
+pub use export::{check_prometheus_text, prometheus_text, snapshot_diff};
 pub use metrics::{Counter, Gauge, Span, SpanStat, Toggle};
 pub use registry::{global, Registry};
 pub use shard::Shard;
 pub use sketch::HistogramSketch;
+pub use timeline::{
+    chrome_trace_from_events, chrome_trace_json, set_timeline_capacity, set_timeline_enabled,
+    timeline_drain, timeline_enabled, validate_chrome_trace, TimelineEvent, TraceError,
+    DEFAULT_RING_CAPACITY,
+};
+pub use window::{RollingWindow, WindowStats};
 
 /// Turns span timing on or off in the [`global`] registry.
 pub fn set_spans_enabled(on: bool) {
@@ -101,7 +111,10 @@ macro_rules! span {
     ($name:expr) => {{
         static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::SpanStat>> =
             ::std::sync::OnceLock::new();
-        $crate::global().span_for(HANDLE.get_or_init(|| $crate::global().span_stat($name)))
+        $crate::global().span_for(
+            HANDLE.get_or_init(|| $crate::global().span_stat($name)),
+            $name,
+        )
     }};
 }
 

@@ -127,27 +127,49 @@ impl SpanStat {
 }
 
 /// RAII timer: measures from construction to drop and records into a
-/// [`SpanStat`]. When observability is disabled the span is a no-op that
-/// never reads the clock, so the disabled path costs one branch.
+/// [`SpanStat`], and — when the timeline is enabled (see
+/// [`crate::set_timeline_enabled`]) — also records a complete event on
+/// the span timeline with parent nesting. When both are disabled the
+/// span is a no-op that never reads the clock, so the disabled path
+/// costs two branches.
 #[derive(Debug)]
 pub struct Span {
     active: Option<(Arc<SpanStat>, Instant)>,
+    timeline: Option<crate::timeline::TimelineSpan>,
 }
 
 impl Span {
     /// Starts timing into `stat` if `enabled`, otherwise a no-op span.
+    /// Never records on the timeline (it has no name); prefer the
+    /// `span!` macro or [`crate::Registry::span`], which do.
     pub fn start(stat: &Arc<SpanStat>, enabled: bool) -> Span {
         Span {
             active: enabled.then(|| (Arc::clone(stat), Instant::now())),
+            timeline: None,
+        }
+    }
+
+    /// Starts a span with an optional aggregate stat and an optional
+    /// timeline half-event (used by the registry entry points).
+    pub(crate) fn with_timeline(
+        stat: Option<&Arc<SpanStat>>,
+        timeline: Option<crate::timeline::TimelineSpan>,
+    ) -> Span {
+        Span {
+            active: stat.map(|s| (Arc::clone(s), Instant::now())),
+            timeline,
         }
     }
 
     /// A span that records nothing.
     pub fn noop() -> Span {
-        Span { active: None }
+        Span {
+            active: None,
+            timeline: None,
+        }
     }
 
-    /// Whether this span is recording.
+    /// Whether this span is recording an aggregate timing.
     pub fn is_active(&self) -> bool {
         self.active.is_some()
     }
@@ -158,6 +180,9 @@ impl Drop for Span {
         if let Some((stat, started)) = self.active.take() {
             let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             stat.record_nanos(nanos);
+        }
+        if let Some(timeline) = self.timeline.take() {
+            timeline.finish();
         }
     }
 }

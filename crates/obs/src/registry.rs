@@ -111,18 +111,26 @@ impl Registry {
         s
     }
 
-    /// Starts a named RAII span (no-op unless span timing is enabled).
+    /// Starts a named RAII span: aggregate timing when span timing is
+    /// enabled, a timeline event when the timeline is enabled, a no-op
+    /// when both are off.
     pub fn span(&self, name: &str) -> Span {
-        if !self.spans_enabled() {
-            return Span::noop();
+        let timeline = crate::timeline::timeline_begin(name);
+        if self.spans_enabled() {
+            Span::with_timeline(Some(&self.span_stat(name)), timeline)
+        } else {
+            Span::with_timeline(None, timeline)
         }
-        Span::start(&self.span_stat(name), true)
     }
 
     /// Starts a span into an already-registered stat, honouring the
-    /// enabled toggle. Preferred in hot loops via the `span!` macro.
-    pub fn span_for(&self, stat: &Arc<SpanStat>) -> Span {
-        Span::start(stat, self.spans_enabled())
+    /// span-timing and timeline toggles. Preferred in hot loops via the
+    /// `span!` macro (which supplies the call site's constant name).
+    pub fn span_for(&self, stat: &Arc<SpanStat>, name: &str) -> Span {
+        Span::with_timeline(
+            self.spans_enabled().then_some(stat),
+            crate::timeline::timeline_begin(name),
+        )
     }
 
     /// Whether span timing is on.
@@ -133,6 +141,39 @@ impl Registry {
     /// Turns span timing on or off (counters and sketches are unaffected).
     pub fn set_spans_enabled(&self, on: bool) {
         self.spans_enabled.set(on);
+    }
+
+    /// Sorted snapshot of every counter as `(name, value)`.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let t = self.lock();
+        t.counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Sorted snapshot of every gauge as `(name, value)`.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let t = self.lock();
+        t.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect()
+    }
+
+    /// Sorted handles to every histogram sketch as `(name, sketch)`.
+    pub fn sketches(&self) -> Vec<(String, Arc<HistogramSketch>)> {
+        let t = self.lock();
+        t.sketches
+            .iter()
+            .map(|(k, s)| (k.clone(), Arc::clone(s)))
+            .collect()
+    }
+
+    /// Sorted handles to every span statistic as `(name, stat)`.
+    pub fn span_stats(&self) -> Vec<(String, Arc<SpanStat>)> {
+        let t = self.lock();
+        t.spans
+            .iter()
+            .map(|(k, s)| (k.clone(), Arc::clone(s)))
+            .collect()
     }
 
     /// Adds a shard's totals into this registry's metrics.

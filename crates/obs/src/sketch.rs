@@ -171,11 +171,26 @@ impl HistogramSketch {
         f64::from_bits(self.max_bits.load(Ordering::Relaxed))
     }
 
-    /// Value at quantile `q ∈ [0, 1]` (within the relative resolution),
-    /// `None` when empty. Overflowed values report as the exact maximum.
+    /// Value at quantile `q` (within the relative resolution).
+    ///
+    /// Edge cases, in order of precedence:
+    /// - empty sketch (no finite values recorded) → `None`, for every `q`;
+    /// - `q` is NaN → `None` (NaN would otherwise defeat the clamp below
+    ///   and silently resolve to rank 0);
+    /// - `q ≤ 0` → the exact observed minimum; `q ≥ 1` → the exact
+    ///   observed maximum (out-of-range `q` clamps into `[0, 1]`);
+    /// - the rank lands in the overflow bucket (values beyond the
+    ///   configured range) → the exact observed maximum, since that
+    ///   bucket has no upper edge to interpolate against. A sketch whose
+    ///   samples are *all* overflowed therefore reports `max()` for every
+    ///   positive quantile.
+    ///
+    /// Interior quantiles report the bucket midpoint, clamped to
+    /// `[min(), max()]` so a single-sample sketch returns that sample
+    /// exactly at every `q`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let total = self.count();
-        if total == 0 {
+        if total == 0 || q.is_nan() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
@@ -310,6 +325,30 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile(0.5), Some(2e12));
         assert_eq!(h.quantile(1.0), Some(2e12));
+    }
+
+    #[test]
+    fn nan_quantile_is_none_even_when_populated() {
+        let h = HistogramSketch::with_default_resolution();
+        h.record(1.0);
+        h.record(2.0);
+        assert_eq!(h.quantile(f64::NAN), None);
+        // Out-of-range (but finite) q clamps instead.
+        assert_eq!(h.quantile(-0.5), Some(1.0));
+        assert_eq!(h.quantile(7.0), Some(2.0));
+    }
+
+    #[test]
+    fn all_overflow_sketch_reports_max_for_every_positive_quantile() {
+        let h = HistogramSketch::new(1.0, 0.1, 10.0);
+        for v in [1e6, 2e6, 3e6] {
+            h.record(v);
+        }
+        assert_eq!(h.overflow_count(), 3);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(3e6), "q = {q}");
+        }
+        assert_eq!(h.quantile(0.0), Some(1e6));
     }
 
     #[test]

@@ -381,6 +381,13 @@ impl MonteCarlo {
     /// [`run`](Self::run); the float `Stats` moments may differ in the
     /// last bits because the merge tree is shaped differently.
     ///
+    /// Each slice's wall time also feeds a [`rexec_obs::RollingWindow`],
+    /// published after every slice as the `runner.window.p50` /
+    /// `runner.window.p99` (slice seconds) and `runner.window.per_sec`
+    /// (slices per second) gauges — a live latency/throughput view over
+    /// the last ~10 s of the run. Gauges are wall-clock and sit outside
+    /// the determinism guarantee.
+    ///
     /// # Errors
     /// [`EngineError::NeverCompletes`] for a degenerate config (before
     /// any trial runs or progress is reported).
@@ -394,12 +401,16 @@ impl MonteCarlo {
         let slice = (self.trials / 10)
             .next_multiple_of(Self::CHUNK)
             .max(Self::CHUNK);
+        let window = rexec_obs::RollingWindow::new(10, 1.0);
         let mut summary = Summary::default();
         let mut done = 0;
         while done < self.trials {
+            let slice_started = std::time::Instant::now();
             let end = (done + slice).min(self.trials);
             summary = summary.merge(self.run_range(done, end)?);
             done = end;
+            window.record(slice_started.elapsed().as_secs_f64());
+            window.publish(rexec_obs::global(), "runner.window");
             progress(done, self.trials);
         }
         self.record_throughput(started);
@@ -813,6 +824,22 @@ mod tests {
                 assert!((glued.attempts.mean() - whole.attempts.mean()).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn progress_runs_publish_window_gauges() {
+        let m = silent_model(1e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        let mut slices = 0;
+        MonteCarlo::new(cfg, 2000, 4)
+            .run_with_progress(&mut |_, _| slices += 1)
+            .unwrap();
+        assert!(slices > 0);
+        // Every slice publishes the rolling-window gauges; the run just
+        // finished, so its slices are still inside the 10 s window.
+        let g = rexec_obs::global();
+        assert!(g.gauge("runner.window.per_sec").get() > 0.0);
+        assert!(g.gauge("runner.window.p99").get() >= g.gauge("runner.window.p50").get());
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn main() {
             println!("{USAGE}");
             return;
         }
-        CliCommand::Run(cfg) => cfg,
+        CliCommand::Run(cfg) => *cfg,
     };
     if let Err(e) = run(&cfg) {
         eprintln!("error: {e}");

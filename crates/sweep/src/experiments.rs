@@ -135,9 +135,16 @@ fn figure_config(n: u8) -> Result<Configuration, HarnessError> {
 
 /// Degrades one failed sweep point to a tagged row instead of aborting
 /// the whole experiment: label, dashes, and an `ERR(tag)` marker in the
-/// last column. Counted in `sweep.point_errors`.
+/// last column. Counted in `sweep.point_errors`, and per cause in
+/// `sweep.err.<tag>` so a metrics snapshot says *which* degradations a
+/// run hit, not just how many.
 fn tagged_error_row(label: String, ncols: usize, tag: &str) -> Vec<String> {
     rexec_obs::counter!("sweep.point_errors").incr();
+    // Dynamic name: the tag varies per failure cause, so this bypasses
+    // the handle-caching macro on purpose (see `counter!`'s docs).
+    rexec_obs::global()
+        .counter(&format!("sweep.err.{tag}"))
+        .incr();
     let mut row = vec![label];
     row.extend(std::iter::repeat_n(
         "-".to_string(),
@@ -1131,6 +1138,17 @@ pub fn run_all() -> Result<Vec<ExperimentResult>, HarnessError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tagged_error_rows_count_per_cause() {
+        let g = rexec_obs::global();
+        let total_before = g.counter("sweep.point_errors").get();
+        let tag_before = g.counter("sweep.err.test-cause").get();
+        let row = tagged_error_row("point".into(), 4, "test-cause");
+        assert_eq!(row, vec!["point", "-", "-", "ERR(test-cause)"]);
+        assert_eq!(g.counter("sweep.point_errors").get(), total_before + 1);
+        assert_eq!(g.counter("sweep.err.test-cause").get(), tag_before + 1);
+    }
 
     #[test]
     fn table_experiments_reproduce_paper() {

@@ -53,6 +53,13 @@ pub struct PipelineConfig {
     pub fault: FaultPlan,
     /// Retry policy for artifact/manifest writes.
     pub retry: RetryPolicy,
+    /// Also write the metrics snapshot in Prometheus text exposition
+    /// format to this path (`--metrics-prom`).
+    pub metrics_prom: Option<PathBuf>,
+    /// Record a span timeline for the run and write it as Chrome
+    /// trace-event JSON to this path (`--trace-chrome`; open in
+    /// Perfetto).
+    pub trace_chrome: Option<PathBuf>,
 }
 
 impl Default for PipelineConfig {
@@ -64,6 +71,8 @@ impl Default for PipelineConfig {
             ids: all_experiment_ids(),
             fault: FaultPlan::default(),
             retry: RetryPolicy::default(),
+            metrics_prom: None,
+            trace_chrome: None,
         }
     }
 }
@@ -94,7 +103,8 @@ pub struct PipelineSummary {
 /// Usage text of the `experiments` binary.
 pub const USAGE: &str = "\
 usage: experiments [--out DIR] [--seed N] [--resume] [--quick]
-                   [--fault-plan SPEC] [IDS...]
+                   [--fault-plan SPEC] [--metrics-prom PATH]
+                   [--trace-chrome PATH] [IDS...]
 
   IDS          experiment ids to run (default: all), e.g.
                T-rho8 T-rho3 T-rho1.775 T-rho1.4 F1..F14 X-thm2 X-validity
@@ -107,13 +117,17 @@ usage: experiments [--out DIR] [--seed N] [--resume] [--quick]
                intact ones and recompute only what is missing or corrupt
   --fault-plan deterministic fault injection, comma-separated:
                fail-write=N, corrupt-artifact=N, kill-after-unit=K, seed=S
+  --metrics-prom PATH  also write the metrics snapshot in Prometheus
+               text exposition format
+  --trace-chrome PATH  record a span timeline and write it as Chrome
+               trace-event JSON (open in Perfetto / chrome://tracing)
 ";
 
 /// Result of parsing the command line: run, or print help.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliCommand {
     /// Execute the pipeline.
-    Run(PipelineConfig),
+    Run(Box<PipelineConfig>),
     /// Print [`USAGE`] and exit 0.
     Help,
 }
@@ -158,6 +172,8 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(raw: I) -> Result<CliCommand, H
                 })?;
             }
             "--fault-plan" => cfg.fault = FaultPlan::parse(&take(&a, &mut it)?)?,
+            "--metrics-prom" => cfg.metrics_prom = Some(PathBuf::from(take(&a, &mut it)?)),
+            "--trace-chrome" => cfg.trace_chrome = Some(PathBuf::from(take(&a, &mut it)?)),
             other if other.starts_with('-') => return Err(invalid(other, "unknown option".into())),
             other => match parse_id(other) {
                 Some(id) => explicit_ids.push(id),
@@ -176,7 +192,7 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(raw: I) -> Result<CliCommand, H
         (false, false) => explicit_ids,
         (false, true) => all_experiment_ids(),
     };
-    Ok(CliCommand::Run(cfg))
+    Ok(CliCommand::Run(Box::new(cfg)))
 }
 
 /// FNV-1a digest of every published configuration's parameters, so a
@@ -240,6 +256,11 @@ fn seal_artifact(
 pub fn run(cfg: &PipelineConfig) -> Result<PipelineSummary, HarnessError> {
     // The manifest wants per-experiment timings, so span timing is on.
     rexec_obs::set_spans_enabled(true);
+    if cfg.trace_chrome.is_some() {
+        // A Chrome trace was requested: record every span as a timeline
+        // event (with parent nesting) on top of the aggregate timings.
+        rexec_obs::set_timeline_enabled(true);
+    }
     let injector = cfg.fault.injector();
     let started_unix = unix_secs();
     let run_started = Instant::now();
@@ -356,6 +377,16 @@ pub fn run(cfg: &PipelineConfig) -> Result<PipelineSummary, HarnessError> {
     write_metrics(cfg, &manifest, started_unix, run_started, &injector)?;
     println!("run manifest written: {}", manifest_path.display());
     println!("run metrics written: {}", metrics_path.display());
+    if let Some(path) = &cfg.metrics_prom {
+        let text = rexec_obs::prometheus_text(rexec_obs::global());
+        atomic_write(path, text.as_bytes(), &cfg.retry, &injector)?;
+        println!("prometheus metrics written: {}", path.display());
+    }
+    if let Some(path) = &cfg.trace_chrome {
+        let json = rexec_obs::chrome_trace_json();
+        atomic_write(path, json.as_bytes(), &cfg.retry, &injector)?;
+        println!("chrome trace written: {}", path.display());
+    }
     Ok(summary)
 }
 
@@ -428,7 +459,7 @@ mod tests {
 
     fn parsed_cfg(args: &[&str]) -> PipelineConfig {
         match parse(args).unwrap() {
-            CliCommand::Run(cfg) => cfg,
+            CliCommand::Run(cfg) => *cfg,
             CliCommand::Help => panic!("expected a run command"),
         }
     }
@@ -460,6 +491,20 @@ mod tests {
         assert_eq!(cfg.ids, quick_experiment_ids());
         assert_eq!(cfg.fault.kill_after_unit, Some(2));
         assert_eq!(cfg.fault.seed, 3);
+    }
+
+    #[test]
+    fn exporter_paths_parse() {
+        let cfg = parsed_cfg(&[
+            "--metrics-prom",
+            "/tmp/m.prom",
+            "--trace-chrome",
+            "/tmp/t.trace.json",
+        ]);
+        assert_eq!(cfg.metrics_prom, Some(PathBuf::from("/tmp/m.prom")));
+        assert_eq!(cfg.trace_chrome, Some(PathBuf::from("/tmp/t.trace.json")));
+        assert!(parse(&["--trace-chrome"]).is_err());
+        assert!(USAGE.contains("--metrics-prom") && USAGE.contains("--trace-chrome"));
     }
 
     #[test]

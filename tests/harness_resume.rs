@@ -25,6 +25,7 @@ fn quick_config(out_dir: PathBuf) -> PipelineConfig {
         ids: quick_experiment_ids(),
         fault: FaultPlan::default(),
         retry: RetryPolicy::immediate(3),
+        ..PipelineConfig::default()
     }
 }
 

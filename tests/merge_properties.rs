@@ -5,6 +5,7 @@
 //! reductions thread-count independent.
 
 use proptest::prelude::*;
+use rexec::obs::Shard;
 use rexec::sim::{Histogram, Stats};
 
 /// Positive, finite sample values in a range the default histogram
@@ -102,5 +103,85 @@ proptest! {
         for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
             prop_assert_eq!(a.quantile(q), all.quantile(q), "q = {}", q);
         }
+    }
+}
+
+/// Builds an obs `Shard` from (counter-increment, sketch-sample) events.
+/// Uses a handful of metric names so merges exercise both the
+/// same-key-addition path and the disjoint-key-insertion path.
+fn shard_from(events: &[(u32, f64)]) -> Shard {
+    let mut s = Shard::new();
+    for &(tag, v) in events {
+        match tag % 4 {
+            0 => s.incr("events.a", 1),
+            1 => s.incr("events.b", (tag as u64) + 1),
+            2 => s.record("lat.a", v),
+            _ => s.record("lat.b", v),
+        }
+    }
+    s
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    proptest::collection::vec((any::<u32>(), 1e-3..1e6f64), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Shard::merge` is commutative: counters are u64 addition over
+    /// ordered maps and sketch buckets are exact integer counts, so
+    /// `a ∪ b == b ∪ a` bit-for-bit — including every sketch quantile
+    /// and the serialized JSON.
+    #[test]
+    fn shard_merge_is_commutative(
+        xs in arb_events(),
+        ys in arb_events(),
+    ) {
+        let ab = shard_from(&xs).merge(shard_from(&ys));
+        let ba = shard_from(&ys).merge(shard_from(&xs));
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(
+            serde_json::to_string(&ab).unwrap(),
+            serde_json::to_string(&ba).unwrap()
+        );
+        for name in ["lat.a", "lat.b"] {
+            match (ab.sketch(name), ba.sketch(name)) {
+                (Some(l), Some(r)) => {
+                    for q in [0.0, 0.5, 0.99, 1.0] {
+                        prop_assert_eq!(l.quantile(q), r.quantile(q), "{} q={}", name, q);
+                    }
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "sketch {} present on one side only", name),
+            }
+        }
+    }
+
+    /// `Shard::merge` is associative: `(a ∪ b) ∪ c == a ∪ (b ∪ c)`, so
+    /// the shape of a parallel reduction tree cannot change the
+    /// aggregate.
+    #[test]
+    fn shard_merge_is_associative(
+        xs in arb_events(),
+        ys in arb_events(),
+        zs in arb_events(),
+    ) {
+        let (a, b, c) = (shard_from(&xs), shard_from(&ys), shard_from(&zs));
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.merge(b.merge(c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(
+            serde_json::to_string(&left).unwrap(),
+            serde_json::to_string(&right).unwrap()
+        );
+    }
+
+    /// The empty shard is the merge identity on both sides.
+    #[test]
+    fn shard_merge_empty_identity(xs in arb_events()) {
+        let s = shard_from(&xs);
+        prop_assert_eq!(&s.clone().merge(Shard::new()), &s);
+        prop_assert_eq!(&Shard::new().merge(s.clone()), &s);
     }
 }
