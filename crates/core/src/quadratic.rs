@@ -52,6 +52,76 @@ pub fn solve_quadratic(a: f64, b: f64, c: f64) -> Roots {
     }
 }
 
+/// SIMD lane width the batched solver kernels are tuned for: 8 `f64`s
+/// span two AVX2 registers (or one AVX-512 register). The sweep helpers
+/// below take runtime-length slices — the loop vectorizer picks the
+/// actual register width — but chunk accounting and the alignment of
+/// scratch buffers use this constant.
+pub const LANE_WIDTH: usize = 8;
+
+/// Column-sweep **common path** of [`solve_quadratic`] for the Theorem-1
+/// kernel: for each index `i` computes the ascending real roots of
+/// `a[i]·x² + (b0[i] − rho)·x + c[i] = 0` into `(lo[i], hi[i])` and the
+/// discriminant into `disc[i]`, using bit-for-bit the same arithmetic as
+/// the scalar solver (Vieta's `q = −(b + sign(b)·√disc)/2`, `x₁ = q/a`,
+/// `x₂ = c/q`).
+///
+/// The body is branchless (comparisons become selects) and free of
+/// bounds checks, so the autovectorizer turns the sweep into SIMD; the
+/// price is that the rare scalar branches are **not** modeled here.
+/// Callers must recompute through [`solve_quadratic`] any index where
+///
+/// * `a[i] == 0` (linear constraint — no quadratic at all),
+/// * `disc[i] == 0` (double root: the scalar path returns `−b/(2a)`,
+///   which is not bitwise `c/q`), or
+/// * `b0[i] == rho` (i.e. `b == 0`: the scalar path returns the
+///   symmetric pair `±√disc/(2a)`),
+///
+/// and must treat lanes with `disc[i] < 0` as rootless. Inputs are
+/// assumed finite (`rho` non-NaN); lanes that violate the contract
+/// produce garbage that the caller masks out.
+///
+/// `fourac[i]` must hold the precomputed product `4.0 * a[i] * c[i]`
+/// (left-to-right, the exact rounded value the scalar solver forms), so
+/// the ρ-independent half of the discriminant is paid once per table
+/// instead of once per sweep.
+///
+/// # Panics
+///
+/// If the slices do not all share `a.len()`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // parallel SoA columns, not a config bag
+pub fn roots_sweep(
+    a: &[f64],
+    b0: &[f64],
+    c: &[f64],
+    fourac: &[f64],
+    rho: f64,
+    lo: &mut [f64],
+    hi: &mut [f64],
+    disc: &mut [f64],
+) {
+    let n = a.len();
+    // Equal-length rebindings let LLVM hoist every bounds check out of
+    // the loop, which is what keeps the body vectorizable.
+    let (b0, c, fourac) = (&b0[..n], &c[..n], &fourac[..n]);
+    let (lo, hi, disc) = (&mut lo[..n], &mut hi[..n], &mut disc[..n]);
+    for i in 0..n {
+        let b = b0[i] - rho;
+        let d = b * b - fourac[i];
+        let sqrt_d = d.sqrt();
+        // `b.signum()` without the NaN branch: `b` is finite here, and
+        // `b0 − rho` cannot be `−0.0` under round-to-nearest.
+        let sgn = if b < 0.0 { -1.0 } else { 1.0 };
+        let q = -0.5 * (b + sgn * sqrt_d);
+        let x1 = q / a[i];
+        let x2 = c[i] / q;
+        lo[i] = if x1 <= x2 { x1 } else { x2 };
+        hi[i] = if x1 <= x2 { x2 } else { x1 };
+        disc[i] = d;
+    }
+}
+
 impl Roots {
     /// The two roots as an ordered pair, collapsing `One` to equal values.
     pub fn pair(self) -> Option<(f64, f64)> {
@@ -139,6 +209,36 @@ mod tests {
                 assert!(x1 > 0.0 && x2 > x1);
             }
             r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn roots_sweep_bit_identical_to_scalar_on_common_path() {
+        // Theorem-1-shaped lanes: a = λ/(σ1σ2) spread over a few orders of
+        // magnitude, c = C + V/σ1, and both feasible and infeasible lanes.
+        let a = [
+            2.1e-5, 3.38e-6, 8.4e-6, 1.3e-5, 5.6e-5, 2.8e-6, 4.2e-5, 9.9e-6,
+        ];
+        let b0 = [2.5, 1.1, 1.7, 6.7, 2.0, 1.3, 5.0, 1.05];
+        let c = [338.5, 315.4, 302.0, 402.7, 338.5, 315.4, 350.0, 300.1];
+        let (mut lo, mut hi, mut disc) = ([0.0; LANE_WIDTH], [0.0; LANE_WIDTH], [0.0; LANE_WIDTH]);
+        let fourac: Vec<f64> = (0..LANE_WIDTH).map(|i| 4.0 * a[i] * c[i]).collect();
+        for rho in [1.2, 1.4, 1.775, 3.0, 8.0, 1e6] {
+            roots_sweep(&a, &b0, &c, &fourac, rho, &mut lo, &mut hi, &mut disc);
+            for i in 0..LANE_WIDTH {
+                let b = b0[i] - rho;
+                assert_eq!(disc[i].to_bits(), (b * b - 4.0 * a[i] * c[i]).to_bits());
+                if disc[i] <= 0.0 || b == 0.0 {
+                    continue; // rare/rootless lanes: caller recomputes
+                }
+                match solve_quadratic(a[i], b, c[i]) {
+                    Roots::Two(x1, x2) => {
+                        assert_eq!(lo[i].to_bits(), x1.to_bits(), "lane {i} ρ={rho}");
+                        assert_eq!(hi[i].to_bits(), x2.to_bits(), "lane {i} ρ={rho}");
+                    }
+                    r => panic!("lane {i} ρ={rho}: {r:?}"),
+                }
+            }
         }
     }
 

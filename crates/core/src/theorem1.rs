@@ -182,6 +182,43 @@ pub fn optimal_pattern_from(
     })
 }
 
+/// Column-sweep clamp step of Theorem 1 (Equation 4):
+/// `W = min(max(W₁, Wₑ), W₂)` for each lane, branchless and free of
+/// bounds checks so the sweep autovectorizes alongside
+/// [`crate::quadratic::roots_sweep`].
+///
+/// `lo` holds the smaller feasibility root on entry and is rewritten to
+/// the effective lower bound `max(lo, 0)` — the same `w1.max(0.0)` the
+/// scalar [`feasible_interval_from`] applies — so callers can classify
+/// the clamp (`Wₑ < W₁` / `Wₑ > W₂`) from the exact bounds the kernel
+/// compared against. Lanes that are infeasible (`disc < 0` or `hi ≤ 0`)
+/// produce garbage the caller masks out.
+///
+/// # Panics
+///
+/// If the slices do not all share `lo.len()`.
+#[inline]
+pub fn clamp_sweep(lo: &mut [f64], hi: &[f64], w_e: &[f64], w: &mut [f64]) {
+    let n = lo.len();
+    let (hi, w_e, w) = (&hi[..n], &w_e[..n], &mut w[..n]);
+    for i in 0..n {
+        let w1 = lo[i].max(0.0);
+        let raised = if w_e[i] < w1 { w1 } else { w_e[i] };
+        w[i] = if raised > hi[i] { hi[i] } else { raised };
+        lo[i] = w1;
+    }
+}
+
+/// Feasibility predicate of one swept lane, matching the accepting
+/// branches of [`feasible_interval_from`] for a strict quadratic
+/// (`a > 0`): real roots (`disc ≥ 0`) with a positive upper bound.
+#[inline]
+pub fn lane_feasible(disc: f64, hi: f64) -> bool {
+    // Non-short-circuiting `&` keeps the predicate branch-free, so the
+    // sweep loops it feeds stay vectorizable.
+    (disc >= 0.0) & (hi > 0.0)
+}
+
 /// Minimum feasible performance bound `ρᵢⱼ` for a speed pair (Equation 6).
 ///
 /// Any `ρ ≥ ρᵢⱼ` admits a solution for `(σᵢ, σⱼ)`; any `ρ < ρᵢⱼ` does not.

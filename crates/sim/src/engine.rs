@@ -384,13 +384,15 @@ pub fn fast_path_eligible(cfg: &SimConfig) -> bool {
 pub struct FastPattern {
     /// Per-attempt silent-failure probability at `σ₁`.
     p_first: f64,
-    /// `ln(1 − p(σ₁)) = −λ_s·W/σ₁`, exact (no cancellation), cached for
-    /// run-length sampling of consecutive first-attempt successes.
-    ln_q_first: f64,
     /// Per-attempt silent-failure probability at `σ₂`.
     p_retry: f64,
     /// `ln(p_retry)`, cached for the inverse-CDF geometric draw.
     ln_p_retry: f64,
+    /// `1/ln(1 − p(σ₁))` with `ln(1 − p(σ₁)) = −λ_s·W/σ₁` exact (no
+    /// cancellation) — the run-length inverse CDF as a multiply.
+    inv_ln_q_first: f64,
+    /// `1/ln p(σ₂)` — the geometric inverse CDF as a multiply.
+    inv_ln_p_retry: f64,
     /// Time of a one-attempt pattern: `(W+V)/σ₁ + C`.
     t_first: f64,
     /// Energy of a one-attempt pattern.
@@ -430,11 +432,16 @@ impl FastPattern {
         let t_retry = phase(cfg.sigma2) + cfg.costs.recovery;
         let e_retry =
             phase(cfg.sigma2) * cfg.power.compute_power(cfg.sigma2) + cfg.costs.recovery * io;
+        let ln_q_first = -cfg.rates.silent * cfg.w / cfg.sigma1;
+        let ln_p_retry = p_retry.ln();
         Ok(FastPattern {
             p_first,
-            ln_q_first: -cfg.rates.silent * cfg.w / cfg.sigma1,
             p_retry,
-            ln_p_retry: p_retry.ln(),
+            ln_p_retry,
+            // The degenerate 1/−0 and 1/−∞ reciprocals are never
+            // consulted: the samplers guard on p ≤ 0 first.
+            inv_ln_q_first: ln_q_first.recip(),
+            inv_ln_p_retry: ln_p_retry.recip(),
             t_first,
             e_first,
             t_retry,
@@ -507,7 +514,8 @@ impl FastPattern {
     }
 
     /// The outcome of a pattern whose first attempt failed, sampled from
-    /// a buffered chunk stream (one draw). Pairs with
+    /// a buffered chunk stream (one draw, with its refill-time log
+    /// feeding the geometric inverse CDF directly). Pairs with
     /// [`success_run_len`](Self::success_run_len) in the runner's
     /// run-length-batched hot loop.
     #[inline]
@@ -515,26 +523,50 @@ impl FastPattern {
         &self,
         draws: &mut crate::rng::UniformStream,
     ) -> PatternOutcome {
-        self.failed_first_with(|| draws.next_uniform())
+        // Same inverse CDF as `failed_first_with`, but `ln u` comes
+        // precomputed from the stream's batched log sweep and the
+        // division runs as a reciprocal multiply (equal in law — a
+        // quotient ulp can flip a ⌈·⌉ boundary, which no test or run
+        // variant observes bitwise). The degenerate `p₂ = 0` case
+        // consumes no draw, like the scalar form.
+        let retries = if self.p_retry <= 0.0 {
+            1.0
+        } else {
+            let (_, ln_u) = draws.next_uniform_ln();
+            (ln_u * self.inv_ln_p_retry)
+                .ceil()
+                .max(1.0)
+                .min(f64::from(MAX_ATTEMPTS - 1))
+        };
+        self.outcome(1 + retries as u32)
+    }
+
+    /// [`success_run_len_ln`](Self::success_run_len_ln) from the raw
+    /// uniform — test-suite convenience for the per-draw law checks.
+    #[cfg(test)]
+    pub(crate) fn success_run_len(&self, u: f64) -> u64 {
+        self.success_run_len_ln(u.ln())
     }
 
     /// Number of consecutive patterns whose first attempt succeeds before
-    /// one fails, sampled from a single uniform `u ∈ (0, 1]`.
+    /// one fails, from the precomputed log of a single uniform
+    /// `u ∈ (0, 1]` (the stream's refill-time batched sweep).
     ///
     /// The run length is `Geom(p(σ₁))`-distributed — `P(run = j) =
     /// (1 − p₁)^j · p₁` — sampled by inverse CDF as `⌊ln u / ln(1 − p₁)⌋`
-    /// with `ln(1 − p₁) = −λ_s·W/σ₁` computed without cancellation. By
-    /// memorylessness a run may be truncated at a chunk boundary and
-    /// resampled fresh: `P(run ≥ k) = (1 − p₁)^k` either way. Saturates
-    /// (effectively "the whole chunk") when `p₁` rounds to 0.
+    /// with `ln(1 − p₁) = −λ_s·W/σ₁` computed without cancellation and
+    /// the division a reciprocal multiply. By memorylessness a run may be
+    /// truncated at a chunk boundary and resampled fresh:
+    /// `P(run ≥ k) = (1 − p₁)^k` either way. Saturates (effectively "the
+    /// whole chunk") when `p₁` rounds to 0.
     #[inline]
-    pub(crate) fn success_run_len(&self, u: f64) -> u64 {
+    pub(crate) fn success_run_len_ln(&self, ln_u: f64) -> u64 {
         if self.p_first <= 0.0 {
             return u64::MAX;
         }
         // Both logs are ≤ 0, the ratio is ≥ 0; the float→int cast
         // saturates for tiny p₁.
-        (u.ln() / self.ln_q_first) as u64
+        (ln_u * self.inv_ln_q_first) as u64
     }
 
     /// Samples one pattern outcome from a buffered chunk stream (the
@@ -608,19 +640,40 @@ pub fn simulate_pattern_fast(cfg: &SimConfig, rng: &mut SimRng) -> PatternOutcom
 pub struct MixedFastPattern {
     /// Per-attempt failure probability (any cause) at `σ₁`: `1 − q(σ₁)`.
     p_any_first: f64,
-    /// `ln q(σ₁) = −(λᶠ(W+V) + λˢW)/σ₁`, exact (no cancellation), for
-    /// run-length sampling of consecutive first-attempt successes.
-    ln_q_first: f64,
     /// Per-attempt failure probability at `σ₂`.
     p_any_retry: f64,
     /// `ln(p(σ₂))`, cached for the inverse-CDF geometric draw.
     ln_p_retry: f64,
+    /// `1/ln q(σ₁)` with `ln q(σ₁) = −(λᶠ(W+V) + λˢW)/σ₁` exact (no
+    /// cancellation) — the run-length inverse CDF as a multiply.
+    inv_ln_q_first: f64,
     /// `P(fail-stop | failure)` at `σ₁`: `pᶠ(σ₁)/p(σ₁)`.
     frac_fail_first: f64,
     /// `P(fail-stop | failure)` at `σ₂`.
     frac_fail_retry: f64,
+    /// `ln(pᶠ(σ₁)/p(σ₁))` — rebases a classification draw's batched log
+    /// into an exponential abort draw (see
+    /// [`abort_duration`](Self::abort_duration)).
+    ln_frac_fail_first: f64,
+    /// Absolute per-attempt fail-stop probability at `σ₂`: `pᶠ(σ₂)`,
+    /// the abort threshold of the Bernoulli retry walk.
+    p_fail_retry: f64,
+    /// `ln pᶠ(σ₂)` — rebases a retry draw's batched log into an
+    /// exponential abort draw.
+    ln_p_fail_retry: f64,
     /// Fail-stop rate `λᶠ` (> 0 by construction).
     lambda_fail: f64,
+    /// `1/λᶠ`, for the division-free abort-duration map.
+    inv_lambda_fail: f64,
+    /// Abort-duration truncation bound at `σ₁`: the attempt phase
+    /// `(W+V)/σ₁`.
+    t_attempt_first: f64,
+    /// `1/t_attempt_first`.
+    inv_t_attempt_first: f64,
+    /// Abort-duration truncation bound at `σ₂`: `(W+V)/σ₂`.
+    t_attempt_retry: f64,
+    /// `1/t_attempt_retry`.
+    inv_t_attempt_retry: f64,
     /// Compute power at `σ₁` (energy per second of aborted first work).
     power_first: f64,
     /// Compute power at `σ₂`.
@@ -674,14 +727,30 @@ impl MixedFastPattern {
         let power_retry = cfg.power.compute_power(cfg.sigma2);
         let t_first = phase(cfg.sigma1) + cfg.costs.checkpoint;
         let e_first = phase(cfg.sigma1) * power_first + cfg.costs.checkpoint * io;
+        let ln_q_first = -hazard / cfg.sigma1;
+        let ln_p_retry = p_any_retry.ln();
+        let frac_fail_first = frac(p_fail(cfg.sigma1), p_any_first);
+        let frac_fail_retry = frac(p_fail(cfg.sigma2), p_any_retry);
         Ok(MixedFastPattern {
             p_any_first,
-            ln_q_first: -hazard / cfg.sigma1,
             p_any_retry,
-            ln_p_retry: p_any_retry.ln(),
-            frac_fail_first: frac(p_fail(cfg.sigma1), p_any_first),
-            frac_fail_retry: frac(p_fail(cfg.sigma2), p_any_retry),
+            ln_p_retry,
+            // The degenerate 1/−0 reciprocal is never consulted: the
+            // samplers guard on p ≤ 0 first.
+            inv_ln_q_first: ln_q_first.recip(),
+            frac_fail_first,
+            frac_fail_retry,
+            // pᶠ > 0 in the mixed regime (λᶠ > 0), so the libm logs are
+            // finite.
+            ln_frac_fail_first: frac_fail_first.ln(),
+            p_fail_retry: p_fail(cfg.sigma2),
+            ln_p_fail_retry: p_fail(cfg.sigma2).ln(),
             lambda_fail: cfg.rates.fail_stop,
+            inv_lambda_fail: cfg.rates.fail_stop.recip(),
+            t_attempt_first: phase(cfg.sigma1),
+            inv_t_attempt_first: phase(cfg.sigma1).recip(),
+            t_attempt_retry: phase(cfg.sigma2),
+            inv_t_attempt_retry: phase(cfg.sigma2).recip(),
             power_first,
             power_retry,
             t_silent_first: phase(cfg.sigma1) + cfg.costs.recovery,
@@ -710,15 +779,15 @@ impl MixedFastPattern {
     }
 
     /// Number of consecutive patterns whose first attempt succeeds before
-    /// one fails, sampled from a single uniform `u ∈ (0, 1]` — the same
-    /// inverse-CDF geometric as [`FastPattern::success_run_len`], with
+    /// one fails, from the precomputed log of a single uniform — the same
+    /// inverse-CDF geometric as [`FastPattern::success_run_len_ln`], with
     /// `ln q(σ₁)` the combined two-source log-success.
     #[inline]
-    pub(crate) fn success_run_len(&self, u: f64) -> u64 {
+    pub(crate) fn success_run_len_ln(&self, ln_u: f64) -> u64 {
         if self.p_any_first <= 0.0 {
             return u64::MAX;
         }
-        (u.ln() / self.ln_q_first) as u64
+        (ln_u * self.inv_ln_q_first) as u64
     }
 
     /// Samples one pattern outcome from a uniform draw source. A success
@@ -734,16 +803,6 @@ impl MixedFastPattern {
             return self.first_try;
         }
         self.complete_failed_first(u / self.p_any_first, next)
-    }
-
-    /// Samples the rest of a pattern whose first attempt already failed:
-    /// one classification draw for the first failure, one geometric draw
-    /// for the σ₂ attempt count, one classification draw per failed σ₂
-    /// attempt.
-    #[inline]
-    fn failed_first_with(&self, mut next: impl FnMut() -> f64) -> PatternOutcome {
-        let v = next();
-        self.complete_failed_first(v, next)
     }
 
     /// Completes a pattern whose first attempt failed, `v ∈ (0, 1]` being
@@ -811,14 +870,110 @@ impl MixedFastPattern {
 
     /// The outcome of a pattern whose first attempt failed, sampled from
     /// a buffered chunk stream. Pairs with
-    /// [`success_run_len`](Self::success_run_len) in the runner's
+    /// [`success_run_len_ln`](Self::success_run_len_ln) in the runner's
     /// run-length-batched hot loop.
+    ///
+    /// The stream analogue of
+    /// [`complete_failed_first`](Self::complete_failed_first),
+    /// restructured so every logarithm comes from the stream's
+    /// refill-time batched sweep — a scalar `ln` on the abort branch
+    /// costs more serial latency than the rest of the trial combined.
+    /// Each classification draw still doubles as its abort-duration
+    /// draw, through a different (equal in law) inverse map: given
+    /// `u ≤ fᶠ`, `u/fᶠ ~ U(0, 1]`, so `X = (ln fᶠ − ln u)/λᶠ` is
+    /// `Exp(λᶠ)` and [`abort_duration`](Self::abort_duration) folds it
+    /// onto the truncated support. Equal in law, not bitwise, to the
+    /// scalar sampler — the contract every fast path already carries
+    /// relative to the reference engine; every run variant shares this
+    /// sampler, so determinism across threads and range partitions is
+    /// unaffected.
     #[inline]
     pub(crate) fn sample_failed_first(
         &self,
         draws: &mut crate::rng::UniformStream,
     ) -> PatternOutcome {
-        self.failed_first_with(|| draws.next_uniform())
+        // Branch-free classification: a failure's cause is a ~50/50
+        // coin in the benched regimes, so an `if` here is a hot
+        // mispredict per failed trial. Both outcomes are pure values —
+        // the abort math runs unconditionally (its inputs are always
+        // valid) and `if` on the comparison compiles to selects.
+        let (v, ln_v) = draws.next_uniform_ln();
+        let is_fail = v <= self.frac_fail_first;
+        let mut fail_stop = 0u32;
+        let (mut time, mut energy) = if is_fail {
+            let t = self.abort_duration(
+                ln_v,
+                self.ln_frac_fail_first,
+                self.t_attempt_first,
+                self.inv_t_attempt_first,
+            );
+            fail_stop = 1;
+            (t + self.t_recovery, t * self.power_first + self.e_recovery)
+        } else {
+            (self.t_silent_first, self.e_silent_first)
+        };
+        // σ₂ attempts as a direct Bernoulli walk: one draw per attempt,
+        // success iff `u > p₂`, and a failed attempt's cause falls out
+        // of the *same* draw — `u ≤ pᶠ(σ₂)` is the abort stratum (the
+        // abort duration rebases `ln u` off `ln pᶠ(σ₂)`). Equal in law
+        // to `complete_failed_first`'s geometric draw + per-failure
+        // classification, with the same expected draw count
+        // (`E[k] = 1/q₂` either way), but the loop condition is a bare
+        // compare on the fresh draw instead of the end of a
+        // mul → ceil → clamp → cast dependency chain — the attempt
+        // count never materializes through float rounding at all.
+        let mut failed_retries = 0u32;
+        while failed_retries < MAX_ATTEMPTS - 2 {
+            let (u, ln_u) = draws.next_uniform_ln();
+            if u > self.p_any_retry {
+                break;
+            }
+            failed_retries += 1;
+            // A real branch, not selects: the abort stratum is rare
+            // (`pᶠ(σ₂)` is a small slice of each draw), so the predictor
+            // rides the silent arm and the floor-bearing duration math
+            // stays off the common path entirely.
+            if u <= self.p_fail_retry {
+                let t = self.abort_duration(
+                    ln_u,
+                    self.ln_p_fail_retry,
+                    self.t_attempt_retry,
+                    self.inv_t_attempt_retry,
+                );
+                time += t + self.t_recovery;
+                energy += t * self.power_retry + self.e_recovery;
+                fail_stop += 1;
+            } else {
+                time += self.t_silent_retry;
+                energy += self.e_silent_retry;
+            }
+        }
+        let silent = 1 + failed_retries - fail_stop;
+        time += self.t_success_retry;
+        energy += self.e_success_retry;
+        PatternOutcome {
+            time,
+            energy,
+            attempts: 2 + failed_retries,
+            silent_errors: silent,
+            fail_stop_errors: fail_stop,
+        }
+    }
+
+    /// Truncated-exponential abort duration from a classification draw's
+    /// batched log: conditioned on the abort branch (`u ≤ f`),
+    /// `X = (ln f − ln u)/λᶠ` is a full exponential, and by
+    /// memorylessness `X mod T` follows the exponential truncated to the
+    /// attempt phase `T` — the same law `complete_failed_first` realises
+    /// as `−ln(1 − u·p)/λᶠ`. Division-free: reciprocals are precomputed,
+    /// and the final `min` absorbs the ≤ 1 ulp a reciprocal quotient can
+    /// slip past a wrap boundary (an `ln f` rounded above a boundary
+    /// `ln u` similarly lands in the last wrap, still on-support).
+    #[inline]
+    fn abort_duration(&self, ln_u: f64, ln_frac: f64, t_attempt: f64, inv_t_attempt: f64) -> f64 {
+        let x = (ln_frac - ln_u) * self.inv_lambda_fail;
+        let t = x - t_attempt * (x * inv_t_attempt).floor();
+        t.min(t_attempt)
     }
 
     /// Samples one pattern outcome from a buffered chunk stream. Never
@@ -843,8 +998,9 @@ impl MixedFastPattern {
 pub(crate) trait AttemptLaw {
     /// Precomputed `n = 1` outcome.
     fn first_try_outcome(&self) -> PatternOutcome;
-    /// Consecutive first-try successes encoded by one uniform.
-    fn success_run_len(&self, u: f64) -> u64;
+    /// Consecutive first-try successes encoded by one uniform's
+    /// precomputed `ln` (the stream's refill-time log sweep).
+    fn success_run_len_ln(&self, ln_u: f64) -> u64;
     /// Completes a pattern whose first attempt failed.
     fn sample_failed_first(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome;
 }
@@ -855,8 +1011,8 @@ impl AttemptLaw for FastPattern {
         FastPattern::first_try_outcome(self)
     }
     #[inline]
-    fn success_run_len(&self, u: f64) -> u64 {
-        FastPattern::success_run_len(self, u)
+    fn success_run_len_ln(&self, ln_u: f64) -> u64 {
+        FastPattern::success_run_len_ln(self, ln_u)
     }
     #[inline]
     fn sample_failed_first(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome {
@@ -870,8 +1026,8 @@ impl AttemptLaw for MixedFastPattern {
         MixedFastPattern::first_try_outcome(self)
     }
     #[inline]
-    fn success_run_len(&self, u: f64) -> u64 {
-        MixedFastPattern::success_run_len(self, u)
+    fn success_run_len_ln(&self, ln_u: f64) -> u64 {
+        MixedFastPattern::success_run_len_ln(self, ln_u)
     }
     #[inline]
     fn sample_failed_first(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome {

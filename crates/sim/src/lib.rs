@@ -25,6 +25,7 @@
 pub mod energy;
 pub mod engine;
 pub mod events;
+pub mod fastmath;
 pub mod histogram;
 pub mod rng;
 pub mod runner;

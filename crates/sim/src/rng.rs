@@ -81,14 +81,24 @@ impl SimRng {
         1.0 - self.inner.random::<f64>()
     }
 
-    /// Fills `out` with uniform draws in `(0, 1]`, in the exact order
-    /// repeated [`uniform_open`](Self::uniform_open) calls would produce
-    /// them. Batching keeps the cipher state hot and lets callers refill
-    /// a local buffer once per slice instead of paying a call per draw.
+    /// Fills `out` with uniform draws in `(0, 1]`, bit-identical in
+    /// value and order to repeated [`uniform_open`](Self::uniform_open)
+    /// calls (pinned by test). Draws the raw `u64`s through the cipher's
+    /// lane-parallel bulk path — whole keystream blocks generated SIMD
+    /// side by side — and applies the same 53-bit mapping `rand` uses,
+    /// so bulk consumers skip both the per-call cipher machinery and the
+    /// scalar one-block-at-a-time keystream.
     #[inline]
     pub fn fill_uniform(&mut self, out: &mut [f64]) {
-        for slot in out {
-            *slot = 1.0 - self.inner.random::<f64>();
+        let mut words = [0u64; 128];
+        for span in out.chunks_mut(words.len()) {
+            let words = &mut words[..span.len()];
+            self.inner.fill_u64(words);
+            for (slot, &w) in span.iter_mut().zip(words.iter()) {
+                // `random::<f64>()` is (w >> 11)·2⁻⁵³ ∈ [0, 1); flip to
+                // (0, 1] — identical to `uniform_open` per draw.
+                *slot = 1.0 - (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            }
         }
     }
 
@@ -107,40 +117,95 @@ impl SimRng {
 /// Buffered view over one RNG stream: draws come from a small local
 /// array refilled in batches via [`SimRng::fill_uniform`], so the hot
 /// loop touches the cipher once per [`UniformStream::BUF`] draws instead
-/// of once per draw. Unconsumed buffered draws are simply discarded when
-/// the stream is dropped — each chunk owns its whole stream, so no other
-/// consumer ever observes the gap.
+/// of once per draw. Each refill also precomputes the natural log of the
+/// whole batch in one [`crate::fastmath::ln_sweep`] pass — a vectorized
+/// slice transform instead of a scalar libm call per draw — so the
+/// inverse-CDF samplers read `(u, ln u)` pairs at buffer-indexing cost
+/// via [`next_uniform_ln`](Self::next_uniform_ln). Unconsumed buffered
+/// draws are simply discarded when the stream is dropped — each chunk
+/// owns its whole stream, so no other consumer ever observes the gap.
 #[derive(Debug)]
 pub struct UniformStream {
     rng: SimRng,
     buf: [f64; Self::BUF],
+    ln_buf: [f64; Self::BUF],
     pos: usize,
+    /// Draws below this index have their logs materialized in `ln_buf`.
+    /// The log sweep runs a [`Self::SWEEP`]-slot stripe at a time, so a
+    /// chunk that stops mid-buffer (every chunk does, eventually) pays
+    /// for at most one partial stripe of unread logs instead of a full
+    /// buffer's worth.
+    swept: usize,
 }
 
 impl UniformStream {
-    /// Draws buffered per refill.
-    pub const BUF: usize = 32;
+    /// Draws buffered per refill: one lane-parallel cipher group
+    /// (sixteen 16-word blocks = 128 `u64` draws), so every refill is a
+    /// single full-width bulk generation.
+    pub const BUF: usize = 128;
+
+    /// Log-sweep stripe width: wide enough that the sweep runs at full
+    /// SIMD throughput, narrow enough that the logs wasted on a stream's
+    /// final partial stripe stay small.
+    const SWEEP: usize = 32;
 
     /// Wraps an RNG stream (typically [`SimRng::for_chunk`]).
     pub fn new(rng: SimRng) -> Self {
         UniformStream {
             rng,
             buf: [0.0; Self::BUF],
+            ln_buf: [0.0; Self::BUF],
             pos: Self::BUF,
+            swept: Self::BUF,
         }
+    }
+
+    /// Out-of-line on purpose: with the bulk generation and log sweep
+    /// forced cold, the per-draw accessors shrink to a compare and two
+    /// loads, small enough to inline into the sampling loops (inlined
+    /// `refill` bodies previously dragged the whole cipher into the
+    /// accessors and pushed them past the inlining threshold, costing a
+    /// real call per draw).
+    #[cold]
+    #[inline(never)]
+    fn advance(&mut self) {
+        if self.pos == Self::BUF {
+            self.rng.fill_uniform(&mut self.buf);
+            self.pos = 0;
+            self.swept = 0;
+        }
+        // Uniforms are in (0, 1] — inside fastmath's positive-normal
+        // domain (the smallest possible draw is 2⁻⁵³).
+        let stripe = self.swept..self.swept + Self::SWEEP;
+        crate::fastmath::ln_sweep(&self.buf[stripe.clone()], &mut self.ln_buf[stripe]);
+        self.swept += Self::SWEEP;
     }
 
     /// Next uniform draw in `(0, 1]`, identical in value and order to
     /// calling [`SimRng::uniform_open`] directly on the wrapped stream.
     #[inline]
     pub fn next_uniform(&mut self) -> f64 {
-        if self.pos == Self::BUF {
-            self.rng.fill_uniform(&mut self.buf);
-            self.pos = 0;
+        if self.pos == self.swept {
+            self.advance();
         }
         let x = self.buf[self.pos];
         self.pos += 1;
         x
+    }
+
+    /// Next uniform draw paired with its precomputed natural log
+    /// (`fastmath::ln`, a few ulp from libm — see the module docs for
+    /// the accuracy contract). Consumes exactly one draw, so mixing
+    /// [`next_uniform`](Self::next_uniform) and this call preserves the
+    /// stream's draw order.
+    #[inline]
+    pub fn next_uniform_ln(&mut self) -> (f64, f64) {
+        if self.pos == self.swept {
+            self.advance();
+        }
+        let pair = (self.buf[self.pos], self.ln_buf[self.pos]);
+        self.pos += 1;
+        pair
     }
 }
 
@@ -234,6 +299,24 @@ mod tests {
         let mut plain = SimRng::for_chunk(17, 2);
         for i in 0..(3 * UniformStream::BUF + 7) {
             assert_eq!(buffered.next_uniform(), plain.uniform_open(), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn uniform_ln_pairs_preserve_draw_order_and_log_values() {
+        // Interleaving plain and (u, ln u) reads must walk the same
+        // stream, and each precomputed log must be fastmath::ln of its
+        // own draw.
+        let mut paired = UniformStream::new(SimRng::for_chunk(23, 6));
+        let mut plain = SimRng::for_chunk(23, 6);
+        for i in 0..(3 * UniformStream::BUF + 5) {
+            if i % 3 == 0 {
+                assert_eq!(paired.next_uniform(), plain.uniform_open(), "draw {i}");
+            } else {
+                let (u, ln_u) = paired.next_uniform_ln();
+                assert_eq!(u, plain.uniform_open(), "draw {i}");
+                assert_eq!(ln_u.to_bits(), crate::fastmath::ln(u).to_bits(), "log {i}");
+            }
         }
     }
 

@@ -166,6 +166,73 @@ impl ChunkObs {
     }
 }
 
+/// Power-sum accumulator for one chunk's failed-trial outcomes: per
+/// field a sum, a sum of squares, and the extremes. `push` is
+/// straight-line short-latency arithmetic (the fast path's hot loop
+/// inlines it); [`into_summary`](Self::into_summary) converts to the
+/// `Stats` form once per chunk via [`Stats::from_power_sums`].
+#[derive(Debug, Default)]
+struct RetriedSums {
+    n: u64,
+    time: PowerSums,
+    energy: PowerSums,
+    attempts: PowerSums,
+}
+
+/// One field's raw sums: `Σx`, `Σx²` (via `mul_add`), min, max.
+#[derive(Debug)]
+struct PowerSums {
+    sum: f64,
+    sumsq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for PowerSums {
+    fn default() -> Self {
+        PowerSums {
+            sum: 0.0,
+            sumsq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl PowerSums {
+    #[inline]
+    fn push(&mut self, x: f64) {
+        self.sum += x;
+        self.sumsq = x.mul_add(x, self.sumsq);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    #[inline]
+    fn stats(&self, n: u64) -> Stats {
+        Stats::from_power_sums(n, self.sum, self.sumsq, self.min, self.max)
+    }
+}
+
+impl RetriedSums {
+    #[inline]
+    fn push(&mut self, p: &PatternOutcome) {
+        self.n += 1;
+        self.time.push(p.time);
+        self.energy.push(p.energy);
+        self.attempts.push(f64::from(p.attempts));
+    }
+
+    fn into_summary(self) -> Summary {
+        Summary {
+            time: self.time.stats(self.n),
+            energy: self.energy.stats(self.n),
+            attempts: self.attempts.stats(self.n),
+            dropped_events: 0,
+        }
+    }
+}
+
 /// Which simulation engine a [`MonteCarlo`] run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Engine {
@@ -324,10 +391,17 @@ impl MonteCarlo {
         // the same draw sequence from the grid origin and only
         // counts trials in `[lo, hi)`.
         let mut first_try = 0u64;
-        let mut retried = Summary::default();
+        // Failed-trial moments accumulate as raw power sums — three adds
+        // and a fused multiply-add per field — rather than per-trial
+        // Welford pushes, whose running-mean division is a loop-carried
+        // ~20-cycle chain threaded through the sampling loop. The sums
+        // cover at most one chunk (≤ `CHUNK` same-scale outcomes), which
+        // keeps [`Stats::from_power_sums`]'s cancellation bound tight.
+        let mut failed = RetriedSums::default();
         let mut i = chunk_lo;
         while i < hi {
-            let run = fp.success_run_len(draws.next_uniform()).min(hi - i);
+            let (_, ln_u) = draws.next_uniform_ln();
+            let run = fp.success_run_len_ln(ln_u).min(hi - i);
             // Trials of [i, i+run) that fall inside [lo, hi).
             let counted_from = i.max(lo);
             first_try += (i + run).saturating_sub(counted_from);
@@ -335,13 +409,14 @@ impl MonteCarlo {
             if i < hi {
                 let p = fp.sample_failed_first(&mut draws);
                 if i >= lo {
-                    retried.push(&p);
+                    failed.push(&p);
                     obs.totals.push(&p);
                     obs.record_attempts(p.attempts, 1);
                 }
                 i += 1;
             }
         }
+        let retried = failed.into_summary();
         let ft = fp.first_try_outcome();
         s.time = Stats::repeated(ft.time, first_try);
         s.energy = Stats::repeated(ft.energy, first_try);

@@ -51,6 +51,33 @@ impl Stats {
         }
     }
 
+    /// Builds the accumulator from raw power sums: `n` observations with
+    /// total `sum`, squared total `sumsq`, and exact extremes. The
+    /// centered moment is recovered as `m2 = sumsq − sum²/n`, clamped at
+    /// zero — mathematically identical to folding the observations
+    /// through [`push`](Self::push), with a relative error of order
+    /// `ε·sumsq/m2`. That quotient is only dangerous when the spread is
+    /// tiny against the magnitude; the intended caller accumulates
+    /// bounded-count per-chunk partials (≤ a few hundred same-scale
+    /// simulation outcomes), where it stays within a few ulp. The raw
+    /// sums exist so hot loops can fold three adds and a fused
+    /// multiply-add per observation instead of Welford's loop-carried
+    /// `sub → div → add` running-mean chain.
+    pub fn from_power_sums(n: u64, sum: f64, sumsq: f64, min: f64, max: f64) -> Stats {
+        if n == 0 {
+            return Stats::new();
+        }
+        let mean = sum / n as f64;
+        let m2 = (sumsq - sum * mean).max(0.0);
+        Stats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         self.n += 1;

@@ -187,13 +187,16 @@ pub fn apply_param(cfg: &Configuration, param: SweepParam, x: f64) -> (BiCritSol
 /// byte-identical to a serial run for every `RAYON_NUM_THREADS`. A ρ
 /// sweep leaves the model untouched, so it builds the solver's candidate
 /// table once and batches the whole grid through
-/// [`BiCritSolver::solve_many`] instead of rebuilding per point.
+/// [`BiCritSolver::solve_many_into`] instead of rebuilding per point,
+/// with both solution buffers filled in place.
 pub fn sweep_figure(cfg: &Configuration, param: SweepParam, grid: &Grid) -> FigureSeries {
     let _timer = rexec_obs::span!("sweep.figure");
     let points: Vec<FigurePoint> = if param == SweepParam::Rho {
         let (solver, _) = apply_param(cfg, param, Configuration::DEFAULT_RHO);
-        let two = solver.solve_many(grid.values());
-        let one = solver.solve_one_speed_many(grid.values());
+        let mut two = Vec::new();
+        let mut one = Vec::new();
+        solver.solve_many_into(grid.values(), &mut two);
+        solver.solve_one_speed_many_into(grid.values(), &mut one);
         grid.values()
             .iter()
             .zip(two)

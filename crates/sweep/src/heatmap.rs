@@ -46,9 +46,13 @@ impl Heatmap {
     ///
     /// Rows (λ values) are evaluated in parallel — each row builds its
     /// solver's candidate table once and batches the whole ρ grid through
-    /// [`BiCritSolver::solve_many`]. Rows are collected in λ-index order,
-    /// so the row-major `cells` layout (and the CSV rendered from it) is
-    /// byte-identical to a serial evaluation for any `RAYON_NUM_THREADS`.
+    /// [`BiCritSolver::solve_many_into`]. Each worker thread carries one
+    /// pair of reusable solution buffers across all of its rows
+    /// (`map_init` scratch), so the per-row cost is the column sweep
+    /// itself, not a pair of fresh `Vec`s. Rows are collected in λ-index
+    /// order, so the row-major `cells` layout (and the CSV rendered from
+    /// it) is byte-identical to a serial evaluation for any
+    /// `RAYON_NUM_THREADS`.
     pub fn compute(cfg: &Configuration, lambdas: &Grid, rhos: &Grid) -> Heatmap {
         let _timer = rexec_obs::span!("sweep.heatmap");
         let base = cfg.silent_model().expect("valid configuration");
@@ -57,28 +61,33 @@ impl Heatmap {
             .values()
             .to_vec()
             .into_par_iter()
-            .map(|lambda| {
-                let solver = BiCritSolver::new(base.with_lambda(lambda), speeds.clone());
-                let two = solver.solve_many(rhos.values());
-                let one = solver.solve_one_speed_many(rhos.values());
-                rhos.values()
-                    .iter()
-                    .zip(two)
-                    .zip(one)
-                    .map(|((&rho, t), o)| {
-                        let saving = match (&t, &o) {
-                            (Some(t), Some(o)) => Some(1.0 - t.energy_overhead / o.energy_overhead),
-                            _ => None,
-                        };
-                        HeatmapCell {
-                            lambda,
-                            rho,
-                            solution: t.map(Into::into),
-                            saving,
-                        }
-                    })
-                    .collect()
-            })
+            .map_init(
+                || (Vec::new(), Vec::new()),
+                |(two, one), lambda| {
+                    let solver = BiCritSolver::new(base.with_lambda(lambda), speeds.clone());
+                    solver.solve_many_into(rhos.values(), two);
+                    solver.solve_one_speed_many_into(rhos.values(), one);
+                    rhos.values()
+                        .iter()
+                        .zip(two.iter())
+                        .zip(one.iter())
+                        .map(|((&rho, t), o)| {
+                            let saving = match (t, o) {
+                                (Some(t), Some(o)) => {
+                                    Some(1.0 - t.energy_overhead / o.energy_overhead)
+                                }
+                                _ => None,
+                            };
+                            HeatmapCell {
+                                lambda,
+                                rho,
+                                solution: t.map(Into::into),
+                                saving,
+                            }
+                        })
+                        .collect()
+                },
+            )
             .collect();
         let cells: Vec<HeatmapCell> = rows.into_iter().flatten().collect();
         rexec_obs::counter!("sweep.heatmap_cells").add(cells.len() as u64);

@@ -59,6 +59,50 @@ where
     out
 }
 
+/// Like [`par_map`], threading a per-worker scratch state created by
+/// `init` through `f` — rayon's `map_init` contract: the state is
+/// created at least once per worker thread and reused across that
+/// worker's items, never shared between threads.
+fn par_map_init<T, S, R, INIT, F>(items: Vec<T>, init: &INIT, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|x| f(&mut state, x)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut remaining = items;
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    while !remaining.is_empty() {
+        let take = chunk_len.min(remaining.len());
+        chunks.push(remaining.drain(..take).collect());
+    }
+    let mut out: Vec<R> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    chunk
+                        .into_iter()
+                        .map(|x| f(&mut state, x))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon worker panicked"));
+        }
+    });
+    out
+}
+
 /// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
     type Item: Send;
@@ -87,6 +131,20 @@ pub trait ParallelIterator: Sized {
         F: Fn(Self::Item) -> R + Sync + Send,
     {
         Map { base: self, f }
+    }
+
+    fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        S: Send,
+        R: Send,
+        INIT: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, Self::Item) -> R + Sync + Send,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
     }
 
     fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
@@ -133,6 +191,27 @@ where
     }
 }
 
+/// Lazily mapped parallel iterator with per-worker scratch state.
+pub struct MapInit<B, INIT, F> {
+    base: B,
+    init: INIT,
+    f: F,
+}
+
+impl<B, S, R, INIT, F> ParallelIterator for MapInit<B, INIT, F>
+where
+    B: ParallelIterator,
+    S: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync + Send,
+    F: Fn(&mut S, B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn run_ordered(self) -> Vec<R> {
+        par_map_init(self.base.run_ordered(), &self.init, &self.f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -155,6 +234,24 @@ mod tests {
             .reduce(String::new, |a, b| a + "," + &b);
         let expected = (0..100).fold(String::new(), |a, b| a + "," + &b.to_string());
         assert_eq!(joined, expected);
+    }
+
+    #[test]
+    fn map_init_preserves_order_with_reused_state() {
+        // The per-worker scratch is reused across that worker's items
+        // and never observed by another worker; output order must match
+        // input order regardless.
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v
+            .clone()
+            .into_par_iter()
+            .map_init(Vec::new, |scratch: &mut Vec<u64>, x| {
+                scratch.clear();
+                scratch.push(x);
+                scratch[0] * 2
+            })
+            .collect();
+        assert_eq!(out, v.iter().map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
