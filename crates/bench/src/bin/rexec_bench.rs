@@ -402,6 +402,48 @@ fn obs_overhead_stage(quick: bool, out: &mut Vec<StageResult>) {
     ));
 }
 
+/// Crash-consistency model check as a benchmark stage: one exhaustive
+/// exploration of every crash prefix (both modes) and every single-byte
+/// corruption of the fixture run, on the in-memory storage model.
+/// `items` is the number of states explored, so the tracked throughput
+/// is states/sec; any invariant violation fails the bench outright — a
+/// perf report over a crash-unsafe lifecycle would be meaningless.
+fn model_check_stage(quick: bool, out: &mut Vec<StageResult>) {
+    let cfg = rexec_check::CheckConfig {
+        units: if quick { 3 } else { 4 },
+        ..rexec_check::CheckConfig::default()
+    };
+    let t = Instant::now();
+    let report = rexec_check::explore(&cfg);
+    let wall_secs = t.elapsed().as_secs_f64();
+    assert!(
+        report.ok(),
+        "model check found {} crash-consistency violation(s); first: {}",
+        report.violations.len(),
+        report.violations[0]
+    );
+    let mut extra = BTreeMap::new();
+    extra.insert("fixture_units".to_string(), (cfg.units as u64).to_value());
+    extra.insert("storage_ops".to_string(), (report.ops as u64).to_value());
+    extra.insert(
+        "crash_states".to_string(),
+        (report.crash_states as u64).to_value(),
+    );
+    extra.insert(
+        "corruption_states".to_string(),
+        (report.corruption_states as u64).to_value(),
+    );
+    extra.insert("violations".to_string(), 0u64.to_value());
+    out.push(StageResult::single(
+        "check",
+        "model_check",
+        wall_secs,
+        report.states_explored() as u64,
+        "states",
+        extra,
+    ));
+}
+
 /// One full pass over every stage, in report order.
 fn run_suite(quick: bool) -> Vec<StageResult> {
     let mut stages: Vec<StageResult> = vec![];
@@ -409,6 +451,7 @@ fn run_suite(quick: bool) -> Vec<StageResult> {
     sweep_stages(quick, &mut stages);
     simulator_stage(quick, &mut stages);
     obs_overhead_stage(quick, &mut stages);
+    model_check_stage(quick, &mut stages);
     stages
 }
 

@@ -1,21 +1,37 @@
-//! Atomic artifact writes: temp file + rename, under retry.
+//! Atomic artifact writes: temp file + rename + parent-dir fsync, under
+//! retry.
 //!
 //! A crash mid-write must never leave a truncated artifact behind under
 //! its final name — downstream comparisons would silently consume it.
 //! Every write lands in a hidden temp file in the destination directory
 //! (same filesystem, so the rename is atomic on POSIX), is flushed with
-//! `sync_all`, and only then renamed over the target.
+//! `sync_file`, renamed over the target, and then the *parent directory*
+//! is fsync'd: the rename is a directory-entry update, and without the
+//! dir sync a power loss can roll it back, making an already-sealed
+//! artifact vanish. That exact gap is what the `rexec-check` power-loss
+//! model catches when the dir sync is disabled (see DESIGN.md §10).
+//!
+//! All four steps go through the [`Storage`] alphabet, so the same code
+//! path runs against the real filesystem ([`StdFs`]) and the model
+//! checker's crash-simulating [`crate::SimFs`].
 
 use crate::error::HarnessError;
 use crate::fault::FaultInjector;
 use crate::retry::RetryPolicy;
-use std::io::Write as _;
+use crate::storage::{normalize_dir, StdFs, Storage};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Distinguishes concurrent writers' temp files (plus the PID, so a
 /// crashed run's leftovers can never be renamed over by a later run).
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Whether `name` looks like one of our staging files — used by the
+/// lifecycle's start-of-run sweep for droppings a crashed run left
+/// behind.
+pub fn is_temp_name(name: &str) -> bool {
+    name.starts_with('.') && name.contains(".tmp-")
+}
 
 fn temp_path(path: &Path) -> std::path::PathBuf {
     let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
@@ -26,37 +42,56 @@ fn temp_path(path: &Path) -> std::path::PathBuf {
     path.with_file_name(format!(".{name}.tmp-{}-{n}", std::process::id()))
 }
 
-fn write_once(path: &Path, bytes: &[u8], injector: &FaultInjector) -> std::io::Result<()> {
+fn write_once(
+    storage: &dyn Storage,
+    path: &Path,
+    bytes: &[u8],
+    injector: &FaultInjector,
+) -> std::io::Result<()> {
     injector.on_write_attempt()?;
     let tmp = temp_path(path);
     let result = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
+        storage.write_file(&tmp, bytes)?;
+        storage.sync_file(&tmp)?;
+        storage.rename(&tmp, path)?;
+        // The rename only becomes durable once the parent directory's
+        // entry table is flushed; without this, power loss can un-seal
+        // the artifact (and, for manifest rewrites, the checkpoint).
+        storage.sync_dir(&normalize_dir(path.parent().unwrap_or(Path::new(""))))
     })();
     if result.is_err() {
         // Best effort: never leave temp droppings next to the artifacts.
-        let _ = std::fs::remove_file(&tmp);
+        let _ = storage.remove_file(&tmp);
     }
     result
 }
 
-/// Atomically writes `bytes` to `path` under the retry policy, routing
-/// every attempt through the fault injector. Counted in
+/// Atomically writes `bytes` to `path` on `storage` under the retry
+/// policy, routing every attempt through the fault injector. Counted in
 /// `harness.atomic_writes`; exhausted retries surface as
 /// [`HarnessError::Io`].
-pub fn atomic_write(
+pub fn atomic_write_in(
+    storage: &dyn Storage,
     path: &Path,
     bytes: &[u8],
     policy: &RetryPolicy,
     injector: &FaultInjector,
 ) -> Result<(), HarnessError> {
     policy
-        .run(|| write_once(path, bytes, injector))
+        .run(|| write_once(storage, path, bytes, injector))
         .map_err(|e| HarnessError::io("write", path, &e))?;
     rexec_obs::counter!("harness.atomic_writes").incr();
     Ok(())
+}
+
+/// [`atomic_write_in`] against the real filesystem.
+pub fn atomic_write(
+    path: &Path,
+    bytes: &[u8],
+    policy: &RetryPolicy,
+    injector: &FaultInjector,
+) -> Result<(), HarnessError> {
+    atomic_write_in(&StdFs, path, bytes, policy, injector)
 }
 
 /// Atomic write with the default retry policy and no fault injection —
@@ -69,6 +104,7 @@ pub fn atomic_write_simple(path: &Path, bytes: &[u8]) -> Result<(), HarnessError
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
+    use crate::simfs::{CrashMode, SimFs};
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("rexec-harness-{name}-{}", std::process::id()));
@@ -121,5 +157,30 @@ mod tests {
         assert!(matches!(err, HarnessError::Io { .. }));
         assert!(!path.exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_is_power_loss_durable_on_the_model() {
+        let fs = SimFs::new();
+        let dir = Path::new("out");
+        fs.create_dir_all(dir).unwrap();
+        atomic_write_in(
+            &fs,
+            &dir.join("a.csv"),
+            b"sealed",
+            &RetryPolicy::immediate(1),
+            &FaultInjector::none(),
+        )
+        .unwrap();
+        // Crash at the very end of the write: the artifact must survive.
+        let crashed = SimFs::replay(&fs.ops()).crash(CrashMode::PowerLoss);
+        assert_eq!(crashed.read_file(&dir.join("a.csv")).unwrap(), b"sealed");
+    }
+
+    #[test]
+    fn temp_names_are_recognized_by_the_sweep() {
+        assert!(is_temp_name(".a.csv.tmp-123-0"));
+        assert!(!is_temp_name("a.csv"));
+        assert!(!is_temp_name(".hidden"));
     }
 }

@@ -53,6 +53,12 @@ pub fn digest_bytes(bytes: &[u8]) -> String {
     d.finish()
 }
 
+/// Digest of a file on a [`Storage`](crate::Storage) — the verification
+/// path the model checker drives against its in-memory filesystem.
+pub fn digest_file_in(storage: &dyn crate::Storage, path: &Path) -> std::io::Result<String> {
+    Ok(digest_bytes(&storage.read_file(path)?))
+}
+
 /// Digest of a file on disk, streamed in 64 KiB chunks.
 pub fn digest_file(path: &Path) -> std::io::Result<String> {
     let mut f = std::fs::File::open(path)?;
@@ -96,6 +102,19 @@ mod tests {
         std::fs::write(&path, b"x,y\n1,2\n").unwrap();
         assert_eq!(digest_file(&path).unwrap(), digest_bytes(b"x,y\n1,2\n"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn storage_digest_matches_bytes_digest() {
+        use crate::Storage as _;
+        let fs = crate::SimFs::new();
+        let path = std::path::Path::new("a.csv");
+        fs.write_file(path, b"x,y\n1,2\n").unwrap();
+        assert_eq!(
+            digest_file_in(&fs, path).unwrap(),
+            digest_bytes(b"x,y\n1,2\n")
+        );
+        assert!(digest_file_in(&fs, std::path::Path::new("missing")).is_err());
     }
 
     #[test]

@@ -27,12 +27,17 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Parses a comma-separated spec, e.g.
     /// `fail-write=3,corrupt-artifact=2,kill-after-unit=5,seed=42`.
+    /// Unknown keys are rejected, not ignored — a typo like
+    /// `kil-after-unit=2` must fail loudly, or the test that relies on
+    /// it silently tests nothing. Duplicate keys are rejected for the
+    /// same reason: last-one-wins hides a contradictory plan.
     pub fn parse(spec: &str) -> Result<FaultPlan, HarnessError> {
         let mut plan = FaultPlan::default();
         let bad = |reason: String| HarnessError::InvalidArg {
             what: "--fault-plan".into(),
             reason,
         };
+        let mut seen: Vec<&str> = vec![];
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = part
                 .split_once('=')
@@ -41,7 +46,8 @@ impl FaultPlan {
                 .trim()
                 .parse()
                 .map_err(|_| bad(format!("`{value}` is not an unsigned integer")))?;
-            match key.trim() {
+            let key = key.trim();
+            match key {
                 "fail-write" => plan.fail_write = Some(n),
                 "corrupt-artifact" => plan.corrupt_artifact = Some(n),
                 "kill-after-unit" => plan.kill_after_unit = Some(n),
@@ -53,6 +59,10 @@ impl FaultPlan {
                     )))
                 }
             }
+            if let Some(&dup) = seen.iter().find(|&&s| s == key) {
+                return Err(bad(format!("duplicate key `{dup}`")));
+            }
+            seen.push(key);
         }
         for (key, n) in [
             ("fail-write", plan.fail_write),
@@ -151,6 +161,38 @@ mod tests {
         assert!(FaultPlan::parse("fail-write=x").is_err());
         assert!(FaultPlan::parse("explode=1").is_err());
         assert!(FaultPlan::parse("kill-after-unit=0").is_err());
+    }
+
+    #[test]
+    fn a_typoed_key_is_an_error_not_a_noop() {
+        // `kil-after-unit=2` must not parse into an empty plan that
+        // silently never kills — the CI smoke test would then "pass"
+        // without exercising the crash path at all.
+        let err = FaultPlan::parse("kil-after-unit=2").unwrap_err();
+        assert!(matches!(
+            &err,
+            HarnessError::InvalidArg { what, reason }
+                if what == "--fault-plan" && reason.contains("kil-after-unit")
+        ));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        for spec in [
+            "fail-write=1,fail-write=2",
+            "corrupt-artifact=1,corrupt-artifact=1",
+            "kill-after-unit=1,seed=2,kill-after-unit=3",
+            "seed=1,seed=1",
+            "fail-write=1, fail-write =2", // whitespace does not dodge it
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(
+                matches!(&err, HarnessError::InvalidArg { reason, .. }
+                    if reason.contains("duplicate key")),
+                "spec `{spec}` gave {err}"
+            );
+        }
     }
 
     #[test]

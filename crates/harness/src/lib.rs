@@ -6,8 +6,17 @@
 //! *verified* before it is *checkpointed*; this crate applies the same
 //! discipline to the experiments that reproduce it:
 //!
-//! * [`atomic_write`] / [`atomic_write_simple`] — artifacts land via
-//!   temp-file + atomic rename, never truncated under a crash;
+//! * [`Storage`] / [`StdFs`] / [`SimFs`] — the narrow storage-operation
+//!   alphabet every durable effect goes through: `std::fs` in
+//!   production, a crash-simulating in-memory filesystem under the
+//!   `rexec-check` model checker (op log, prefix replay, process-kill
+//!   and power-loss semantics);
+//! * [`atomic_write`] / [`atomic_write_simple`] / [`atomic_write_in`] —
+//!   artifacts land via temp-file + sync + atomic rename + parent-dir
+//!   fsync, never truncated under a crash and never lost to power loss;
+//! * [`run_units`] — the checkpoint/resume lifecycle itself, generic
+//!   over [`Storage`], shared verbatim by the `experiments` pipeline and
+//!   the model checker;
 //! * [`Digest`] / [`digest_bytes`] / [`digest_file`] — FNV-1a content
 //!   digests seal each artifact (the runner's verification step `V`);
 //! * [`RunManifest`] — the per-run checkpoint state: which units are
@@ -32,12 +41,21 @@ mod atomic;
 mod digest;
 mod error;
 mod fault;
+mod lifecycle;
 mod manifest;
 mod retry;
+mod simfs;
+mod storage;
 
-pub use atomic::{atomic_write, atomic_write_simple};
-pub use digest::{digest_bytes, digest_file, Digest};
+pub use atomic::{atomic_write, atomic_write_in, atomic_write_simple, is_temp_name};
+pub use digest::{digest_bytes, digest_file, digest_file_in, Digest};
 pub use error::HarnessError;
 pub use fault::{FaultInjector, FaultPlan};
+pub use lifecycle::{
+    run_units, sweep_stale_temps, verify_reason, LifecycleConfig, LifecycleEvent, LifecycleOutcome,
+    UnitDisposition, UnitOutput, UnitPlan,
+};
 pub use manifest::{ArtifactRecord, RunManifest, UnitRecord, VerifyOutcome, MANIFEST_NAME};
 pub use retry::RetryPolicy;
+pub use simfs::{CrashMode, SimFs, StorageOp};
+pub use storage::{StdFs, Storage};

@@ -9,11 +9,12 @@
 //! disk (the paper's `V` step applied to the runner itself): verified
 //! units are skipped, missing or corrupted ones are recomputed.
 
-use crate::atomic::atomic_write;
-use crate::digest::digest_file;
+use crate::atomic::atomic_write_in;
+use crate::digest::digest_file_in;
 use crate::error::HarnessError;
 use crate::fault::FaultInjector;
 use crate::retry::RetryPolicy;
+use crate::storage::{StdFs, Storage};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -103,10 +104,19 @@ impl RunManifest {
         }
     }
 
-    /// Loads and validates a manifest from `path`.
+    /// Loads and validates a manifest from `path` on the real
+    /// filesystem.
     pub fn load(path: &Path) -> Result<RunManifest, HarnessError> {
-        let text = std::fs::read_to_string(path)
+        Self::load_from(&StdFs, path)
+    }
+
+    /// Loads and validates a manifest from `path` on `storage`.
+    pub fn load_from(storage: &dyn Storage, path: &Path) -> Result<RunManifest, HarnessError> {
+        let bytes = storage
+            .read_file(path)
             .map_err(|e| HarnessError::io("read run manifest", path, &e))?;
+        let text = String::from_utf8(bytes)
+            .map_err(|e| HarnessError::Manifest(format!("{}: {e}", path.display())))?;
         let manifest: RunManifest = serde_json::from_str(&text)
             .map_err(|e| HarnessError::Manifest(format!("{}: {e}", path.display())))?;
         if manifest.format_version != MANIFEST_VERSION {
@@ -118,15 +128,28 @@ impl RunManifest {
         Ok(manifest)
     }
 
-    /// Atomically writes the manifest to `path`.
+    /// Atomically writes the manifest to `path` on the real filesystem.
     pub fn save(
         &self,
         path: &Path,
         policy: &RetryPolicy,
         injector: &FaultInjector,
     ) -> Result<(), HarnessError> {
+        self.save_in(&StdFs, path, policy, injector)
+    }
+
+    /// Atomically writes the manifest to `path` on `storage` — temp
+    /// file, file sync, rename, parent-directory sync, so the rewritten
+    /// checkpoint survives power loss (DESIGN.md §10).
+    pub fn save_in(
+        &self,
+        storage: &dyn Storage,
+        path: &Path,
+        policy: &RetryPolicy,
+        injector: &FaultInjector,
+    ) -> Result<(), HarnessError> {
         let json = serde_json::to_string_pretty(self).expect("manifest serializes infallibly");
-        atomic_write(path, json.as_bytes(), policy, injector)
+        atomic_write_in(storage, path, json.as_bytes(), policy, injector)
     }
 
     /// The sealed record for `id`, if any.
@@ -174,17 +197,23 @@ impl RunManifest {
         Ok(())
     }
 
-    /// Re-verifies the sealed unit `id` against the artifacts in `dir`.
-    /// Timed under the `harness.verify` span; every digest check
-    /// increments `harness.artifacts_verified`.
+    /// Re-verifies the sealed unit `id` against the artifacts in `dir`
+    /// on the real filesystem.
     pub fn verify_unit(&self, dir: &Path, id: &str) -> VerifyOutcome {
+        self.verify_unit_in(&StdFs, dir, id)
+    }
+
+    /// Re-verifies the sealed unit `id` against the artifacts in `dir`
+    /// on `storage`. Timed under the `harness.verify` span; every digest
+    /// check increments `harness.artifacts_verified`.
+    pub fn verify_unit_in(&self, storage: &dyn Storage, dir: &Path, id: &str) -> VerifyOutcome {
         let _timer = rexec_obs::span!("harness.verify");
         let Some(unit) = self.unit(id) else {
             return VerifyOutcome::NotRecorded;
         };
         for a in &unit.artifacts {
             let path = dir.join(&a.name);
-            let actual = match digest_file(&path) {
+            let actual = match digest_file_in(storage, &path) {
                 Ok(d) => d,
                 Err(_) => return VerifyOutcome::MissingArtifact(a.name.clone()),
             };

@@ -1,0 +1,542 @@
+//! `SimFs`: a deterministic in-memory filesystem with crash semantics.
+//!
+//! The model checker's [`Storage`] implementation. Every durable
+//! operation is recorded in an ordered log ([`StorageOp`], with full
+//! payloads), so a run's exact write sequence can be replayed up to any
+//! prefix and then *crashed* in one of two modes:
+//!
+//! * [`CrashMode::ProcessKill`] — the process dies but the OS survives:
+//!   everything written so far is visible after the crash (the page
+//!   cache outlives the process).
+//! * [`CrashMode::PowerLoss`] — the machine loses power: only data that
+//!   was explicitly made durable survives. File *contents* persist as of
+//!   the last [`sync_file`](Storage::sync_file); directory *entries*
+//!   (renames, creations, removals) persist as of the last
+//!   [`sync_dir`](Storage::sync_dir) of their parent. A rename that was
+//!   never followed by a parent-directory sync is rolled back to
+//!   whatever entry was last durable — exactly the failure mode that
+//!   loses a "sealed" checkpoint when the writer forgets the dir fsync.
+//!
+//! The model is inode-based so atomic-replace semantics are faithful: an
+//! un-synced rename over an existing file rolls back to the *old* file's
+//! durable content on power loss, not to nothing. Directory existence is
+//! modeled as immediately durable (a deliberate simplification — the
+//! lifecycle creates its output directory once, before any checkpoint
+//! state exists worth losing).
+
+use crate::storage::Storage;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One recorded durable operation, payload included, so any prefix of a
+/// run can be replayed without re-running the code that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageOp {
+    /// `create_dir_all(path)`.
+    CreateDirAll {
+        /// Directory created (with ancestors).
+        path: PathBuf,
+    },
+    /// `write_file(path, bytes)` — create/truncate plus write.
+    WriteFile {
+        /// Destination path.
+        path: PathBuf,
+        /// Full contents written.
+        bytes: Vec<u8>,
+    },
+    /// `sync_file(path)` — contents become durable.
+    SyncFile {
+        /// File synced.
+        path: PathBuf,
+    },
+    /// `rename(from, to)` — atomic replace, entry not yet durable.
+    Rename {
+        /// Source path.
+        from: PathBuf,
+        /// Destination path.
+        to: PathBuf,
+    },
+    /// `sync_dir(path)` — directory entries become durable.
+    SyncDir {
+        /// Directory synced.
+        path: PathBuf,
+    },
+    /// `remove_file(path)`.
+    RemoveFile {
+        /// File removed.
+        path: PathBuf,
+    },
+}
+
+impl StorageOp {
+    /// Short human-readable rendering for violation reports.
+    pub fn describe(&self) -> String {
+        match self {
+            StorageOp::CreateDirAll { path } => format!("create_dir_all({})", path.display()),
+            StorageOp::WriteFile { path, bytes } => {
+                format!("write_file({}, {} bytes)", path.display(), bytes.len())
+            }
+            StorageOp::SyncFile { path } => format!("sync_file({})", path.display()),
+            StorageOp::Rename { from, to } => {
+                format!("rename({} -> {})", from.display(), to.display())
+            }
+            StorageOp::SyncDir { path } => format!("sync_dir({})", path.display()),
+            StorageOp::RemoveFile { path } => format!("remove_file({})", path.display()),
+        }
+    }
+}
+
+/// What kind of crash to simulate at a log prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Process killed; OS page cache survives, so all writes are visible.
+    ProcessKill,
+    /// Power lost; un-synced file data and un-synced directory entries
+    /// are rolled back to their last durable state.
+    PowerLoss,
+}
+
+impl CrashMode {
+    /// Both modes, in exploration order.
+    pub const ALL: [CrashMode; 2] = [CrashMode::ProcessKill, CrashMode::PowerLoss];
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashMode::ProcessKill => "process-kill",
+            CrashMode::PowerLoss => "power-loss",
+        }
+    }
+}
+
+type InodeId = u64;
+
+#[derive(Debug, Clone, Default)]
+struct Inode {
+    /// Current (volatile, in-cache) contents.
+    data: Vec<u8>,
+    /// Contents as of the last `sync_file`; `None` if never synced.
+    durable: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Inner {
+    dirs: BTreeSet<PathBuf>,
+    /// Volatile namespace: what the running process observes.
+    entries: BTreeMap<PathBuf, InodeId>,
+    /// Durable namespace: what survives power loss.
+    durable_entries: BTreeMap<PathBuf, InodeId>,
+    inodes: BTreeMap<InodeId, Inode>,
+    next_inode: InodeId,
+    log: Vec<StorageOp>,
+}
+
+impl Inner {
+    fn parent_of(path: &Path) -> PathBuf {
+        crate::storage::normalize_dir(path.parent().unwrap_or(Path::new("")))
+    }
+
+    fn require_parent(&self, path: &Path) -> io::Result<()> {
+        let parent = Self::parent_of(path);
+        if self.dirs.contains(&parent) {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simfs: no such directory: {}", parent.display()),
+            ))
+        }
+    }
+
+    /// Applies `op` to the volatile/durable state (without logging).
+    fn apply(&mut self, op: &StorageOp) -> io::Result<()> {
+        match op {
+            StorageOp::CreateDirAll { path } => {
+                let mut p = crate::storage::normalize_dir(path);
+                loop {
+                    self.dirs.insert(p.clone());
+                    match p.parent() {
+                        Some(parent) if !parent.as_os_str().is_empty() => p = parent.to_path_buf(),
+                        _ => break,
+                    }
+                }
+                self.dirs.insert(PathBuf::from("."));
+                Ok(())
+            }
+            StorageOp::WriteFile { path, bytes } => {
+                self.require_parent(path)?;
+                match self.entries.get(path) {
+                    Some(&id) => {
+                        // Create/truncate of an existing name reuses the
+                        // inode; its durable contents stay whatever the
+                        // last sync made them.
+                        self.inodes.get_mut(&id).expect("live inode").data = bytes.clone();
+                    }
+                    None => {
+                        let id = self.next_inode;
+                        self.next_inode += 1;
+                        self.inodes.insert(
+                            id,
+                            Inode {
+                                data: bytes.clone(),
+                                durable: None,
+                            },
+                        );
+                        self.entries.insert(path.clone(), id);
+                    }
+                }
+                Ok(())
+            }
+            StorageOp::SyncFile { path } => {
+                let id = *self.entries.get(path).ok_or_else(|| not_found(path))?;
+                let inode = self.inodes.get_mut(&id).expect("live inode");
+                inode.durable = Some(inode.data.clone());
+                Ok(())
+            }
+            StorageOp::Rename { from, to } => {
+                self.require_parent(to)?;
+                let id = self.entries.remove(from).ok_or_else(|| not_found(from))?;
+                self.entries.insert(to.clone(), id);
+                Ok(())
+            }
+            StorageOp::SyncDir { path } => {
+                let dir = crate::storage::normalize_dir(path);
+                if !self.dirs.contains(&dir) {
+                    return Err(not_found(&dir));
+                }
+                // Persist the entry table: every volatile entry directly
+                // under `dir` becomes durable; durable entries with no
+                // volatile counterpart (renamed away / removed) drop.
+                let volatile: BTreeMap<PathBuf, InodeId> = self
+                    .entries
+                    .iter()
+                    .filter(|(p, _)| Inner::parent_of(p) == dir)
+                    .map(|(p, &id)| (p.clone(), id))
+                    .collect();
+                self.durable_entries
+                    .retain(|p, _| Inner::parent_of(p) != dir);
+                self.durable_entries.extend(volatile);
+                Ok(())
+            }
+            StorageOp::RemoveFile { path } => {
+                self.entries.remove(path).ok_or_else(|| not_found(path))?;
+                Ok(())
+            }
+        }
+    }
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("simfs: no such file: {}", path.display()),
+    )
+}
+
+/// Deterministic in-memory [`Storage`] with an operation log and crash
+/// replay. See the module docs for the crash model.
+#[derive(Debug, Default)]
+pub struct SimFs {
+    inner: Mutex<Inner>,
+}
+
+impl Clone for SimFs {
+    fn clone(&self) -> Self {
+        SimFs {
+            inner: Mutex::new(self.inner.lock().expect("simfs poisoned").clone()),
+        }
+    }
+}
+
+impl SimFs {
+    /// An empty filesystem (only `.` exists).
+    pub fn new() -> Self {
+        let fs = SimFs::default();
+        fs.inner
+            .lock()
+            .expect("simfs poisoned")
+            .dirs
+            .insert(PathBuf::from("."));
+        fs
+    }
+
+    /// Replays a recorded prefix onto a fresh filesystem. Panics if the
+    /// prefix does not apply cleanly — it was recorded from a successful
+    /// run, so failure to replay is a checker bug, not a model state.
+    pub fn replay(ops: &[StorageOp]) -> Self {
+        let fs = SimFs::new();
+        {
+            let mut inner = fs.inner.lock().expect("simfs poisoned");
+            for op in ops {
+                inner
+                    .apply(op)
+                    .unwrap_or_else(|e| panic!("replaying {}: {e}", op.describe()));
+            }
+        }
+        fs
+    }
+
+    /// Consumes the current state and returns the filesystem as observed
+    /// after a crash of the given mode, with an empty operation log.
+    pub fn crash(self, mode: CrashMode) -> Self {
+        let mut inner = self.inner.into_inner().expect("simfs poisoned");
+        match mode {
+            CrashMode::ProcessKill => {
+                // The page cache survives: the post-crash view is the
+                // volatile view. (Durability labels are irrelevant to a
+                // later reader; leave them as-is.)
+            }
+            CrashMode::PowerLoss => {
+                // Only durable entries survive, each with its last
+                // durable contents (a durable entry whose data was never
+                // synced surfaces as an empty file — garbage-after-crash
+                // that verification must catch).
+                inner.entries = inner.durable_entries.clone();
+                let live: BTreeSet<InodeId> = inner.entries.values().copied().collect();
+                inner.inodes.retain(|id, _| live.contains(id));
+                for inode in inner.inodes.values_mut() {
+                    inode.data = inode.durable.clone().unwrap_or_default();
+                }
+            }
+        }
+        inner.log.clear();
+        SimFs {
+            inner: Mutex::new(inner),
+        }
+    }
+
+    /// The recorded operation log.
+    pub fn ops(&self) -> Vec<StorageOp> {
+        self.inner.lock().expect("simfs poisoned").log.clone()
+    }
+
+    /// Number of operations recorded so far.
+    pub fn op_count(&self) -> usize {
+        self.inner.lock().expect("simfs poisoned").log.len()
+    }
+
+    /// The visible (volatile) file tree: path → contents.
+    pub fn tree(&self) -> BTreeMap<PathBuf, Vec<u8>> {
+        let inner = self.inner.lock().expect("simfs poisoned");
+        inner
+            .entries
+            .iter()
+            .map(|(p, id)| (p.clone(), inner.inodes[id].data.clone()))
+            .collect()
+    }
+
+    /// XORs `mask` into byte `index` of the file at `path`, in both the
+    /// volatile and durable contents — modeling at-rest corruption (bit
+    /// rot) of an already-sealed artifact.
+    pub fn corrupt_byte(&self, path: &Path, index: usize, mask: u8) {
+        assert_ne!(mask, 0, "a zero mask would not corrupt anything");
+        let mut inner = self.inner.lock().expect("simfs poisoned");
+        let id = *inner.entries.get(path).expect("corrupting a missing file");
+        let inode = inner.inodes.get_mut(&id).expect("live inode");
+        inode.data[index] ^= mask;
+        if let Some(durable) = &mut inode.durable {
+            if index < durable.len() {
+                durable[index] ^= mask;
+            }
+        }
+    }
+
+    fn record(&self, op: StorageOp) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("simfs poisoned");
+        inner.apply(&op)?;
+        inner.log.push(op);
+        Ok(())
+    }
+}
+
+impl Storage for SimFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.record(StorageOp::CreateDirAll {
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.record(StorageOp::WriteFile {
+            path: path.to_path_buf(),
+            bytes: bytes.to_vec(),
+        })
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.record(StorageOp::SyncFile {
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.record(StorageOp::Rename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+        })
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.record(StorageOp::SyncDir {
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let inner = self.inner.lock().expect("simfs poisoned");
+        let id = inner.entries.get(path).ok_or_else(|| not_found(path))?;
+        Ok(inner.inodes[id].data.clone())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.record(StorageOp::RemoveFile {
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner
+            .lock()
+            .expect("simfs poisoned")
+            .entries
+            .contains_key(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let dir = crate::storage::normalize_dir(path);
+        let inner = self.inner.lock().expect("simfs poisoned");
+        if !inner.dirs.contains(&dir) {
+            return Err(not_found(&dir));
+        }
+        Ok(inner
+            .entries
+            .keys()
+            .filter(|p| Inner::parent_of(p) == dir)
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staged_rename(fs: &SimFs, dir: &Path, name: &str, bytes: &[u8], sync_dir: bool) {
+        let tmp = dir.join(format!(".{name}.tmp-0"));
+        let fin = dir.join(name);
+        fs.write_file(&tmp, bytes).unwrap();
+        fs.sync_file(&tmp).unwrap();
+        fs.rename(&tmp, &fin).unwrap();
+        if sync_dir {
+            fs.sync_dir(dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn process_kill_keeps_everything_written() {
+        let fs = SimFs::new();
+        let dir = Path::new("out");
+        fs.create_dir_all(dir).unwrap();
+        staged_rename(&fs, dir, "a.csv", b"data", false);
+        let crashed = SimFs::replay(&fs.ops()).crash(CrashMode::ProcessKill);
+        assert_eq!(crashed.read_file(&dir.join("a.csv")).unwrap(), b"data");
+    }
+
+    #[test]
+    fn power_loss_rolls_back_unsynced_directory_entries() {
+        let fs = SimFs::new();
+        let dir = Path::new("out");
+        fs.create_dir_all(dir).unwrap();
+        // File synced but the rename's directory entry never was: the
+        // sealed name vanishes on power loss.
+        staged_rename(&fs, dir, "a.csv", b"data", false);
+        let crashed = SimFs::replay(&fs.ops()).crash(CrashMode::PowerLoss);
+        assert!(!crashed.exists(&dir.join("a.csv")));
+
+        // With the parent-directory sync the entry survives.
+        let fs = SimFs::new();
+        fs.create_dir_all(dir).unwrap();
+        staged_rename(&fs, dir, "a.csv", b"data", true);
+        let crashed = SimFs::replay(&fs.ops()).crash(CrashMode::PowerLoss);
+        assert_eq!(crashed.read_file(&dir.join("a.csv")).unwrap(), b"data");
+    }
+
+    #[test]
+    fn power_loss_after_unsynced_replace_serves_the_old_file() {
+        let fs = SimFs::new();
+        let dir = Path::new("out");
+        fs.create_dir_all(dir).unwrap();
+        staged_rename(&fs, dir, "m.json", b"v1", true);
+        // Replace v1 by v2 but never sync the directory again.
+        staged_rename(&fs, dir, "m.json", b"v2", false);
+        assert_eq!(fs.read_file(&dir.join("m.json")).unwrap(), b"v2");
+        let crashed = SimFs::replay(&fs.ops()).crash(CrashMode::PowerLoss);
+        assert_eq!(
+            crashed.read_file(&dir.join("m.json")).unwrap(),
+            b"v1",
+            "atomic replace must roll back to the old durable entry"
+        );
+    }
+
+    #[test]
+    fn durable_entry_without_synced_data_surfaces_empty() {
+        let fs = SimFs::new();
+        let dir = Path::new("out");
+        fs.create_dir_all(dir).unwrap();
+        let tmp = dir.join(".a.tmp-0");
+        fs.write_file(&tmp, b"data").unwrap();
+        fs.rename(&tmp, &dir.join("a.csv")).unwrap();
+        fs.sync_dir(dir).unwrap(); // entry durable, data never synced
+        let crashed = SimFs::replay(&fs.ops()).crash(CrashMode::PowerLoss);
+        assert_eq!(crashed.read_file(&dir.join("a.csv")).unwrap(), b"");
+    }
+
+    #[test]
+    fn replay_prefixes_walk_the_run_deterministically() {
+        let fs = SimFs::new();
+        let dir = Path::new("out");
+        fs.create_dir_all(dir).unwrap();
+        staged_rename(&fs, dir, "a.csv", b"one", true);
+        staged_rename(&fs, dir, "b.csv", b"two", true);
+        let ops = fs.ops();
+        assert_eq!(ops.len(), 9);
+        // Prefix after the first file's dir sync: only a.csv, durable.
+        let mid = SimFs::replay(&ops[..5]).crash(CrashMode::PowerLoss);
+        let tree = mid.tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[&dir.join("a.csv")], b"one");
+        // Full replay matches the live tree byte for byte.
+        assert_eq!(SimFs::replay(&ops).tree(), fs.tree());
+    }
+
+    #[test]
+    fn corrupt_byte_hits_volatile_and_durable_copies() {
+        let fs = SimFs::new();
+        let dir = Path::new("out");
+        fs.create_dir_all(dir).unwrap();
+        staged_rename(&fs, dir, "a.csv", b"abc", true);
+        fs.corrupt_byte(&dir.join("a.csv"), 1, 0xFF);
+        assert_eq!(fs.read_file(&dir.join("a.csv")).unwrap(), b"a\x9dc");
+        let crashed = fs.crash(CrashMode::PowerLoss);
+        assert_eq!(crashed.read_file(&dir.join("a.csv")).unwrap(), b"a\x9dc");
+    }
+
+    #[test]
+    fn write_into_missing_directory_fails() {
+        let fs = SimFs::new();
+        assert!(fs.write_file(Path::new("nope/a.csv"), b"x").is_err());
+        assert!(fs.sync_dir(Path::new("nope")).is_err());
+    }
+
+    #[test]
+    fn list_dir_sees_only_direct_children() {
+        let fs = SimFs::new();
+        fs.create_dir_all(Path::new("out/sub")).unwrap();
+        staged_rename(&fs, Path::new("out"), "a.csv", b"1", true);
+        staged_rename(&fs, Path::new("out/sub"), "b.csv", b"2", true);
+        assert_eq!(fs.list_dir(Path::new("out")).unwrap(), vec!["a.csv"]);
+        assert_eq!(fs.list_dir(Path::new("out/sub")).unwrap(), vec!["b.csv"]);
+    }
+}

@@ -1,0 +1,180 @@
+//! The storage-operation alphabet of the checkpoint lifecycle.
+//!
+//! Every durable effect the harness performs — staging a temp file,
+//! syncing its contents, renaming it into place, syncing the parent
+//! directory so the rename itself survives power loss, removing stale
+//! temp droppings — goes through this narrow [`Storage`] trait. The
+//! production implementation is [`StdFs`] (plain `std::fs`); the model
+//! checker substitutes [`crate::SimFs`], an in-memory filesystem that
+//! records the exact operation sequence and can replay any prefix with
+//! crash semantics (see `simfs.rs` and DESIGN.md §10).
+//!
+//! The alphabet is deliberately minimal: six durable operations
+//! (`create_dir_all`, `write_file`, `sync_file`, `rename`, `sync_dir`,
+//! `remove_file`) plus three read-only probes (`read_file`, `exists`,
+//! `list_dir`). Anything the lifecycle cannot express in this alphabet
+//! it must not do — that is what makes exhaustive crash exploration
+//! tractable.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Narrow filesystem interface for every durable effect of the
+/// checkpoint/resume lifecycle.
+///
+/// Implementations must provide POSIX-like semantics:
+///
+/// * [`write_file`](Storage::write_file) creates or truncates; the data
+///   is *not* durable until [`sync_file`](Storage::sync_file);
+/// * [`rename`](Storage::rename) atomically replaces the target, but the
+///   directory entry is *not* durable until the parent directory is
+///   [`sync_dir`](Storage::sync_dir)'d;
+/// * read-only probes ([`read_file`](Storage::read_file),
+///   [`exists`](Storage::exists), [`list_dir`](Storage::list_dir))
+///   observe the volatile (in-cache) state.
+pub trait Storage {
+    /// Creates `path` and all missing ancestors (idempotent).
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates or truncates `path` and writes `bytes` (no sync).
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flushes `path`'s contents to durable storage (`fsync`).
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`, replacing any existing `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Flushes the directory's entry table to durable storage, making
+    /// prior renames/creates/removes inside it survive power loss.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+
+    /// Reads the full contents of `path`.
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// File names (not full paths, directories excluded) inside `path`.
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>>;
+}
+
+/// The production [`Storage`]: plain `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdFs;
+
+impl Storage for StdFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    #[cfg(unix)]
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // On POSIX a directory can be opened read-only and fsync'd; this
+        // is the only portable way to persist a rename's directory entry.
+        std::fs::File::open(normalize_dir(path))?.sync_all()
+    }
+
+    #[cfg(not(unix))]
+    fn sync_dir(&self, _path: &Path) -> io::Result<()> {
+        // Directories cannot be opened for fsync on this platform; the
+        // metadata flush is left to the OS (same durability as before
+        // the fix — the model checker still verifies the unix path).
+        Ok(())
+    }
+
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let mut names = vec![];
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// `Path::parent()` of a single-component relative path is the empty
+/// path; map it (and an explicitly empty input) to `.` so it can be
+/// opened and fsync'd.
+#[cfg_attr(not(unix), allow(dead_code))]
+pub(crate) fn normalize_dir(path: &Path) -> PathBuf {
+    if path.as_os_str().is_empty() {
+        PathBuf::from(".")
+    } else {
+        path.to_path_buf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rexec-storage-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn stdfs_round_trips_the_full_alphabet() {
+        let fs = StdFs;
+        let dir = tmpdir("alphabet");
+        let sub = dir.join("nested/deeper");
+        fs.create_dir_all(&sub).unwrap();
+        let tmp = sub.join(".a.tmp-1");
+        let fin = sub.join("a.csv");
+        fs.write_file(&tmp, b"payload").unwrap();
+        fs.sync_file(&tmp).unwrap();
+        fs.rename(&tmp, &fin).unwrap();
+        fs.sync_dir(&sub).unwrap();
+        assert!(fs.exists(&fin) && !fs.exists(&tmp));
+        assert_eq!(fs.read_file(&fin).unwrap(), b"payload");
+        assert_eq!(fs.list_dir(&sub).unwrap(), vec!["a.csv".to_string()]);
+        fs.remove_file(&fin).unwrap();
+        assert!(!fs.exists(&fin));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn normalize_dir_maps_empty_to_cwd() {
+        assert_eq!(normalize_dir(Path::new("")), PathBuf::from("."));
+        assert_eq!(normalize_dir(Path::new("x/y")), PathBuf::from("x/y"));
+    }
+
+    #[test]
+    fn sync_dir_accepts_repo_relative_dirs() {
+        // BENCH_sweeps.json-style writes at the repo root sync `.`.
+        StdFs.sync_dir(Path::new("")).unwrap();
+    }
+}

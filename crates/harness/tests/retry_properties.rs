@@ -1,0 +1,137 @@
+//! Property tests of the retry policy and of injected write failures
+//! surfacing through the real write path: for *any* backoff shape the
+//! sleep never exceeds the cap, the attempt budget is spent exactly,
+//! and a failure the budget cannot absorb comes back as a typed
+//! [`HarnessError::Io`] — never a panic.
+
+use proptest::prelude::*;
+use rexec_harness::{
+    run_units, FaultPlan, HarnessError, LifecycleConfig, RetryPolicy, SimFs, UnitOutput, UnitPlan,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn fixture(units: usize) -> Vec<UnitPlan<'static>> {
+    (0..units)
+        .map(|i| UnitPlan {
+            id: format!("U{i}"),
+            compute: Box::new(move || {
+                Ok(UnitOutput {
+                    title: format!("unit {i}"),
+                    points: 1,
+                    wall_secs: 0.0,
+                    artifacts: vec![(format!("u{i}.csv"), format!("x,{i}\n").into_bytes())],
+                })
+            }),
+        })
+        .collect()
+}
+
+fn cfg(retry: RetryPolicy) -> LifecycleConfig {
+    LifecycleConfig {
+        out_dir: PathBuf::from("results"),
+        tool: "retry-prop".into(),
+        tool_version: "0.0.0".into(),
+        seed: 1,
+        config_digest: "fnv1a:0".into(),
+        resume: false,
+        retry,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The capped exponential backoff never exceeds `max_delay`, for any
+    /// base, cap and retry ordinal (including ordinals far past the
+    /// doubling range, where the shift saturates instead of overflowing).
+    #[test]
+    fn backoff_never_exceeds_the_cap(
+        base_ms in 0u64..100,
+        max_ms in 0u64..500,
+        retry in 1u32..64,
+    ) {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(base_ms),
+            max_delay: Duration::from_millis(max_ms),
+        };
+        let delay = p.delay_before_retry(retry);
+        prop_assert!(delay <= p.max_delay);
+        let uncapped = Duration::from_millis(base_ms)
+            .saturating_mul(1u32 << (retry - 1).min(16));
+        prop_assert_eq!(delay, uncapped.min(p.max_delay));
+    }
+
+    /// Backoff is monotone in the retry ordinal: waiting never gets
+    /// *shorter* as failures accumulate.
+    #[test]
+    fn backoff_is_monotone(base_ms in 0u64..100, max_ms in 0u64..500, retry in 1u32..63) {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(base_ms),
+            max_delay: Duration::from_millis(max_ms),
+        };
+        prop_assert!(p.delay_before_retry(retry) <= p.delay_before_retry(retry + 1));
+    }
+
+    /// `run` spends the attempt budget exactly: an op whose first
+    /// `failures` calls fail is called `min(failures + 1, max_attempts)`
+    /// times, and succeeds iff the budget covers the failures.
+    #[test]
+    fn attempt_budget_is_spent_exactly(max_attempts in 1u32..8, failures in 0u32..10) {
+        let policy = RetryPolicy::immediate(max_attempts);
+        let mut calls = 0u32;
+        let out = policy.run(|| {
+            calls += 1;
+            if calls <= failures {
+                Err(std::io::Error::other("transient"))
+            } else {
+                Ok(calls)
+            }
+        });
+        prop_assert_eq!(calls, (failures + 1).min(max_attempts));
+        prop_assert_eq!(out.is_ok(), failures < max_attempts);
+    }
+
+    /// An injected `fail-write=N` through the real lifecycle either gets
+    /// absorbed by a retry or surfaces as a typed `HarnessError::Io` that
+    /// names the injected fault — never a panic, and never a partial
+    /// success: with at least one retry available the run always
+    /// completes, and with none it fails exactly when the Nth write
+    /// exists to fail.
+    #[test]
+    fn injected_write_failures_surface_or_are_absorbed(
+        units in 1usize..4,
+        nth_write in 1u64..12,
+        max_attempts in 1u32..4,
+    ) {
+        let fs = SimFs::new();
+        let injector = FaultPlan::parse(&format!("fail-write={nth_write}"))
+            .unwrap()
+            .injector();
+        let result = run_units(
+            &fs,
+            &cfg(RetryPolicy::immediate(max_attempts)),
+            &mut fixture(units),
+            &injector,
+            &mut |_| {},
+        );
+        // One atomic write per artifact, one per per-unit manifest
+        // rewrite, one for the final manifest seal.
+        let total_writes = 2 * units as u64 + 1;
+        if max_attempts >= 2 {
+            // The single planned failure is always absorbed by a retry.
+            prop_assert!(result.is_ok(), "absorbed failure failed: {result:?}");
+        } else if nth_write <= total_writes {
+            match result {
+                Err(HarnessError::Io { source, .. }) => {
+                    prop_assert!(source.contains("injected fault"), "source: {source}");
+                }
+                other => prop_assert!(false, "expected Io error, got {other:?}"),
+            }
+        } else {
+            prop_assert!(result.is_ok(), "no write to fail, yet: {result:?}");
+        }
+    }
+}

@@ -1,15 +1,21 @@
-//! Crash-tolerant experiment pipeline — the verified-checkpoint state
-//! machine behind the `experiments` binary.
+//! Crash-tolerant experiment pipeline — the glue binding the paper's
+//! experiments to the verified-checkpoint lifecycle behind the
+//! `experiments` binary.
 //!
 //! Every experiment is one *work unit* registered in a [`RunManifest`]
-//! (`<out>/manifest.json`). A unit executes, its artifacts (CSV datasets
-//! plus the rendered report) land via temp-file + atomic rename, each is
-//! sealed with an FNV-1a content digest, and the manifest is rewritten
-//! atomically — so a crash, kill or full disk at any instant leaves a
-//! loadable manifest describing exactly the completed prefix and never a
-//! truncated artifact under its final name.
+//! (`<out>/manifest.json`). The checkpoint state machine itself —
+//! verify-or-compute, seal artifacts atomically (temp file + sync +
+//! rename + parent-dir fsync), rewrite the manifest after every unit —
+//! lives in [`rexec_harness::run_units`], generic over the
+//! [`rexec_harness::Storage`] alphabet. This module supplies the
+//! experiments as [`UnitPlan`]s, runs the lifecycle on the real
+//! filesystem ([`StdFs`]), prints progress, and writes the
+//! wall-clock-bearing `metrics.json`. The `rexec-check` model checker
+//! drives the *same* lifecycle against a crash-simulating in-memory
+//! filesystem, exhaustively crashing between every pair of storage
+//! operations (DESIGN.md §10).
 //!
-//! On `--resume` the pipeline re-verifies the digests of every sealed
+//! On `--resume` the lifecycle re-verifies the digests of every sealed
 //! unit (the paper's verification step `V` applied to the runner
 //! itself): intact units are skipped, missing or silently-corrupted ones
 //! are detected and recomputed. Transient I/O failures are retried under
@@ -22,13 +28,18 @@ use crate::experiments::{
     ExperimentId, DEFAULT_SEED,
 };
 use rexec_harness::{
-    atomic_write, ArtifactRecord, FaultInjector, FaultPlan, HarnessError, RetryPolicy, RunManifest,
-    UnitRecord, VerifyOutcome, MANIFEST_NAME,
+    atomic_write, run_units, FaultInjector, FaultPlan, HarnessError, LifecycleConfig,
+    LifecycleEvent, RetryPolicy, RunManifest, StdFs, UnitOutput, UnitPlan, MANIFEST_NAME,
 };
 use serde::Value;
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// What happened to one unit during a pipeline run (re-exported from the
+/// lifecycle so existing `pipeline::UnitOutcome` call sites keep
+/// working).
+pub use rexec_harness::UnitDisposition as UnitOutcome;
 
 /// Tool name recorded in manifests (resume refuses to cross tools).
 pub const TOOL_NAME: &str = "experiments";
@@ -75,18 +86,6 @@ impl Default for PipelineConfig {
             trace_chrome: None,
         }
     }
-}
-
-/// What happened to one unit during a pipeline run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum UnitOutcome {
-    /// Computed fresh (no resume, or not sealed before).
-    Computed,
-    /// Sealed by an earlier run, re-verified intact, skipped.
-    SkippedVerified,
-    /// Sealed before but failed re-verification; recomputed. The string
-    /// says why, e.g. `digest mismatch on fig4_... .csv`.
-    Recomputed(String),
 }
 
 /// Per-run outcome summary, keyed by unit id in execution order.
@@ -213,41 +212,10 @@ fn unix_secs() -> u64 {
         .unwrap_or(0)
 }
 
-/// Reason string for a failed verification (the unit will be recomputed).
-fn verify_reason(outcome: &VerifyOutcome) -> String {
-    match outcome {
-        VerifyOutcome::Verified => unreachable!("verified units are skipped, not recomputed"),
-        VerifyOutcome::NotRecorded => "not previously sealed".into(),
-        VerifyOutcome::MissingArtifact(name) => format!("missing artifact {name}"),
-        VerifyOutcome::DigestMismatch { name, .. } => format!("digest mismatch on {name}"),
-    }
-}
-
-/// Seals one artifact: digests the intended bytes, lets the fault plan
-/// corrupt what actually lands on disk (a *silent* error: the manifest
-/// keeps the intended digest), then writes atomically under retry.
-fn seal_artifact(
-    dir: &Path,
-    name: &str,
-    bytes: &[u8],
-    retry: &RetryPolicy,
-    injector: &FaultInjector,
-) -> Result<ArtifactRecord, HarnessError> {
-    let record = ArtifactRecord {
-        name: name.to_string(),
-        bytes: bytes.len() as u64,
-        digest: rexec_harness::digest_bytes(bytes),
-    };
-    let mut on_disk = bytes.to_vec();
-    injector.corrupt_artifact(&mut on_disk);
-    atomic_write(&dir.join(name), &on_disk, retry, injector)?;
-    Ok(record)
-}
-
 /// Runs the pipeline: executes (or, on resume, verifies and skips) every
-/// unit in `cfg.ids`, sealing artifacts and checkpointing the manifest
-/// after each one, then writes the metrics report. Progress and unit
-/// reports go to stdout.
+/// unit in `cfg.ids` through the storage-generic lifecycle
+/// ([`rexec_harness::run_units`]) on the real filesystem, then writes
+/// the metrics report. Progress and unit reports go to stdout.
 ///
 /// The fault plan's `kill-after-unit=K` aborts with
 /// [`HarnessError::KilledByFaultPlan`] after the K-th unit of *this
@@ -264,117 +232,95 @@ pub fn run(cfg: &PipelineConfig) -> Result<PipelineSummary, HarnessError> {
     let injector = cfg.fault.injector();
     let started_unix = unix_secs();
     let run_started = Instant::now();
-    let tool_version = env!("CARGO_PKG_VERSION");
-    let digest = config_digest();
 
-    std::fs::create_dir_all(&cfg.out_dir)
-        .map_err(|e| HarnessError::io("create output directory", &cfg.out_dir, &e))?;
+    let lifecycle_cfg = LifecycleConfig {
+        out_dir: cfg.out_dir.clone(),
+        tool: TOOL_NAME.into(),
+        tool_version: env!("CARGO_PKG_VERSION").into(),
+        seed: cfg.seed,
+        config_digest: config_digest(),
+        resume: cfg.resume,
+        retry: cfg.retry,
+    };
+    let mut units: Vec<UnitPlan<'_>> = cfg
+        .ids
+        .iter()
+        .map(|&id| {
+            let key = id_string(id);
+            let seed = cfg.seed;
+            UnitPlan {
+                id: key.clone(),
+                compute: Box::new(move || {
+                    let exp_started = Instant::now();
+                    let r = run_experiment_seeded(id, seed)?;
+                    debug_assert_eq!(r.id, key, "id_string must match the experiment's own id");
+                    let wall_secs = exp_started.elapsed().as_secs_f64();
+                    println!("================================================================");
+                    println!(
+                        "[{}] {}  ({:.2}s, {} points)",
+                        r.id,
+                        r.title,
+                        wall_secs,
+                        r.point_count()
+                    );
+                    println!("================================================================");
+                    println!("{}", r.report);
+                    let points = r.point_count() as u64;
+                    let mut artifacts: Vec<(String, Vec<u8>)> = r
+                        .datasets
+                        .iter()
+                        .map(|(name, csv)| (format!("{name}.csv"), csv.as_bytes().to_vec()))
+                        .collect();
+                    artifacts.push((format!("report_{key}.txt"), r.report.into_bytes()));
+                    Ok(UnitOutput {
+                        title: r.title,
+                        points,
+                        wall_secs,
+                        artifacts,
+                    })
+                }),
+            }
+        })
+        .collect();
+
+    let out_dir = cfg.out_dir.clone();
+    let outcome = run_units(
+        &StdFs,
+        &lifecycle_cfg,
+        &mut units,
+        &injector,
+        &mut |event| match event {
+            LifecycleEvent::ResumeLoaded { sealed_units } => {
+                println!("resuming: manifest seals {sealed_units} unit(s), re-verifying digests");
+            }
+            LifecycleEvent::UnitStarting { id, disposition } => match disposition {
+                UnitOutcome::SkippedVerified => {
+                    println!("[{id}] verified intact, skipping (sealed by an earlier run)");
+                }
+                UnitOutcome::Recomputed(reason) => {
+                    println!("[{id}] re-verification failed ({reason}); recomputing");
+                }
+                UnitOutcome::Computed => {}
+            },
+            LifecycleEvent::UnitSealed { unit, .. } => {
+                for a in &unit.artifacts {
+                    if a.name.ends_with(".csv") {
+                        println!("  dataset written: {}", out_dir.join(&a.name).display());
+                    }
+                }
+                println!();
+            }
+        },
+    )?;
+
     let manifest_path = cfg.out_dir.join(MANIFEST_NAME);
     let metrics_path = cfg.out_dir.join(METRICS_NAME);
-
-    let mut manifest = if cfg.resume && manifest_path.exists() {
-        let m = RunManifest::load(&manifest_path)?;
-        m.check_resumable(TOOL_NAME, cfg.seed, &digest)?;
-        println!(
-            "resuming: manifest seals {} unit(s), re-verifying digests",
-            m.units.len()
-        );
-        m
-    } else {
-        RunManifest::new(TOOL_NAME, tool_version, cfg.seed, digest.clone())
-    };
-
-    let mut summary = PipelineSummary {
-        units: vec![],
+    let summary = PipelineSummary {
+        units: outcome.units,
         manifest_path: manifest_path.clone(),
         metrics_path: metrics_path.clone(),
     };
-
-    for (idx, &id) in cfg.ids.iter().enumerate() {
-        let key = id_string(id);
-        let outcome = if cfg.resume {
-            match manifest.verify_unit(&cfg.out_dir, &key) {
-                VerifyOutcome::Verified => UnitOutcome::SkippedVerified,
-                other => UnitOutcome::Recomputed(verify_reason(&other)),
-            }
-        } else {
-            UnitOutcome::Computed
-        };
-
-        match &outcome {
-            UnitOutcome::SkippedVerified => {
-                println!("[{key}] verified intact, skipping (sealed by an earlier run)");
-            }
-            UnitOutcome::Recomputed(reason) => {
-                println!("[{key}] re-verification failed ({reason}); recomputing");
-                rexec_obs::counter!("harness.units_recomputed").incr();
-            }
-            UnitOutcome::Computed => {}
-        }
-
-        if outcome != UnitOutcome::SkippedVerified {
-            let exp_started = Instant::now();
-            let r = run_experiment_seeded(id, cfg.seed)?;
-            debug_assert_eq!(r.id, key, "id_string must match the experiment's own id");
-            let wall_secs = exp_started.elapsed().as_secs_f64();
-            println!("================================================================");
-            println!(
-                "[{}] {}  ({:.2}s, {} points)",
-                r.id,
-                r.title,
-                wall_secs,
-                r.point_count()
-            );
-            println!("================================================================");
-            println!("{}", r.report);
-
-            let mut artifacts = vec![];
-            for (name, csv) in &r.datasets {
-                let file = format!("{name}.csv");
-                artifacts.push(seal_artifact(
-                    &cfg.out_dir,
-                    &file,
-                    csv.as_bytes(),
-                    &cfg.retry,
-                    &injector,
-                )?);
-                println!("  dataset written: {}", cfg.out_dir.join(&file).display());
-            }
-            artifacts.push(seal_artifact(
-                &cfg.out_dir,
-                &format!("report_{key}.txt"),
-                r.report.as_bytes(),
-                &cfg.retry,
-                &injector,
-            )?);
-            println!();
-
-            manifest.record_unit(UnitRecord {
-                id: key.clone(),
-                title: r.title.clone(),
-                points: r.point_count() as u64,
-                wall_secs,
-                artifacts,
-            });
-            // Checkpoint: the manifest on disk always describes exactly
-            // the sealed prefix.
-            manifest.save(&manifest_path, &cfg.retry, &injector)?;
-            rexec_obs::counter!("harness.units_sealed").incr();
-        } else {
-            rexec_obs::counter!("harness.units_skipped").incr();
-        }
-
-        summary.units.push((key, outcome));
-        if injector.should_kill_after_unit(idx as u64 + 1) {
-            return Err(HarnessError::KilledByFaultPlan {
-                after_unit: idx as u64 + 1,
-            });
-        }
-    }
-
-    manifest.complete = true;
-    manifest.save(&manifest_path, &cfg.retry, &injector)?;
-    write_metrics(cfg, &manifest, started_unix, run_started, &injector)?;
+    write_metrics(cfg, &outcome.manifest, started_unix, run_started, &injector)?;
     println!("run manifest written: {}", manifest_path.display());
     println!("run metrics written: {}", metrics_path.display());
     if let Some(path) = &cfg.metrics_prom {

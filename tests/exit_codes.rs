@@ -1,0 +1,89 @@
+//! Pins every [`HarnessError`] variant to its documented process exit
+//! code (EXPERIMENTS.md): `2` for usage errors, `137` for the fault
+//! plan's injected kill, `1` for runtime failures. The match below is
+//! exhaustive on purpose — adding a variant without deciding its exit
+//! code fails compilation here, not in production.
+
+use rexec_harness::HarnessError;
+
+fn every_variant() -> Vec<HarnessError> {
+    vec![
+        HarnessError::Io {
+            action: "write artifact".into(),
+            path: "results/f.csv".into(),
+            source: "disk full".into(),
+        },
+        HarnessError::InvalidArg {
+            what: "--fault-plan".into(),
+            reason: "duplicate key `seed`".into(),
+        },
+        HarnessError::UnknownExperiment("F99".into()),
+        HarnessError::Manifest("truncated".into()),
+        HarnessError::ResumeMismatch {
+            field: "seed".into(),
+            recorded: "7".into(),
+            current: "8".into(),
+        },
+        HarnessError::KilledByFaultPlan { after_unit: 2 },
+    ]
+}
+
+/// The documented exit code per variant, written as an exhaustive match
+/// (no `_` arm) so the contract must be revisited whenever the error
+/// surface grows.
+fn documented_exit_code(err: &HarnessError) -> i32 {
+    match err {
+        HarnessError::InvalidArg { .. } => 2,
+        HarnessError::UnknownExperiment(_) => 2,
+        HarnessError::KilledByFaultPlan { .. } => 137,
+        HarnessError::Io { .. } => 1,
+        HarnessError::Manifest(_) => 1,
+        HarnessError::ResumeMismatch { .. } => 1,
+    }
+}
+
+#[test]
+fn every_variant_maps_to_its_documented_exit_code() {
+    let variants = every_variant();
+    assert_eq!(
+        variants.len(),
+        6,
+        "update every_variant() alongside the enum"
+    );
+    for err in &variants {
+        assert_eq!(
+            err.exit_code(),
+            documented_exit_code(err),
+            "exit code drifted for {err:?}"
+        );
+    }
+}
+
+#[test]
+fn exit_codes_are_valid_and_distinguish_failure_classes() {
+    for err in &every_variant() {
+        let code = err.exit_code();
+        // Non-zero (it is an error), within the 8-bit exit range, and
+        // never colliding with success.
+        assert!((1..=255).contains(&code), "{err:?} -> {code}");
+    }
+    // The three classes stay distinguishable to scripts and CI.
+    assert_ne!(
+        HarnessError::UnknownExperiment("x".into()).exit_code(),
+        HarnessError::Manifest("x".into()).exit_code()
+    );
+    assert_ne!(
+        HarnessError::KilledByFaultPlan { after_unit: 1 }.exit_code(),
+        HarnessError::Manifest("x".into()).exit_code()
+    );
+}
+
+/// The kill exit code mirrors SIGKILL (128 + 9) so the CI fault-smoke
+/// job can treat an injected kill exactly like a real one.
+#[test]
+fn injected_kill_mirrors_sigkill() {
+    assert_eq!(
+        HarnessError::KilledByFaultPlan { after_unit: 1 }.exit_code(),
+        128 + 9
+    );
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the `rexec-check` crash-consistency model
+//! checker (DESIGN.md §10): the exhaustive exploration is green on the
+//! current writer, and the power-loss model demonstrably catches the
+//! historical missing-parent-dir-fsync bug when the fix is disabled.
+
+use rexec_check::{explore, CheckConfig};
+use rexec_harness::CrashMode;
+
+/// The ISSUE's headline acceptance: for a 4-unit run, every crash prefix
+/// in both modes and every single-byte corruption of every sealed
+/// artifact resumes to a byte-identical tree with no sealed work lost —
+/// hundreds of explored states, all consistent.
+#[test]
+fn four_unit_exhaustive_exploration_is_green() {
+    let report = explore(&CheckConfig::default());
+    assert_eq!(report.units, 4);
+    assert!(
+        report.states_explored() >= 400,
+        "expected hundreds of states, explored {}",
+        report.states_explored()
+    );
+    assert!(report.crash_states >= 100);
+    assert!(report.corruption_states >= 300);
+    assert!(
+        report.ok(),
+        "crash-consistency violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Regression probe for the durability fix: with the parent-directory
+/// fsync removed (the pre-fix writer), power loss rolls back the rename
+/// of sealed artifacts and manifests, so checkpointed units come back as
+/// recomputed — the model checker must catch that as lost sealed work.
+#[test]
+fn power_loss_without_dir_fsync_is_caught() {
+    let report = explore(&CheckConfig {
+        units: 4,
+        dir_sync: false,
+        modes: vec![CrashMode::PowerLoss],
+        corruption: false,
+    });
+    assert!(
+        !report.ok(),
+        "removing the dir fsync must violate the durability invariant"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.detail.contains("lost sealed work")),
+        "violations must name the lost sealed work: {:?}",
+        report.violations.first()
+    );
+    // Process kill alone cannot catch it: the page cache survives, so
+    // the gap is invisible without the power-loss model.
+    let kill_only = explore(&CheckConfig {
+        units: 4,
+        dir_sync: false,
+        modes: vec![CrashMode::ProcessKill],
+        corruption: false,
+    });
+    assert!(kill_only.ok(), "{:?}", kill_only.violations.first());
+}
+
+/// Every single-byte corruption of a sealed artifact must surface as a
+/// digest mismatch and a recompute — spot-checked here on a small
+/// fixture with the crash phase disabled (the full sweep runs in
+/// `four_unit_exhaustive_exploration_is_green`).
+#[test]
+fn corruption_sweep_detects_every_flip() {
+    let report = explore(&CheckConfig {
+        units: 2,
+        dir_sync: true,
+        modes: vec![],
+        corruption: true,
+    });
+    assert_eq!(report.crash_states, 0);
+    assert!(report.corruption_states > 150);
+    assert!(report.ok(), "{:?}", report.violations.first());
+}
