@@ -185,31 +185,27 @@ fn parse_f64(opt: &str, text: &str) -> Result<f64, ParseError> {
     })
 }
 
-fn invalid(option: &str, value: f64, reason: &str) -> ParseError {
-    ParseError::InvalidValue {
-        option: option.to_string(),
-        value: format!("{value}"),
-        reason: reason.to_string(),
-    }
-}
-
-/// Rejects NaN/±inf and non-positive values: rates, costs and speeds
-/// must be strictly positive real numbers.
-fn check_positive(option: &str, v: Option<f64>) -> Result<(), ParseError> {
-    match v {
-        Some(x) if !x.is_finite() => Err(invalid(option, x, "must be a finite number")),
-        Some(x) if x <= 0.0 => Err(invalid(option, x, "must be strictly positive")),
-        _ => Ok(()),
-    }
-}
-
-/// Rejects NaN/±inf and negative values: powers and the recovery cost
-/// may be zero but not negative.
-fn check_non_negative(option: &str, v: Option<f64>) -> Result<(), ParseError> {
-    match v {
-        Some(x) if !x.is_finite() => Err(invalid(option, x, "must be a finite number")),
-        Some(x) if x < 0.0 => Err(invalid(option, x, "must not be negative")),
-        _ => Ok(()),
+/// Maps a shared-spec failure onto the CLI error surface: the wire
+/// field name becomes the `--option` that was blamed.
+fn spec_error(e: crate::spec::SpecError) -> ParseError {
+    use crate::spec::SpecError;
+    match e {
+        SpecError::Invalid {
+            field,
+            value,
+            reason,
+        } => ParseError::InvalidValue {
+            option: format!("--{field}"),
+            value: format!("{value}"),
+            reason: reason.to_string(),
+        },
+        SpecError::EmptySpeeds => ParseError::InvalidValue {
+            option: "--speeds".into(),
+            value: String::new(),
+            reason: "needs at least one speed".into(),
+        },
+        // validate_domains only produces the two variants above.
+        other => unreachable!("domain validation produced {other:?}"),
     }
 }
 
@@ -277,31 +273,32 @@ impl Args {
         Ok(out)
     }
 
+    /// The model parameters as the shared [`PlanSpec`](crate::spec::PlanSpec)
+    /// that both the CLI and the serve wire protocol validate and resolve
+    /// through — one rule table, two surfaces.
+    pub fn to_spec(&self) -> crate::spec::PlanSpec {
+        crate::spec::PlanSpec {
+            platform: self.platform.clone(),
+            processor: self.processor.clone(),
+            lambda: self.lambda,
+            checkpoint: self.checkpoint,
+            verification: self.verification,
+            recovery: self.recovery,
+            kappa: self.kappa,
+            pidle: self.p_idle,
+            pio: self.p_io,
+            speeds: self.speeds.clone(),
+            rho: Some(self.rho),
+        }
+    }
+
     /// Domain validation, run up front so a NaN or negative rate fails
     /// with a precise message instead of surfacing as solver misbehavior
-    /// deep in a run.
+    /// deep in a run. The model parameters go through the shared spec
+    /// rule table; `--wbase` is CLI-only and checked here.
     fn validate_domains(&self) -> Result<(), ParseError> {
-        check_positive("--lambda", self.lambda)?;
-        check_positive("--checkpoint", self.checkpoint)?;
-        check_positive("--verification", self.verification)?;
-        check_non_negative("--recovery", self.recovery)?;
-        check_positive("--kappa", self.kappa)?;
-        check_non_negative("--pidle", self.p_idle)?;
-        check_non_negative("--pio", self.p_io)?;
-        check_positive("--rho", Some(self.rho))?;
-        check_positive("--wbase", self.w_base)?;
-        if let Some(speeds) = &self.speeds {
-            if speeds.is_empty() {
-                return Err(ParseError::InvalidValue {
-                    option: "--speeds".into(),
-                    value: String::new(),
-                    reason: "needs at least one speed".into(),
-                });
-            }
-            for &s in speeds {
-                check_positive("--speeds", Some(s))?;
-            }
-        }
+        self.to_spec().validate_domains().map_err(spec_error)?;
+        crate::spec::check_positive("wbase", self.w_base).map_err(spec_error)?;
         Ok(())
     }
 }

@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 pub mod args;
 pub mod run;
+pub mod spec;
 
 pub use args::{Args, ParseError};
 pub use run::{execute, Outcome};
+pub use spec::{PlanSpec, ResolvedPlan, SpecError};

@@ -1,11 +1,8 @@
 //! Builds the model from parsed arguments and renders the plan.
 
 use crate::args::Args;
-use rexec_core::{
-    BiCritSolver, ExecutionPlan, ModelError, ParetoFrontier, PowerModel, ResilienceCosts,
-    SilentModel, SpeedSet,
-};
-use rexec_platforms::{Platform, PlatformId, Processor, ProcessorId};
+use crate::spec::SpecError;
+use rexec_core::{BiCritSolver, ExecutionPlan, ModelError, ParetoFrontier};
 use rexec_sim::{render_timeline, MonteCarlo, SimConfig, ValidationReport};
 use std::fmt::Write as _;
 
@@ -72,72 +69,51 @@ impl From<rexec_sim::EngineError> for RunError {
     }
 }
 
-fn platform_by_name(name: &str) -> Result<Platform, RunError> {
-    let id = match name.to_ascii_lowercase().as_str() {
-        "hera" => PlatformId::Hera,
-        "atlas" => PlatformId::Atlas,
-        "coastal" => PlatformId::Coastal,
-        "coastal-ssd" | "coastal_ssd" | "coastalssd" => PlatformId::CoastalSsd,
-        _ => return Err(RunError::UnknownName(name.to_string())),
-    };
-    Ok(Platform::get(id))
+/// The CLI option that owns a wire-level spec field, for error messages
+/// that blame `--checkpoint` rather than `checkpoint`.
+fn option_for(field: &'static str) -> &'static str {
+    match field {
+        "lambda" => "--lambda",
+        "checkpoint" => "--checkpoint",
+        "verification" => "--verification",
+        "recovery" => "--recovery",
+        "kappa" => "--kappa",
+        "pidle" => "--pidle",
+        "pio" => "--pio",
+        "speeds" => "--speeds",
+        "rho" => "--rho",
+        other => other,
+    }
 }
 
-fn processor_by_name(name: &str) -> Result<Processor, RunError> {
-    let id = match name.to_ascii_lowercase().as_str() {
-        "xscale" | "intel-xscale" => ProcessorId::IntelXScale,
-        "crusoe" | "transmeta-crusoe" => ProcessorId::TransmetaCrusoe,
-        _ => return Err(RunError::UnknownName(name.to_string())),
-    };
-    Ok(Processor::get(id))
+impl From<SpecError> for RunError {
+    fn from(e: SpecError) -> Self {
+        match e {
+            SpecError::UnknownName(n) => RunError::UnknownName(n),
+            SpecError::Underspecified(field) => RunError::Underspecified(option_for(field)),
+            SpecError::Model(m) => RunError::Model(m),
+            // Args::parse already ran the domain rules; a programmatic
+            // Args that skipped them still gets a precise message.
+            SpecError::Invalid {
+                field,
+                value,
+                reason,
+            } => RunError::Model(if reason.contains("not be negative") {
+                ModelError::NonNegative { name: field, value }
+            } else {
+                ModelError::Positive { name: field, value }
+            }),
+            SpecError::EmptySpeeds => RunError::Model(ModelError::EmptySpeedSet),
+        }
+    }
 }
 
-/// Resolves arguments into a solver (named configuration + overrides).
+/// Resolves arguments into a solver (named configuration + overrides)
+/// through the shared [`PlanSpec`](crate::spec::PlanSpec) path — the
+/// same resolution the serve wire protocol uses.
 pub fn build_solver(args: &Args) -> Result<BiCritSolver, RunError> {
-    let platform = args.platform.as_deref().map(platform_by_name).transpose()?;
-    let processor = args
-        .processor
-        .as_deref()
-        .map(processor_by_name)
-        .transpose()?;
-
-    let lambda = args
-        .lambda
-        .or(platform.as_ref().map(|p| p.lambda))
-        .ok_or(RunError::Underspecified("--lambda"))?;
-    let checkpoint = args
-        .checkpoint
-        .or(platform.as_ref().map(|p| p.checkpoint))
-        .ok_or(RunError::Underspecified("--checkpoint"))?;
-    let verification = args
-        .verification
-        .or(platform.as_ref().map(|p| p.verification))
-        .ok_or(RunError::Underspecified("--verification"))?;
-    let recovery = args.recovery.unwrap_or(checkpoint);
-
-    let speeds_vec = args
-        .speeds
-        .clone()
-        .or(processor.as_ref().map(|p| p.speeds.clone()))
-        .ok_or(RunError::Underspecified("--speeds"))?;
-    let speeds = SpeedSet::new(speeds_vec)?;
-
-    let kappa = args
-        .kappa
-        .or(processor.as_ref().map(|p| p.kappa))
-        .ok_or(RunError::Underspecified("--kappa"))?;
-    let p_idle = args
-        .p_idle
-        .or(processor.as_ref().map(|p| p.p_idle))
-        .ok_or(RunError::Underspecified("--pidle"))?;
-    let p_io = args.p_io.unwrap_or_else(|| kappa * speeds.min().powi(3));
-
-    let model = SilentModel::new(
-        lambda,
-        ResilienceCosts::new(checkpoint, verification, recovery)?,
-        PowerModel::new(kappa, p_idle, p_io)?,
-    )?;
-    Ok(BiCritSolver::new(model, speeds))
+    let resolved = args.to_spec().resolve()?;
+    Ok(BiCritSolver::new(resolved.model, resolved.speeds))
 }
 
 /// How many patterns `--trace-jsonl` simulates into one bounded trace.

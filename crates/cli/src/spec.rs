@@ -1,0 +1,388 @@
+//! The shared plan specification: one place that owns the domain rules
+//! (which parameter must be strictly positive, which may be zero) and
+//! the named-configuration resolution, so the `rexec-plan` CLI and the
+//! `rexec-serve` wire protocol validate and resolve queries through the
+//! **same** code path and cannot drift.
+//!
+//! Field names here are the *wire* names (`lambda`, `pidle`, …); the
+//! CLI maps them to `--lambda`, `--pidle`, … when reporting errors.
+
+use rexec_core::{ModelError, PowerModel, ResilienceCosts, SilentModel, SpeedSet};
+use rexec_platforms::{Platform, PlatformId, Processor, ProcessorId};
+use std::fmt;
+
+/// A plan query before resolution: every parameter optional, either
+/// taken from a named configuration or given explicitly (explicit
+/// values override the named configuration).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanSpec {
+    /// Named platform (`hera`/`atlas`/`coastal`/`coastal-ssd`).
+    pub platform: Option<String>,
+    /// Named processor (`xscale`/`crusoe`).
+    pub processor: Option<String>,
+    /// Silent-error rate λ (1/s); strictly positive.
+    pub lambda: Option<f64>,
+    /// Checkpoint cost C (s); strictly positive.
+    pub checkpoint: Option<f64>,
+    /// Verification cost V at full speed (s); strictly positive.
+    pub verification: Option<f64>,
+    /// Recovery cost R (s); non-negative, defaults to C.
+    pub recovery: Option<f64>,
+    /// Cube-law coefficient κ (mW); strictly positive.
+    pub kappa: Option<f64>,
+    /// Static power Pidle (mW); non-negative.
+    pub pidle: Option<f64>,
+    /// I/O power Pio (mW); non-negative, defaults to κσ_min³.
+    pub pio: Option<f64>,
+    /// Normalized DVFS speeds; each strictly positive, non-empty.
+    pub speeds: Option<Vec<f64>>,
+    /// Performance bound ρ; strictly positive, defaults to 3.
+    pub rho: Option<f64>,
+}
+
+/// What a [`PlanSpec`] resolves to: a validated model, the speed set,
+/// and the (defaulted) performance bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedPlan {
+    /// The analytic model the solver runs on.
+    pub model: SilentModel,
+    /// The available DVFS speeds.
+    pub speeds: SpeedSet,
+    /// The performance bound ρ (default 3 when unspecified).
+    pub rho: f64,
+}
+
+/// Default performance bound when a spec leaves `rho` unset.
+pub const DEFAULT_RHO: f64 = 3.0;
+
+/// Validation / resolution failures, shared by CLI and wire surfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A numeric parameter fails its domain rule (NaN, ±inf, sign).
+    Invalid {
+        /// Wire-level field name (`lambda`, `pidle`, …).
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+        /// What the field requires.
+        reason: &'static str,
+    },
+    /// A speed list was given but empty.
+    EmptySpeeds,
+    /// Bad platform/processor name.
+    UnknownName(String),
+    /// Neither a named configuration nor enough custom parameters.
+    Underspecified(&'static str),
+    /// Parameters pass the field rules but do not form a valid model.
+    Model(ModelError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Invalid {
+                field,
+                value,
+                reason,
+            } => write!(f, "invalid value `{value}` for `{field}`: {reason}"),
+            SpecError::EmptySpeeds => write!(f, "`speeds` needs at least one speed"),
+            SpecError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            SpecError::Underspecified(what) => write!(
+                f,
+                "missing parameter: {what} (give a platform/processor or custom values)"
+            ),
+            SpecError::Model(e) => write!(f, "invalid parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ModelError> for SpecError {
+    fn from(e: ModelError) -> Self {
+        SpecError::Model(e)
+    }
+}
+
+/// Rejects NaN/±inf and non-positive values: rates, costs, speeds and
+/// the bound must be strictly positive real numbers.
+pub fn check_positive(field: &'static str, v: Option<f64>) -> Result<(), SpecError> {
+    match v {
+        Some(x) if !x.is_finite() => Err(SpecError::Invalid {
+            field,
+            value: x,
+            reason: "must be a finite number",
+        }),
+        Some(x) if x <= 0.0 => Err(SpecError::Invalid {
+            field,
+            value: x,
+            reason: "must be strictly positive",
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Rejects NaN/±inf and negative values: powers and the recovery cost
+/// may be zero but not negative.
+pub fn check_non_negative(field: &'static str, v: Option<f64>) -> Result<(), SpecError> {
+    match v {
+        Some(x) if !x.is_finite() => Err(SpecError::Invalid {
+            field,
+            value: x,
+            reason: "must be a finite number",
+        }),
+        Some(x) if x < 0.0 => Err(SpecError::Invalid {
+            field,
+            value: x,
+            reason: "must not be negative",
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Resolves a platform name (case-insensitive, paper Table 1).
+pub fn platform_by_name(name: &str) -> Result<Platform, SpecError> {
+    let id = match name.to_ascii_lowercase().as_str() {
+        "hera" => PlatformId::Hera,
+        "atlas" => PlatformId::Atlas,
+        "coastal" => PlatformId::Coastal,
+        "coastal-ssd" | "coastal_ssd" | "coastalssd" => PlatformId::CoastalSsd,
+        _ => return Err(SpecError::UnknownName(name.to_string())),
+    };
+    Ok(Platform::get(id))
+}
+
+/// Resolves a processor name (case-insensitive, paper Table 2).
+pub fn processor_by_name(name: &str) -> Result<Processor, SpecError> {
+    let id = match name.to_ascii_lowercase().as_str() {
+        "xscale" | "intel-xscale" => ProcessorId::IntelXScale,
+        "crusoe" | "transmeta-crusoe" => ProcessorId::TransmetaCrusoe,
+        _ => return Err(SpecError::UnknownName(name.to_string())),
+    };
+    Ok(Processor::get(id))
+}
+
+impl PlanSpec {
+    /// The one rule table: every numeric field checked against its
+    /// domain (NaN and ±inf always rejected; zero admitted only where
+    /// the model tolerates it). Both the CLI's argument parser and the
+    /// serve wire decoder call exactly this.
+    pub fn validate_domains(&self) -> Result<(), SpecError> {
+        check_positive("lambda", self.lambda)?;
+        check_positive("checkpoint", self.checkpoint)?;
+        check_positive("verification", self.verification)?;
+        check_non_negative("recovery", self.recovery)?;
+        check_positive("kappa", self.kappa)?;
+        check_non_negative("pidle", self.pidle)?;
+        check_non_negative("pio", self.pio)?;
+        check_positive("rho", self.rho)?;
+        if let Some(speeds) = &self.speeds {
+            if speeds.is_empty() {
+                return Err(SpecError::EmptySpeeds);
+            }
+            for &s in speeds {
+                check_positive("speeds", Some(s))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the domains, resolves named configurations, applies
+    /// explicit overrides and the documented defaults (`R = C`,
+    /// `Pio = κσ_min³`, `ρ = 3`), and builds the model.
+    pub fn resolve(&self) -> Result<ResolvedPlan, SpecError> {
+        self.validate_domains()?;
+        let platform = self.platform.as_deref().map(platform_by_name).transpose()?;
+        let processor = self
+            .processor
+            .as_deref()
+            .map(processor_by_name)
+            .transpose()?;
+
+        let lambda = self
+            .lambda
+            .or(platform.as_ref().map(|p| p.lambda))
+            .ok_or(SpecError::Underspecified("lambda"))?;
+        let checkpoint = self
+            .checkpoint
+            .or(platform.as_ref().map(|p| p.checkpoint))
+            .ok_or(SpecError::Underspecified("checkpoint"))?;
+        let verification = self
+            .verification
+            .or(platform.as_ref().map(|p| p.verification))
+            .ok_or(SpecError::Underspecified("verification"))?;
+        let recovery = self.recovery.unwrap_or(checkpoint);
+
+        let speeds_vec = self
+            .speeds
+            .clone()
+            .or(processor.as_ref().map(|p| p.speeds.clone()))
+            .ok_or(SpecError::Underspecified("speeds"))?;
+        let speeds = SpeedSet::new(speeds_vec)?;
+
+        let kappa = self
+            .kappa
+            .or(processor.as_ref().map(|p| p.kappa))
+            .ok_or(SpecError::Underspecified("kappa"))?;
+        let p_idle = self
+            .pidle
+            .or(processor.as_ref().map(|p| p.p_idle))
+            .ok_or(SpecError::Underspecified("pidle"))?;
+        let p_io = self.pio.unwrap_or_else(|| kappa * speeds.min().powi(3));
+
+        let model = SilentModel::new(
+            lambda,
+            ResilienceCosts::new(checkpoint, verification, recovery)?,
+            PowerModel::new(kappa, p_idle, p_io)?,
+        )?;
+        Ok(ResolvedPlan {
+            model,
+            speeds,
+            rho: self.rho.unwrap_or(DEFAULT_RHO),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named(platform: &str, processor: &str) -> PlanSpec {
+        PlanSpec {
+            platform: Some(platform.into()),
+            processor: Some(processor.into()),
+            ..PlanSpec::default()
+        }
+    }
+
+    #[test]
+    fn named_configuration_resolves_with_defaults() {
+        let r = named("hera", "xscale").resolve().unwrap();
+        assert_eq!(r.model.lambda, 3.38e-6);
+        assert_eq!(r.model.costs.checkpoint, 300.0);
+        assert_eq!(r.model.costs.recovery, 300.0, "R defaults to C");
+        assert_eq!(r.rho, DEFAULT_RHO);
+        assert_eq!(r.speeds.len(), 5);
+        // Pio defaults to the dynamic power at the slowest speed.
+        assert!((r.model.power.p_io - 1550.0 * 0.15f64.powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_named_configuration() {
+        let spec = PlanSpec {
+            lambda: Some(1e-5),
+            rho: Some(1.775),
+            ..named("hera", "xscale")
+        };
+        let r = spec.resolve().unwrap();
+        assert_eq!(r.model.lambda, 1e-5);
+        assert_eq!(r.rho, 1.775);
+    }
+
+    #[test]
+    fn underspecified_names_the_missing_field() {
+        let spec = PlanSpec {
+            lambda: Some(1e-5),
+            ..PlanSpec::default()
+        };
+        assert_eq!(spec.resolve(), Err(SpecError::Underspecified("checkpoint")));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(matches!(
+            named("jupiter", "xscale").resolve(),
+            Err(SpecError::UnknownName(_))
+        ));
+        assert!(matches!(
+            named("hera", "epyc").resolve(),
+            Err(SpecError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn domain_rules_match_the_cli_contract() {
+        // Strictly positive fields reject zero...
+        for (field, spec) in [
+            (
+                "lambda",
+                PlanSpec {
+                    lambda: Some(0.0),
+                    ..PlanSpec::default()
+                },
+            ),
+            (
+                "rho",
+                PlanSpec {
+                    rho: Some(0.0),
+                    ..PlanSpec::default()
+                },
+            ),
+        ] {
+            match spec.validate_domains() {
+                Err(SpecError::Invalid { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected Invalid({field}), got {other:?}"),
+            }
+        }
+        // ...while recovery and the powers admit zero.
+        let ok = PlanSpec {
+            recovery: Some(0.0),
+            pidle: Some(0.0),
+            pio: Some(0.0),
+            ..PlanSpec::default()
+        };
+        assert_eq!(ok.validate_domains(), Ok(()));
+        // NaN and ±inf are rejected everywhere.
+        let nan = PlanSpec {
+            checkpoint: Some(f64::NAN),
+            ..PlanSpec::default()
+        };
+        assert!(matches!(
+            nan.validate_domains(),
+            Err(SpecError::Invalid {
+                field: "checkpoint",
+                ..
+            })
+        ));
+        let inf = PlanSpec {
+            pidle: Some(f64::NEG_INFINITY),
+            ..PlanSpec::default()
+        };
+        assert!(matches!(
+            inf.validate_domains(),
+            Err(SpecError::Invalid { field: "pidle", .. })
+        ));
+    }
+
+    #[test]
+    fn speed_rules() {
+        let empty = PlanSpec {
+            speeds: Some(vec![]),
+            ..PlanSpec::default()
+        };
+        assert_eq!(empty.validate_domains(), Err(SpecError::EmptySpeeds));
+        let zero = PlanSpec {
+            speeds: Some(vec![0.5, 0.0]),
+            ..PlanSpec::default()
+        };
+        assert!(matches!(
+            zero.validate_domains(),
+            Err(SpecError::Invalid {
+                field: "speeds",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn error_display_names_field_value_and_reason() {
+        let e = PlanSpec {
+            lambda: Some(-2.0),
+            ..PlanSpec::default()
+        }
+        .validate_domains()
+        .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("lambda") && msg.contains("-2") && msg.contains("positive"));
+    }
+}

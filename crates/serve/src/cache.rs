@@ -1,0 +1,253 @@
+//! The sharded plan cache.
+//!
+//! Keyed by the table hash plus quantized ρ; values are fully solved
+//! plans. Because quantization happens *before* solving (see
+//! [`crate::quant`]), a cached value is byte-for-byte what a fresh
+//! solve of the same key would produce — the cache can change latency,
+//! never answers.
+//!
+//! Sharding bounds lock contention: a query locks exactly one shard,
+//! chosen by the key hash. Each shard is FIFO-bounded; eviction order
+//! is the shard's insertion order, so with a single writer the victim
+//! sequence is fully deterministic (pinned by a test in
+//! `service.rs`). Hash collisions are survivable by construction:
+//! buckets compare the full table params and ρ bits before declaring a
+//! hit, so a collision costs a compare, not a wrong plan.
+
+use crate::quant::{plan_hash, TableParams};
+use rexec_core::BiCritSolution;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A solved, cacheable plan: the answer to one `(table, ρ)` key.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The table digest (`fnv1a:<16 hex>`), shared across all plans of
+    /// one table.
+    pub digest: Arc<str>,
+    /// The solution; `None` when ρ is infeasible for the table.
+    pub solution: Option<BiCritSolution>,
+    /// Smallest feasible ρ, reported when `solution` is `None`.
+    pub min_rho: Option<f64>,
+}
+
+struct Entry {
+    rho_bits: u64,
+    table: TableParams,
+    plan: CachedPlan,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Key-hash → entries (len > 1 only under a 64-bit collision).
+    buckets: HashMap<u64, Vec<Entry>>,
+    /// Insertion order of key hashes — the FIFO eviction queue.
+    order: VecDeque<u64>,
+}
+
+/// Monotonic cache counters (also mirrored into rexec-obs by the
+/// service layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a solve.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+}
+
+/// Sharded, capacity-bounded plan cache.
+pub struct PlanCache {
+    shards: Box<[Mutex<Shard>]>,
+    shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans across `shards` shards
+    /// (each shard bounded by its share, rounded up).
+    pub fn new(capacity: usize, shards: usize) -> PlanCache {
+        let shards = shards.max(1);
+        let shard_cap = capacity.div_ceil(shards).max(1);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_for(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up the plan for `(table, ρ)`; counts a hit or a miss.
+    pub fn get(&self, table: &TableParams, table_hash: u64, rho: f64) -> Option<CachedPlan> {
+        let key = plan_hash(table_hash, rho);
+        let rho_bits = rho.to_bits();
+        let shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        let hit = shard.buckets.get(&key).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|e| e.rho_bits == rho_bits && e.table.same(table))
+                .map(|e| e.plan.clone())
+        });
+        drop(shard);
+        match hit {
+            Some(plan) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts the plan for `(table, ρ)` unless an entry already exists
+    /// (concurrent solvers of the same key insert identical values, so
+    /// first-wins keeps the FIFO queue duplicate-free). Evicts the
+    /// shard's oldest entry when over capacity.
+    pub fn insert(&self, table: &TableParams, table_hash: u64, rho: f64, plan: CachedPlan) {
+        let key = plan_hash(table_hash, rho);
+        let rho_bits = rho.to_bits();
+        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        let bucket = shard.buckets.entry(key).or_default();
+        if bucket
+            .iter()
+            .any(|e| e.rho_bits == rho_bits && e.table.same(table))
+        {
+            return;
+        }
+        bucket.push(Entry {
+            rho_bits,
+            table: table.clone(),
+            plan,
+        });
+        shard.order.push_back(key);
+        while shard.order.len() > self.shard_cap {
+            let victim = shard.order.pop_front().expect("order non-empty over cap");
+            if let Some(bucket) = shard.buckets.get_mut(&victim) {
+                if !bucket.is_empty() {
+                    bucket.remove(0);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                if bucket.is_empty() {
+                    shard.buckets.remove(&victim);
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached plans (test/diagnostic use; takes every shard
+    /// lock).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").order.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rexec_core::{PowerModel, ResilienceCosts, SilentModel, SpeedSet};
+
+    fn table(lambda: f64) -> TableParams {
+        let model = SilentModel::new(
+            lambda,
+            ResilienceCosts::new(300.0, 15.4, 300.0).unwrap(),
+            PowerModel::new(1550.0, 60.0, 5.23).unwrap(),
+        )
+        .unwrap();
+        TableParams::new(&model, &SpeedSet::new(vec![0.15, 1.0]).unwrap())
+    }
+
+    fn plan(tag: f64) -> CachedPlan {
+        CachedPlan {
+            digest: Arc::from("fnv1a:0000000000000000"),
+            solution: None,
+            min_rho: Some(tag),
+        }
+    }
+
+    #[test]
+    fn get_insert_round_trip_and_counters() {
+        let cache = PlanCache::new(8, 2);
+        let t = table(1e-6);
+        let h = t.hash64();
+        assert!(cache.get(&t, h, 3.0).is_none());
+        cache.insert(&t, h, 3.0, plan(1.0));
+        let hit = cache.get(&t, h, 3.0).expect("inserted key hits");
+        assert_eq!(hit.min_rho, Some(1.0));
+        assert!(cache.get(&t, h, 2.0).is_none(), "other rho misses");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo_per_shard() {
+        // One shard makes the global FIFO order observable.
+        let cache = PlanCache::new(2, 1);
+        let t = table(1e-6);
+        let h = t.hash64();
+        cache.insert(&t, h, 1.0, plan(1.0));
+        cache.insert(&t, h, 2.0, plan(2.0));
+        cache.insert(&t, h, 3.0, plan(3.0)); // evicts rho=1.0
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&t, h, 1.0).is_none(), "oldest entry evicted");
+        assert!(cache.get(&t, h, 2.0).is_some());
+        assert!(cache.get(&t, h, 3.0).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_no_op() {
+        let cache = PlanCache::new(4, 1);
+        let t = table(1e-6);
+        let h = t.hash64();
+        cache.insert(&t, h, 1.0, plan(1.0));
+        cache.insert(&t, h, 1.0, plan(99.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&t, h, 1.0).unwrap().min_rho, Some(1.0));
+    }
+
+    #[test]
+    fn distinct_tables_do_not_collide() {
+        let cache = PlanCache::new(8, 4);
+        let (a, b) = (table(1e-6), table(2e-6));
+        cache.insert(&a, a.hash64(), 3.0, plan(1.0));
+        assert!(cache.get(&b, b.hash64(), 3.0).is_none());
+        cache.insert(&b, b.hash64(), 3.0, plan(2.0));
+        assert_eq!(cache.get(&a, a.hash64(), 3.0).unwrap().min_rho, Some(1.0));
+        assert_eq!(cache.get(&b, b.hash64(), 3.0).unwrap().min_rho, Some(2.0));
+    }
+}

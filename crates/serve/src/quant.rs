@@ -1,0 +1,225 @@
+//! Parameter quantization and the canonical table key.
+//!
+//! The plan cache must never return an answer that differs from a fresh
+//! solve — not even in the last bit. The way to make that trivially true
+//! is to quantize *before* solving: every query's parameters are snapped
+//! to a coarser float grid first, the solver only ever sees quantized
+//! values, and the cache key is exactly the solver input. A hit and a
+//! recomputation are then the same pure function of the same bits.
+//!
+//! Quantization masks the low [`MANTISSA_DROP_BITS`] bits of the
+//! mantissa, a relative step of ~1.5e-8 — far below the model's
+//! parameter uncertainty (platform λ/C/V are three-significant-digit
+//! measurements) and far above f64 noise from client-side unit
+//! conversions, so near-identical re-queries coalesce onto one plan.
+
+use rexec_core::{BiCritSolver, PowerModel, ResilienceCosts, SilentModel, SpeedSet};
+use rexec_harness::Digest;
+
+/// Low mantissa bits dropped by [`quantize`]: 2^-26 relative step.
+pub const MANTISSA_DROP_BITS: u32 = 26;
+
+const MANTISSA_MASK: u64 = !((1u64 << MANTISSA_DROP_BITS) - 1);
+
+/// FNV-1a over 64-bit words (same constants as the byte-wise
+/// [`rexec_harness::Digest`], one multiply per word instead of eight —
+/// this runs per query on the cache hit path).
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Snaps a finite parameter onto the quantization grid (truncation
+/// toward zero in the mantissa). Strictly positive normal values stay
+/// strictly positive; zero stays zero; the function is monotone, so a
+/// sorted speed list stays sorted.
+#[inline]
+pub fn quantize(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() & MANTISSA_MASK)
+}
+
+#[inline]
+fn fnv_word(state: u64, word: u64) -> u64 {
+    (state ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// The canonical, quantized parameter set of one candidate table: the
+/// full solver identity (model costs, power, speed set). Two queries
+/// with the same `TableParams` share a solver, a digest, and cache
+/// entries; any differing bit separates them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableParams {
+    /// Silent-error rate λ (1/s), quantized.
+    pub lambda: f64,
+    /// Checkpoint cost C (s), quantized.
+    pub checkpoint: f64,
+    /// Verification cost V (s), quantized.
+    pub verification: f64,
+    /// Recovery cost R (s), quantized.
+    pub recovery: f64,
+    /// Cube-law coefficient κ (mW), quantized.
+    pub kappa: f64,
+    /// Static power Pidle (mW), quantized.
+    pub p_idle: f64,
+    /// I/O power Pio (mW), quantized.
+    pub p_io: f64,
+    /// Sorted, deduplicated, quantized speed set.
+    pub speeds: Vec<f64>,
+}
+
+impl TableParams {
+    /// Canonicalizes a validated model: every scalar quantized, speeds
+    /// re-deduplicated after quantization (two near-equal speeds may
+    /// land on the same grid point).
+    pub fn new(model: &SilentModel, speeds: &SpeedSet) -> TableParams {
+        let mut qs: Vec<f64> = speeds.values().iter().copied().map(quantize).collect();
+        qs.dedup();
+        TableParams {
+            lambda: quantize(model.lambda),
+            checkpoint: quantize(model.costs.checkpoint),
+            verification: quantize(model.costs.verification),
+            recovery: quantize(model.costs.recovery),
+            kappa: quantize(model.power.kappa),
+            p_idle: quantize(model.power.p_idle),
+            p_io: quantize(model.power.p_io),
+            speeds: qs,
+        }
+    }
+
+    fn scalar_words(&self) -> [u64; 7] {
+        [
+            self.lambda.to_bits(),
+            self.checkpoint.to_bits(),
+            self.verification.to_bits(),
+            self.recovery.to_bits(),
+            self.kappa.to_bits(),
+            self.p_idle.to_bits(),
+            self.p_io.to_bits(),
+        ]
+    }
+
+    /// Fast 64-bit FNV-1a over the parameter words — the cache-shard
+    /// and bucket key. Lookups additionally compare the full params, so
+    /// a hash collision can never return a wrong plan.
+    pub fn hash64(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for w in self.scalar_words() {
+            h = fnv_word(h, w);
+        }
+        h = fnv_word(h, self.speeds.len() as u64);
+        for &s in &self.speeds {
+            h = fnv_word(h, s.to_bits());
+        }
+        h
+    }
+
+    /// The table digest in the harness's `fnv1a:<16 hex>` form — the
+    /// byte-wise [`rexec_harness::Digest`] over the canonical little-
+    /// endian encoding, reported in every wire response so clients can
+    /// tell which platform table answered them.
+    pub fn digest(&self) -> String {
+        let mut d = Digest::new();
+        for w in self.scalar_words() {
+            d.update(&w.to_le_bytes());
+        }
+        d.update(&(self.speeds.len() as u64).to_le_bytes());
+        for &s in &self.speeds {
+            d.update(&s.to_bits().to_le_bytes());
+        }
+        d.finish()
+    }
+
+    /// Bit-exact equality (the cache's collision guard).
+    pub fn same(&self, other: &TableParams) -> bool {
+        self.scalar_words() == other.scalar_words()
+            && self.speeds.len() == other.speeds.len()
+            && self
+                .speeds
+                .iter()
+                .zip(&other.speeds)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Builds the solver for this table. Quantization preserves the
+    /// constructors' domains (positive normals stay positive, zero
+    /// stays zero), so this cannot fail on params that came from a
+    /// validated [`SilentModel`].
+    pub fn to_solver(&self) -> BiCritSolver {
+        let model = SilentModel::new(
+            self.lambda,
+            ResilienceCosts::new(self.checkpoint, self.verification, self.recovery)
+                .expect("quantization preserves cost validity"),
+            PowerModel::new(self.kappa, self.p_idle, self.p_io)
+                .expect("quantization preserves power validity"),
+        )
+        .expect("quantization preserves model validity");
+        let speeds =
+            SpeedSet::new(self.speeds.clone()).expect("quantization preserves speed validity");
+        BiCritSolver::new(model, speeds)
+    }
+}
+
+/// Mixes a table hash with a quantized ρ into the plan-cache key hash.
+#[inline]
+pub fn plan_hash(table_hash: u64, rho: f64) -> u64 {
+    fnv_word(table_hash, rho.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(lambda: f64) -> TableParams {
+        let model = SilentModel::new(
+            lambda,
+            ResilienceCosts::new(300.0, 15.4, 300.0).unwrap(),
+            PowerModel::new(1550.0, 60.0, 5.23).unwrap(),
+        )
+        .unwrap();
+        let speeds = SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap();
+        TableParams::new(&model, &speeds)
+    }
+
+    #[test]
+    fn quantize_is_idempotent_monotone_and_sign_preserving() {
+        for x in [3.38e-6, 300.0, 0.15, 1.0, 1e12, 5.23] {
+            let q = quantize(x);
+            assert!(q > 0.0);
+            assert!(q <= x, "truncation never increases magnitude");
+            assert_eq!(quantize(q), q, "idempotent");
+            assert!((x - q) / x < 2.0f64.powi(-(MANTISSA_DROP_BITS as i32) + 1));
+        }
+        assert_eq!(quantize(0.0), 0.0);
+        assert!(quantize(0.4) <= quantize(0.6));
+    }
+
+    #[test]
+    fn nearby_params_coalesce_and_distant_params_split() {
+        let a = table(3.38e-6);
+        let b = table(3.38e-6 * (1.0 + 1e-12)); // sub-grid perturbation
+        let c = table(3.39e-6); // a real parameter change
+        assert!(a.same(&b));
+        assert_eq!(a.hash64(), b.hash64());
+        assert_eq!(a.digest(), b.digest());
+        assert!(!a.same(&c));
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn digest_uses_the_harness_format() {
+        let d = table(3.38e-6).digest();
+        assert!(d.starts_with("fnv1a:") && d.len() == "fnv1a:".len() + 16);
+    }
+
+    #[test]
+    fn solver_round_trip_matches_quantized_model() {
+        let t = table(3.38e-6);
+        let solver = t.to_solver();
+        assert_eq!(solver.model().lambda, t.lambda);
+        assert_eq!(solver.speeds().values(), t.speeds.as_slice());
+    }
+
+    #[test]
+    fn plan_hash_separates_rho() {
+        let h = table(3.38e-6).hash64();
+        assert_ne!(plan_hash(h, 3.0), plan_hash(h, 1.775));
+    }
+}

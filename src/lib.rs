@@ -15,6 +15,9 @@
 //!   figure of the paper's evaluation section.
 //! * [`obs`] — lightweight observability: counters, histogram sketches,
 //!   RAII span timers and a registry with deterministic JSON snapshots.
+//! * [`serve`] — the batching, plan-caching planning daemon
+//!   (`rexec-serve`/`rexec-loadgen`) answering plan queries over
+//!   newline-delimited JSON.
 //!
 //! See `examples/quickstart.rs` for a five-line tour.
 
@@ -22,6 +25,7 @@
 pub use rexec_core as core;
 pub use rexec_obs as obs;
 pub use rexec_platforms as platforms;
+pub use rexec_serve as serve;
 pub use rexec_sim as sim;
 pub use rexec_sweep as sweep;
 
