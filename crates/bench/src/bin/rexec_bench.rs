@@ -138,12 +138,17 @@ impl StageResult {
     }
 }
 
-/// `num / den` kept finite: a non-positive or non-finite denominator
-/// (e.g. a zero-duration reference stage on a coarse clock) yields 0.0
-/// instead of leaking `inf`/NaN into `BENCH_sweeps.json`.
+/// `num / den` kept finite: any combination whose quotient is not a
+/// finite number (zero/NaN denominator on a coarse clock, a subnormal
+/// denominator overflowing the divide to `inf`, non-finite numerator)
+/// yields 0.0 instead of leaking `inf`/NaN into `BENCH_sweeps.json`.
+/// The guard is on the *computed ratio*, not just the inputs: finite
+/// operands can still overflow, and a NaN input compares false against
+/// every threshold so input-side checks alone cannot reject it.
 fn finite_ratio(num: f64, den: f64) -> f64 {
-    if den > 0.0 && num.is_finite() {
-        num / den
+    let ratio = num / den;
+    if den > 0.0 && ratio.is_finite() {
+        ratio
     } else {
         0.0
     }
@@ -366,6 +371,26 @@ fn simulator_stage(quick: bool, out: &mut Vec<StageResult>) {
             "sim_mixed_fastpath_parallel",
         ],
     );
+
+    // Non-memoryless law through the per-attempt scenario engine: the
+    // reference-path cost of Weibull inter-error draws (inverse-survival
+    // powf per attempt instead of one exp log), tracked from day one so
+    // law-scenario regressions show up in BENCH_history.jsonl.
+    let reps = if quick { 2 } else { 5 };
+    let trials: u64 = if quick { 4_000 } else { 40_000 };
+    let weibull = MonteCarlo::new(silent_cfg, trials, 2024)
+        .with_law(rexec_core::ErrorLaw::Weibull { shape: 0.7 });
+    let weibull_secs = best_of(reps, || {
+        weibull.run_sequential().expect("benchmark config is valid")
+    });
+    out.push(StageResult::single(
+        "simulator",
+        "sim_weibull_reference",
+        weibull_secs,
+        trials,
+        "patterns",
+        BTreeMap::new(),
+    ));
 }
 
 /// xorshift64* — the same deterministic stream generator `rexec-loadgen`
@@ -886,4 +911,24 @@ fn main() {
 /// Worker-thread count the parallel stages ran with.
 fn rayon_threads() -> usize {
     rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::finite_ratio;
+
+    #[test]
+    fn finite_ratio_rejects_every_non_finite_quotient() {
+        assert_eq!(finite_ratio(10.0, 2.0), 5.0);
+        assert_eq!(finite_ratio(1.0, 0.0), 0.0);
+        assert_eq!(finite_ratio(1.0, -1.0), 0.0);
+        assert_eq!(finite_ratio(f64::NAN, 1.0), 0.0);
+        assert_eq!(finite_ratio(1.0, f64::NAN), 0.0);
+        assert_eq!(finite_ratio(f64::INFINITY, 1.0), 0.0);
+        // Regression: a subnormal denominator passes `den > 0.0` but the
+        // quotient overflows to +inf — the old input-side guard let it
+        // leak into the report.
+        assert_eq!(finite_ratio(1.0, f64::from_bits(1)), 0.0);
+        assert_eq!(finite_ratio(1.0, f64::INFINITY), 0.0);
+    }
 }

@@ -27,6 +27,16 @@ pub struct Args {
     pub speeds: Option<Vec<f64>>,
     /// Performance bound ρ (default 3).
     pub rho: f64,
+    /// Error law name (exponential/weibull/lognormal); non-exponential
+    /// laws are simulation-only and rejected by the analytic planner
+    /// with a typed error.
+    pub law: Option<String>,
+    /// Shape parameter for a non-exponential law.
+    pub shape: Option<f64>,
+    /// Re-execution schedule search depth (1–4; default: single σ₂).
+    pub schedule_depth: Option<u32>,
+    /// Deadline quantile q ∈ (0,1): bound the q-quantile of T/W.
+    pub quantile: Option<f64>,
     /// Total application work, enabling the application-level plan.
     pub w_base: Option<f64>,
     /// Monte Carlo validation trials (0 = off).
@@ -70,6 +80,10 @@ impl Default for Args {
             p_io: None,
             speeds: None,
             rho: 3.0,
+            law: None,
+            shape: None,
+            schedule_depth: None,
+            quantile: None,
             w_base: None,
             validate: 0,
             compare_one_speed: false,
@@ -158,6 +172,17 @@ OPTIONS:
   --one-speed       also print the one-speed baseline and the saving
   --pareto N        print the time/energy Pareto frontier (N sweep points)
 
+SCENARIOS:
+  --law NAME          error law: exponential | weibull | lognormal
+                      (non-exponential laws are simulation-only; the
+                      analytic planner rejects them with a typed error)
+  --shape X           law shape (weibull k / lognormal log-scale s);
+                      required by and only valid with a non-exponential law
+  --schedule-depth K  also search re-execution speed *schedules* of K
+                      speeds (sigma2..sigma_{K+1}, settling on the last)
+  --quantile Q        also solve the deadline-constrained variant: bound
+                      the Q-quantile of T/W by rho instead of the mean
+
 OBSERVABILITY:
   --metrics PATH      write a JSON metrics snapshot (counters, histograms,
                       span timings) after the run
@@ -185,6 +210,12 @@ fn parse_f64(opt: &str, text: &str) -> Result<f64, ParseError> {
     })
 }
 
+/// The CLI spelling of a wire-level field name (`schedule_depth`
+/// crosses the wire with an underscore but is typed with a dash).
+fn option_name(field: &str) -> String {
+    format!("--{}", field.replace('_', "-"))
+}
+
 /// Maps a shared-spec failure onto the CLI error surface: the wire
 /// field name becomes the `--option` that was blamed.
 fn spec_error(e: crate::spec::SpecError) -> ParseError {
@@ -195,7 +226,7 @@ fn spec_error(e: crate::spec::SpecError) -> ParseError {
             value,
             reason,
         } => ParseError::InvalidValue {
-            option: format!("--{field}"),
+            option: option_name(field),
             value: format!("{value}"),
             reason: reason.to_string(),
         },
@@ -204,8 +235,21 @@ fn spec_error(e: crate::spec::SpecError) -> ParseError {
             value: String::new(),
             reason: "needs at least one speed".into(),
         },
-        // validate_domains only produces the two variants above.
-        other => unreachable!("domain validation produced {other:?}"),
+        // An unknown law name (`--law pareto`) or a shape-requiring law
+        // without its `--shape`.
+        SpecError::UnknownName(name) => ParseError::InvalidValue {
+            option: "--law".into(),
+            value: name,
+            reason: "must be exponential, weibull or lognormal".into(),
+        },
+        SpecError::Underspecified(field) => ParseError::MissingValue(option_name(field)),
+        SpecError::Unsupported { field, reason } => ParseError::InvalidValue {
+            option: option_name(field),
+            value: String::new(),
+            reason: reason.to_string(),
+        },
+        // Model construction happens at resolve time, after parsing.
+        SpecError::Model(e) => unreachable!("domain validation produced {e:?}"),
     }
 }
 
@@ -245,6 +289,16 @@ impl Args {
                 "--pidle" => out.p_idle = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
                 "--pio" => out.p_io = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
                 "--rho" => out.rho = parse_f64(&a, &take_value(&mut it, &a)?)?,
+                "--law" => out.law = Some(take_value(&mut it, &a)?),
+                "--shape" => out.shape = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
+                "--quantile" => out.quantile = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
+                "--schedule-depth" => {
+                    let v = take_value(&mut it, &a)?;
+                    out.schedule_depth = Some(v.parse().map_err(|_| ParseError::BadValue {
+                        option: a.clone(),
+                        value: v,
+                    })?);
+                }
                 "--wbase" => out.w_base = Some(parse_f64(&a, &take_value(&mut it, &a)?)?),
                 "--validate" => {
                     let v = take_value(&mut it, &a)?;
@@ -289,6 +343,10 @@ impl Args {
             pio: self.p_io,
             speeds: self.speeds.clone(),
             rho: Some(self.rho),
+            law: self.law.clone(),
+            shape: self.shape,
+            schedule_depth: self.schedule_depth,
+            quantile: self.quantile,
         }
     }
 
@@ -445,6 +503,49 @@ mod tests {
         assert_invalid(&["--fault-plan", "explode=1"], "--fault-plan");
         assert_invalid(&["--fault-plan", "fail-write=0"], "--fault-plan");
         assert!(USAGE.contains("--fault-plan"));
+    }
+
+    #[test]
+    fn scenario_flags_parse_and_validate() {
+        let a = parse(&[
+            "--law",
+            "weibull",
+            "--shape",
+            "0.7",
+            "--schedule-depth",
+            "3",
+            "--quantile",
+            "0.99",
+        ])
+        .unwrap();
+        assert_eq!(a.law.as_deref(), Some("weibull"));
+        assert_eq!(a.shape, Some(0.7));
+        assert_eq!(a.schedule_depth, Some(3));
+        assert_eq!(a.quantile, Some(0.99));
+        // The rule table runs at parse time, with CLI option names.
+        assert_invalid(&["--law", "pareto"], "--law");
+        assert_invalid(&["--shape", "0.7"], "--shape");
+        assert_invalid(&["--law", "weibull", "--shape", "0"], "--shape");
+        assert_invalid(&["--law", "weibull", "--shape", "NaN"], "--shape");
+        assert_invalid(&["--quantile", "1"], "--quantile");
+        assert_invalid(&["--quantile", "0"], "--quantile");
+        assert_invalid(&["--schedule-depth", "0"], "--schedule-depth");
+        assert_invalid(&["--schedule-depth", "9"], "--schedule-depth");
+        assert_eq!(
+            parse(&["--schedule-depth", "two"]),
+            Err(ParseError::BadValue {
+                option: "--schedule-depth".into(),
+                value: "two".into()
+            })
+        );
+        // A shape-requiring law without --shape blames the missing option.
+        assert_eq!(
+            parse(&["--law", "lognormal"]),
+            Err(ParseError::MissingValue("--shape".into()))
+        );
+        for flag in ["--law", "--shape", "--schedule-depth", "--quantile"] {
+            assert!(USAGE.contains(flag), "usage must document {flag}");
+        }
     }
 
     #[test]

@@ -2,7 +2,10 @@
 
 use crate::args::Args;
 use crate::spec::SpecError;
-use rexec_core::{BiCritSolver, ExecutionPlan, ModelError, ParetoFrontier};
+use rexec_core::{
+    solve_quantile, solve_schedule, BiCritSolver, ExecutionPlan, ModelError, ParetoFrontier,
+    ScheduleModel,
+};
 use rexec_sim::{render_timeline, MonteCarlo, SimConfig, ValidationReport};
 use std::fmt::Write as _;
 
@@ -35,6 +38,14 @@ pub enum RunError {
     Model(ModelError),
     /// Neither a named configuration nor enough custom parameters.
     Underspecified(&'static str),
+    /// A valid parameter names a capability the analytic planner does
+    /// not provide (e.g. a non-memoryless error law).
+    Unsupported {
+        /// The CLI option that was given (`--law`, …).
+        option: &'static str,
+        /// Why, and what to use instead.
+        reason: &'static str,
+    },
     /// The simulation engine refused the config (degenerate pattern).
     Engine(rexec_sim::EngineError),
 }
@@ -49,6 +60,9 @@ impl std::fmt::Display for RunError {
                     f,
                     "missing parameter: {what} (give --platform/--processor or custom values)"
                 )
+            }
+            RunError::Unsupported { option, reason } => {
+                write!(f, "unsupported {option}: {reason}")
             }
             RunError::Engine(e) => write!(f, "simulation refused: {e}"),
         }
@@ -82,6 +96,10 @@ fn option_for(field: &'static str) -> &'static str {
         "pio" => "--pio",
         "speeds" => "--speeds",
         "rho" => "--rho",
+        "law" => "--law",
+        "shape" => "--shape",
+        "schedule_depth" => "--schedule-depth",
+        "quantile" => "--quantile",
         other => other,
     }
 }
@@ -91,6 +109,10 @@ impl From<SpecError> for RunError {
         match e {
             SpecError::UnknownName(n) => RunError::UnknownName(n),
             SpecError::Underspecified(field) => RunError::Underspecified(option_for(field)),
+            SpecError::Unsupported { field, reason } => RunError::Unsupported {
+                option: option_for(field),
+                reason,
+            },
             SpecError::Model(m) => RunError::Model(m),
             // Args::parse already ran the domain rules; a programmatic
             // Args that skipped them still gets a precise message.
@@ -275,6 +297,67 @@ pub fn execute(args: &Args) -> Result<Outcome, RunError> {
         }
     }
 
+    if let Some(depth) = args.schedule_depth {
+        let _ = writeln!(
+            report,
+            "\n=== re-execution schedule search (depth {depth}) ==="
+        );
+        match solve_schedule(&m, solver.speeds(), args.rho, depth as usize) {
+            Some(sol) => {
+                let saving = 100.0 * (1.0 - sol.energy_overhead / best.energy_overhead);
+                let _ = writeln!(
+                    report,
+                    "schedule {} (settles on {}), Wopt = {:.0}",
+                    sol.schedule,
+                    sol.schedule.settled(),
+                    sol.w_opt
+                );
+                let _ = writeln!(
+                    report,
+                    "energy overhead E/W = {:.2} mJ/unit, time overhead T/W = {:.4} s/unit  (vs two-speed: {saving:+.2}%)",
+                    sol.energy_overhead, sol.time_overhead
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    report,
+                    "INFEASIBLE: no depth-{depth} schedule meets rho = {}",
+                    args.rho
+                );
+            }
+        }
+    }
+
+    if let Some(q) = args.quantile {
+        let depth = args.schedule_depth.unwrap_or(1);
+        let _ = writeln!(
+            report,
+            "\n=== deadline plan (P[T/W <= rho] >= {q}, depth {depth}) ==="
+        );
+        match solve_quantile(&m, solver.speeds(), args.rho, q, depth as usize) {
+            Some(sol) => {
+                let sm = ScheduleModel::new(m, sol.schedule.clone());
+                let _ = writeln!(report, "schedule {}, Wopt = {:.0}", sol.schedule, sol.w_opt);
+                let _ = writeln!(
+                    report,
+                    "energy overhead E/W = {:.2} mJ/unit, p{:.0} time overhead T/W = {:.4} s/unit (mean {:.4})",
+                    sol.energy_overhead,
+                    q * 100.0,
+                    sol.time_overhead,
+                    sm.time_overhead(sol.w_opt)
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    report,
+                    "INFEASIBLE: no schedule keeps the p{:.0} of T/W within rho = {}",
+                    q * 100.0,
+                    args.rho
+                );
+            }
+        }
+    }
+
     let mut trace_jsonl = None;
     if args.trace_jsonl.is_some() {
         let cfg = SimConfig::from_silent_model(&m, best.w_opt, best.sigma1, best.sigma2);
@@ -425,6 +508,94 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.report.contains("Pareto frontier"));
+    }
+
+    #[test]
+    fn schedule_search_section_prints_and_never_loses_to_two_speed() {
+        let out = execute(&parse(&[
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--schedule-depth",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.feasible);
+        assert!(out
+            .report
+            .contains("re-execution schedule search (depth 2)"));
+        assert!(out.report.contains("settles on"));
+        assert!(out.report.contains("vs two-speed:"));
+        // Depth-2 schedules include every constant (two-speed) schedule;
+        // the search and the BiCrit solver use different W optimizers, so
+        // allow sub-percent numeric slack but no real loss.
+        let d2 = rexec_core::solve_schedule(
+            build_solver(&parse(&["--platform", "hera", "--processor", "xscale"]))
+                .unwrap()
+                .model(),
+            &rexec_core::SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap(),
+            3.0,
+            2,
+        )
+        .expect("feasible");
+        let d1 = rexec_core::solve_schedule(
+            build_solver(&parse(&["--platform", "hera", "--processor", "xscale"]))
+                .unwrap()
+                .model(),
+            &rexec_core::SpeedSet::new(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap(),
+            3.0,
+            1,
+        )
+        .expect("feasible");
+        assert!(d2.energy_overhead <= d1.energy_overhead * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn quantile_section_prints_the_deadline_plan() {
+        let out = execute(&parse(&[
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--quantile",
+            "0.99",
+        ]))
+        .unwrap();
+        assert!(out.report.contains("deadline plan (P[T/W <= rho] >= 0.99"));
+        assert!(out.report.contains("p99 time overhead"));
+    }
+
+    #[test]
+    fn non_exponential_laws_get_a_typed_unsupported_error() {
+        let err = execute(&parse(&[
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--law",
+            "weibull",
+            "--shape",
+            "0.7",
+        ]));
+        match err {
+            Err(RunError::Unsupported { option, reason }) => {
+                assert_eq!(option, "--law");
+                assert!(reason.contains("memoryless"));
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // The exponential law is the planner's native model.
+        let ok = execute(&parse(&[
+            "--platform",
+            "hera",
+            "--processor",
+            "xscale",
+            "--law",
+            "exponential",
+        ]))
+        .unwrap();
+        assert!(ok.feasible);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Field names here are the *wire* names (`lambda`, `pidle`, …); the
 //! CLI maps them to `--lambda`, `--pidle`, … when reporting errors.
 
-use rexec_core::{ModelError, PowerModel, ResilienceCosts, SilentModel, SpeedSet};
+use rexec_core::{ErrorLaw, ModelError, PowerModel, ResilienceCosts, SilentModel, SpeedSet};
 use rexec_platforms::{Platform, PlatformId, Processor, ProcessorId};
 use std::fmt;
 
@@ -38,6 +38,20 @@ pub struct PlanSpec {
     pub speeds: Option<Vec<f64>>,
     /// Performance bound ρ; strictly positive, defaults to 3.
     pub rho: Option<f64>,
+    /// Silent-error law name (`exponential`/`weibull`/`lognormal`);
+    /// defaults to exponential (the paper's Poisson model).
+    pub law: Option<String>,
+    /// Shape parameter of a non-exponential law (Weibull shape `k`,
+    /// lognormal log-scale `s`); required by and only meaningful with
+    /// `law = weibull`/`lognormal`.
+    pub shape: Option<f64>,
+    /// Re-execution schedule search depth `K` (schedules of `K` retry
+    /// speeds, settling on the last); 1–4, defaults to the paper's
+    /// single σ₂.
+    pub schedule_depth: Option<u32>,
+    /// Deadline quantile `q ∈ (0, 1)`: bound the `q`-quantile of `T/W`
+    /// by ρ instead of the expectation.
+    pub quantile: Option<f64>,
 }
 
 /// What a [`PlanSpec`] resolves to: a validated model, the speed set,
@@ -54,6 +68,11 @@ pub struct ResolvedPlan {
 
 /// Default performance bound when a spec leaves `rho` unset.
 pub const DEFAULT_RHO: f64 = 3.0;
+
+/// Largest accepted `schedule_depth`: the search enumerates
+/// `|speeds|^(K+1)` schedules, so the depth is capped where the paper's
+/// five-speed sets stay sub-millisecond.
+pub const MAX_SCHEDULE_DEPTH: u32 = 4;
 
 /// Validation / resolution failures, shared by CLI and wire surfaces.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +94,15 @@ pub enum SpecError {
     Underspecified(&'static str),
     /// Parameters pass the field rules but do not form a valid model.
     Model(ModelError),
+    /// A recognized, well-formed parameter names a capability this
+    /// surface does not provide (e.g. a non-memoryless error law on the
+    /// analytic planner, which needs memorylessness).
+    Unsupported {
+        /// Wire-level field name (`law`, `schedule_depth`, …).
+        field: &'static str,
+        /// Why the combination is not supported, and what to use.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -92,6 +120,9 @@ impl fmt::Display for SpecError {
                 "missing parameter: {what} (give a platform/processor or custom values)"
             ),
             SpecError::Model(e) => write!(f, "invalid parameters: {e}"),
+            SpecError::Unsupported { field, reason } => {
+                write!(f, "unsupported `{field}`: {reason}")
+            }
         }
     }
 }
@@ -184,7 +215,60 @@ impl PlanSpec {
                 check_positive("speeds", Some(s))?;
             }
         }
+        check_positive("shape", self.shape)?;
+        self.error_law()?;
+        if let Some(q) = self.quantile {
+            check_positive("quantile", Some(q))?;
+            if q >= 1.0 {
+                return Err(SpecError::Invalid {
+                    field: "quantile",
+                    value: q,
+                    reason: "must be strictly below 1",
+                });
+            }
+        }
+        if let Some(d) = self.schedule_depth {
+            if !(1..=MAX_SCHEDULE_DEPTH).contains(&d) {
+                return Err(SpecError::Invalid {
+                    field: "schedule_depth",
+                    value: f64::from(d),
+                    reason: "must be between 1 and 4",
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// Resolves the `law`/`shape` pair into a typed [`ErrorLaw`]
+    /// (`Exponential` when unset). Rejects unknown law names, a shape
+    /// without a law that uses one, and a shape-requiring law without a
+    /// shape — the same rule table for the CLI and the wire.
+    pub fn error_law(&self) -> Result<ErrorLaw, SpecError> {
+        let law = match self.law.as_deref().map(str::to_ascii_lowercase).as_deref() {
+            None | Some("exponential") => {
+                if let Some(shape) = self.shape {
+                    return Err(SpecError::Invalid {
+                        field: "shape",
+                        value: shape,
+                        reason: "only meaningful with a weibull or lognormal law",
+                    });
+                }
+                ErrorLaw::Exponential
+            }
+            Some("weibull") => ErrorLaw::Weibull {
+                shape: self.shape.ok_or(SpecError::Underspecified("shape"))?,
+            },
+            Some("lognormal") => ErrorLaw::LogNormal {
+                sigma: self.shape.ok_or(SpecError::Underspecified("shape"))?,
+            },
+            Some(other) => return Err(SpecError::UnknownName(format!("law `{other}`"))),
+        };
+        law.validate().map_err(|reason| SpecError::Invalid {
+            field: "shape",
+            value: self.shape.unwrap_or(f64::NAN),
+            reason,
+        })?;
+        Ok(law)
     }
 
     /// Validates the domains, resolves named configurations, applies
@@ -192,6 +276,15 @@ impl PlanSpec {
     /// `Pio = κσ_min³`, `ρ = 3`), and builds the model.
     pub fn resolve(&self) -> Result<ResolvedPlan, SpecError> {
         self.validate_domains()?;
+        // The analytic planner's expectations (Propositions 2–5) rest on
+        // memorylessness; non-exponential laws are simulation-only.
+        if !self.error_law()?.is_memoryless() {
+            return Err(SpecError::Unsupported {
+                field: "law",
+                reason: "the analytic planner requires a memoryless (exponential) error law; \
+                         non-exponential laws are simulation-only (see the X-laws experiment)",
+            });
+        }
         let platform = self.platform.as_deref().map(platform_by_name).transpose()?;
         let processor = self
             .processor
@@ -372,6 +465,142 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn law_rules_share_one_table() {
+        // Unset and "exponential" both resolve to the memoryless law.
+        assert_eq!(
+            PlanSpec::default().error_law(),
+            Ok(rexec_core::ErrorLaw::Exponential)
+        );
+        let exp = PlanSpec {
+            law: Some("Exponential".into()),
+            ..named("hera", "xscale")
+        };
+        assert_eq!(exp.error_law(), Ok(rexec_core::ErrorLaw::Exponential));
+        assert!(exp.resolve().is_ok(), "exponential law plans normally");
+        // Shape-requiring laws resolve case-insensitively...
+        let wb = PlanSpec {
+            law: Some("Weibull".into()),
+            shape: Some(0.7),
+            ..PlanSpec::default()
+        };
+        assert_eq!(
+            wb.error_law(),
+            Ok(rexec_core::ErrorLaw::Weibull { shape: 0.7 })
+        );
+        let ln = PlanSpec {
+            law: Some("lognormal".into()),
+            shape: Some(1.2),
+            ..PlanSpec::default()
+        };
+        assert_eq!(
+            ln.error_law(),
+            Ok(rexec_core::ErrorLaw::LogNormal { sigma: 1.2 })
+        );
+        // ...but need their shape...
+        let missing = PlanSpec {
+            law: Some("weibull".into()),
+            ..PlanSpec::default()
+        };
+        assert_eq!(missing.error_law(), Err(SpecError::Underspecified("shape")));
+        // ...and a shape without such a law is rejected.
+        let orphan = PlanSpec {
+            shape: Some(0.7),
+            ..PlanSpec::default()
+        };
+        assert!(matches!(
+            orphan.validate_domains(),
+            Err(SpecError::Invalid { field: "shape", .. })
+        ));
+        // Unknown law names are named in the error.
+        let unknown = PlanSpec {
+            law: Some("pareto".into()),
+            ..PlanSpec::default()
+        };
+        assert!(matches!(
+            unknown.validate_domains(),
+            Err(SpecError::UnknownName(n)) if n.contains("pareto")
+        ));
+        // NaN/zero shapes fall to the positivity rule before law logic.
+        for bad in [f64::NAN, 0.0, -1.0, f64::INFINITY] {
+            let s = PlanSpec {
+                law: Some("weibull".into()),
+                shape: Some(bad),
+                ..PlanSpec::default()
+            };
+            assert!(
+                matches!(
+                    s.validate_domains(),
+                    Err(SpecError::Invalid { field: "shape", .. })
+                ),
+                "shape {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn non_memoryless_laws_are_unsupported_by_the_planner() {
+        let spec = PlanSpec {
+            law: Some("weibull".into()),
+            shape: Some(0.7),
+            ..named("hera", "xscale")
+        };
+        assert_eq!(spec.validate_domains(), Ok(()), "the spec itself is valid");
+        match spec.resolve() {
+            Err(SpecError::Unsupported {
+                field: "law",
+                reason,
+            }) => {
+                assert!(reason.contains("memoryless"));
+            }
+            other => panic!("expected Unsupported(law), got {other:?}"),
+        }
+        let msg = spec.resolve().unwrap_err().to_string();
+        assert!(msg.contains("unsupported") && msg.contains("law"));
+    }
+
+    #[test]
+    fn quantile_and_depth_domains() {
+        for bad in [0.0, -0.5, 1.0, 1.5, f64::NAN, f64::INFINITY] {
+            let s = PlanSpec {
+                quantile: Some(bad),
+                ..PlanSpec::default()
+            };
+            assert!(
+                matches!(
+                    s.validate_domains(),
+                    Err(SpecError::Invalid {
+                        field: "quantile",
+                        ..
+                    })
+                ),
+                "quantile {bad} must be rejected"
+            );
+        }
+        for bad in [0u32, 5, 100] {
+            let s = PlanSpec {
+                schedule_depth: Some(bad),
+                ..PlanSpec::default()
+            };
+            assert!(
+                matches!(
+                    s.validate_domains(),
+                    Err(SpecError::Invalid {
+                        field: "schedule_depth",
+                        ..
+                    })
+                ),
+                "depth {bad} must be rejected"
+            );
+        }
+        let ok = PlanSpec {
+            quantile: Some(0.99),
+            schedule_depth: Some(MAX_SCHEDULE_DEPTH),
+            ..PlanSpec::default()
+        };
+        assert_eq!(ok.validate_domains(), Ok(()));
     }
 
     #[test]

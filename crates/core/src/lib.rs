@@ -68,6 +68,7 @@ pub mod continuous;
 pub mod cost;
 pub mod daly;
 pub mod error_model;
+pub mod law;
 pub mod mintime;
 pub mod mixed;
 pub mod multiverif;
@@ -77,6 +78,7 @@ pub mod pattern;
 pub mod plan;
 pub mod power;
 pub mod quadratic;
+pub mod schedule;
 pub mod speed;
 pub mod theorem1;
 pub mod theorem2;
@@ -86,12 +88,16 @@ mod validate;
 pub use crate::bicrit::{BiCritSolution, BiCritSolver, SpeedPairReport};
 pub use crate::cost::ResilienceCosts;
 pub use crate::error_model::ErrorRates;
+pub use crate::law::ErrorLaw;
 pub use crate::mixed::MixedModel;
 pub use crate::multiverif::MultiVerifSolution;
 pub use crate::pareto::{ParetoFrontier, ParetoPoint};
 pub use crate::pattern::SilentModel;
 pub use crate::plan::ExecutionPlan;
 pub use crate::power::PowerModel;
+pub use crate::schedule::{
+    solve_quantile, solve_schedule, ScheduleModel, ScheduleSolution, SpeedSchedule,
+};
 pub use crate::speed::{Speed, SpeedSet};
 pub use crate::validate::ModelError;
 
@@ -103,6 +109,7 @@ pub mod prelude {
     pub use crate::cost::ResilienceCosts;
     pub use crate::daly;
     pub use crate::error_model::ErrorRates;
+    pub use crate::law::ErrorLaw;
     pub use crate::mintime::MinTimeSolver;
     pub use crate::mixed::MixedModel;
     pub use crate::multiverif;
@@ -111,6 +118,9 @@ pub mod prelude {
     pub use crate::pattern::SilentModel;
     pub use crate::plan::ExecutionPlan;
     pub use crate::power::PowerModel;
+    pub use crate::schedule::{
+        solve_quantile, solve_schedule, ScheduleModel, ScheduleSolution, SpeedSchedule,
+    };
     pub use crate::speed::{Speed, SpeedSet};
     pub use crate::theorem1;
     pub use crate::theorem2;

@@ -27,13 +27,36 @@ const MANTISSA_MASK: u64 = !((1u64 << MANTISSA_DROP_BITS) - 1);
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
 
-/// Snaps a finite parameter onto the quantization grid (truncation
-/// toward zero in the mantissa). Strictly positive normal values stay
-/// strictly positive; zero stays zero; the function is monotone, so a
+/// The smallest nonzero grid magnitude: the subnormal whose only set
+/// bit is the lowest one [`quantize`] keeps.
+const MIN_GRID: u64 = 1u64 << MANTISSA_DROP_BITS;
+
+/// Snaps a parameter onto the quantization grid (truncation toward zero
+/// in the mantissa). Strictly positive values stay strictly positive;
+/// zero stays zero; NaN stays NaN; the function is monotone, so a
 /// sorted speed list stays sorted.
+///
+/// Two edge strata need explicit handling, both NaN-hole siblings of
+/// the `ensure_completes` guard fix:
+///
+/// * a nonzero **subnormal** whose set mantissa bits all sit in the
+///   dropped range would truncate to `±0.0` — collapsing a strictly
+///   positive validated parameter to zero and panicking
+///   `TableParams::to_solver` on a crafted query. Such values snap *up*
+///   to the smallest nonzero grid point of their sign instead;
+/// * a **NaN** with its payload in the dropped bits would masquerade as
+///   `±∞` after masking. NaN passes through unchanged (callers validate
+///   finiteness; the grid must not manufacture infinities from it).
 #[inline]
 pub fn quantize(x: f64) -> f64 {
-    f64::from_bits(x.to_bits() & MANTISSA_MASK)
+    if x.is_nan() {
+        return x;
+    }
+    let q = f64::from_bits(x.to_bits() & MANTISSA_MASK);
+    if q == 0.0 && x != 0.0 {
+        return f64::from_bits((x.to_bits() & (1u64 << 63)) | MIN_GRID);
+    }
+    q
 }
 
 #[inline]
@@ -189,6 +212,84 @@ mod tests {
         }
         assert_eq!(quantize(0.0), 0.0);
         assert!(quantize(0.4) <= quantize(0.6));
+    }
+
+    #[test]
+    fn quantize_never_collapses_nonzero_to_zero() {
+        // Regression: positive subnormals whose mantissa bits all sat in
+        // the dropped range quantized to 0.0, and TableParams::to_solver
+        // then panicked on "quantization preserves model validity" — a
+        // crafted query could kill the daemon.
+        let tiny = f64::from_bits(1);
+        assert!(quantize(tiny) > 0.0);
+        assert!(quantize(-tiny) < 0.0);
+        assert_eq!(quantize(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(quantize(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert!(quantize(f64::NAN).is_nan());
+        // A NaN with a low-bits-only payload must not become infinity.
+        let payload_nan = f64::from_bits(0x7ff0_0000_0000_0001);
+        assert!(quantize(payload_nan).is_nan());
+        assert_eq!(quantize(f64::INFINITY), f64::INFINITY);
+        assert_eq!(quantize(f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn subnormal_lambda_still_builds_a_solver() {
+        // End-to-end form of the regression above: a validated model with
+        // a subnormal rate must survive canonicalization + solver build.
+        let model = SilentModel::new(
+            f64::from_bits(3),
+            ResilienceCosts::new(300.0, 15.4, 300.0).unwrap(),
+            PowerModel::new(1550.0, 60.0, 5.23).unwrap(),
+        )
+        .unwrap();
+        let speeds = SpeedSet::new(vec![0.15, 1.0]).unwrap();
+        let t = TableParams::new(&model, &speeds);
+        assert!(t.lambda > 0.0);
+        let solver = t.to_solver();
+        assert!(solver.model().lambda > 0.0);
+    }
+
+    #[test]
+    fn quantize_properties_over_random_bit_patterns() {
+        // Hand-rolled deterministic property sweep over raw bit patterns
+        // (xorshift64*, no external proptest dependency): sign and
+        // zero-ness preserved, idempotent, monotone, and normal-range
+        // relative error bounded by the grid step.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50_000 {
+            let x = f64::from_bits(next());
+            if x.is_nan() {
+                assert!(quantize(x).is_nan());
+                continue;
+            }
+            let q = quantize(x);
+            assert_eq!(q.is_sign_negative(), x.is_sign_negative(), "x = {x:e}");
+            assert_eq!(q == 0.0, x == 0.0, "zero-ness must be exact, x = {x:e}");
+            assert_eq!(quantize(q).to_bits(), q.to_bits(), "idempotent, x = {x:e}");
+            if x.is_finite() && x.abs() >= f64::MIN_POSITIVE {
+                let rel = (q - x).abs() / x.abs();
+                assert!(
+                    rel <= 2.0f64.powi(-(MANTISSA_DROP_BITS as i32)),
+                    "x = {x:e}: rel {rel:e}"
+                );
+            }
+            let y = f64::from_bits(next());
+            if !y.is_nan() && x <= y {
+                assert!(
+                    quantize(x) <= quantize(y),
+                    "monotonicity: {x:e} <= {y:e} but {:e} > {:e}",
+                    quantize(x),
+                    quantize(y)
+                );
+            }
+        }
     }
 
     #[test]

@@ -108,7 +108,26 @@ impl PlanService {
 
     /// Validates and resolves a spec through the shared CLI rule table,
     /// then quantizes it into the canonical query form.
+    ///
+    /// The service answers exactly the paper's mean-bounded two-speed
+    /// plan; the scenario extensions (non-exponential laws via
+    /// `spec.resolve()`, schedule search, quantile bounds here) are
+    /// rejected with a typed error instead of being silently ignored.
     pub fn resolve(&self, spec: &PlanSpec) -> Result<Query, SpecError> {
+        if spec.schedule_depth.is_some() {
+            return Err(SpecError::Unsupported {
+                field: "schedule_depth",
+                reason: "the planning service answers the two-speed plan; re-execution \
+                         schedule search is CLI-only (rexec-plan --schedule-depth)",
+            });
+        }
+        if spec.quantile.is_some() {
+            return Err(SpecError::Unsupported {
+                field: "quantile",
+                reason: "the planning service bounds the expected overhead; \
+                         deadline-constrained planning is CLI-only (rexec-plan --quantile)",
+            });
+        }
         let resolved = spec.resolve()?;
         let table = TableParams::new(&resolved.model, &resolved.speeds);
         let table_hash = table.hash64();
@@ -449,6 +468,48 @@ mod tests {
         assert_eq!(svc.solver_stats().0, before);
         svc.plan_spec(&spec("hera", 4.0)).unwrap();
         assert_eq!(svc.solver_stats().0, before + 1);
+    }
+
+    #[test]
+    fn scenario_extensions_are_typed_unsupported_errors() {
+        let svc = service();
+        let sched = PlanSpec {
+            schedule_depth: Some(2),
+            ..spec("hera", 3.0)
+        };
+        assert!(matches!(
+            svc.plan_spec(&sched),
+            Err(SpecError::Unsupported {
+                field: "schedule_depth",
+                ..
+            })
+        ));
+        let deadline = PlanSpec {
+            quantile: Some(0.99),
+            ..spec("hera", 3.0)
+        };
+        assert!(matches!(
+            svc.plan_spec(&deadline),
+            Err(SpecError::Unsupported {
+                field: "quantile",
+                ..
+            })
+        ));
+        let weibull = PlanSpec {
+            law: Some("weibull".into()),
+            shape: Some(0.7),
+            ..spec("hera", 3.0)
+        };
+        assert!(matches!(
+            svc.plan_spec(&weibull),
+            Err(SpecError::Unsupported { field: "law", .. })
+        ));
+        // Naming the default law explicitly still plans.
+        let exponential = PlanSpec {
+            law: Some("exponential".into()),
+            ..spec("hera", 3.0)
+        };
+        assert!(svc.plan_spec(&exponential).unwrap().solution.is_some());
     }
 
     #[test]

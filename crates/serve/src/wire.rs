@@ -36,6 +36,10 @@ pub mod kind {
     pub const UNDERSPECIFIED: &str = "underspecified";
     /// Parameters pass field rules but form no valid model.
     pub const MODEL: &str = "model";
+    /// A recognized, well-formed parameter names a capability this
+    /// service does not provide (non-exponential laws, schedule search,
+    /// quantile bounds — all CLI/simulator-only).
+    pub const UNSUPPORTED: &str = "unsupported";
 }
 
 /// A wire-level request failure: what to tell the client.
@@ -63,6 +67,7 @@ pub fn wire_error_from_spec(e: &SpecError) -> WireError {
         SpecError::UnknownName(_) => kind::UNKNOWN_NAME,
         SpecError::Underspecified(_) => kind::UNDERSPECIFIED,
         SpecError::Model(_) => kind::MODEL,
+        SpecError::Unsupported { .. } => kind::UNSUPPORTED,
     };
     WireError::new(kind, e.to_string())
 }
@@ -148,6 +153,25 @@ pub fn parse_request(line: &str) -> (Option<u64>, Result<PlanSpec, WireError>) {
             "pidle" => want_f64(key, v).map(|x| spec.pidle = Some(x)),
             "pio" => want_f64(key, v).map(|x| spec.pio = Some(x)),
             "rho" => want_f64(key, v).map(|x| spec.rho = Some(x)),
+            "law" => want_string(key, v).map(|s| spec.law = Some(s)),
+            "shape" => want_f64(key, v).map(|x| spec.shape = Some(x)),
+            "quantile" => want_f64(key, v).map(|x| spec.quantile = Some(x)),
+            "schedule_depth" => match v {
+                Value::Number(n) => match n.as_u64().and_then(|d| u32::try_from(d).ok()) {
+                    Some(d) => {
+                        spec.schedule_depth = Some(d);
+                        Ok(())
+                    }
+                    None => Err(WireError::new(
+                        kind::BAD_REQUEST,
+                        "field `schedule_depth` must be a small non-negative integer",
+                    )),
+                },
+                _ => Err(WireError::new(
+                    kind::BAD_REQUEST,
+                    "field `schedule_depth` must be a small non-negative integer",
+                )),
+            },
             "speeds" => match v {
                 Value::Array(items) => items
                     .iter()
@@ -291,6 +315,27 @@ mod tests {
     }
 
     #[test]
+    fn scenario_fields_parse_into_the_spec() {
+        let (_, spec) = parse_request(
+            r#"{"platform":"hera","law":"weibull","shape":0.7,"schedule_depth":2,"quantile":0.99}"#,
+        );
+        let spec = spec.unwrap();
+        assert_eq!(spec.law.as_deref(), Some("weibull"));
+        assert_eq!(spec.shape, Some(0.7));
+        assert_eq!(spec.schedule_depth, Some(2));
+        assert_eq!(spec.quantile, Some(0.99));
+        // Wrong types are named bad requests, not silent drops.
+        let (_, r) = parse_request(r#"{"law":7}"#);
+        assert_eq!(r.unwrap_err().kind, kind::BAD_REQUEST);
+        let (_, r) = parse_request(r#"{"schedule_depth":1.5}"#);
+        let e = r.unwrap_err();
+        assert_eq!(e.kind, kind::BAD_REQUEST);
+        assert!(e.msg.contains("schedule_depth"));
+        let (_, r) = parse_request(r#"{"schedule_depth":-1}"#);
+        assert_eq!(r.unwrap_err().kind, kind::BAD_REQUEST);
+    }
+
+    #[test]
     fn spec_errors_map_to_stable_kinds() {
         let invalid = SpecError::Invalid {
             field: "lambda",
@@ -306,6 +351,13 @@ mod tests {
             wire_error_from_spec(&SpecError::Underspecified("lambda")).kind,
             kind::UNDERSPECIFIED
         );
+        let unsupported = SpecError::Unsupported {
+            field: "law",
+            reason: "memorylessness required",
+        };
+        let w = wire_error_from_spec(&unsupported);
+        assert_eq!(w.kind, kind::UNSUPPORTED);
+        assert!(w.msg.contains("law"));
     }
 
     #[test]

@@ -11,13 +11,19 @@
 //!    silent error iff `tˢ < W/σ`, triggering a recovery;
 //! 4. otherwise the verification passes and the pattern checkpoints.
 //!
-//! The first attempt runs at `σ₁`; every further attempt runs at `σ₂`.
+//! The first attempt runs at `σ₁`; every further attempt runs at `σ₂` —
+//! or, in the scenario engine, at the speed a [`SpeedSchedule`] assigns
+//! to its attempt index. Silent arrivals may also follow a
+//! non-memoryless [`ErrorLaw`] (Weibull, lognormal): each attempt starts
+//! from a fresh renewal of the error process (the rollback restores a
+//! pristine state), so inter-error times are drawn per attempt by
+//! inverse survival.
 
 use crate::energy::EnergyMeter;
 use crate::events::{Event, EventKind};
 use crate::rng::SimRng;
 use crate::trace::TraceRecorder;
-use rexec_core::{ErrorRates, PowerModel, ResilienceCosts};
+use rexec_core::{ErrorLaw, ErrorRates, PowerModel, ResilienceCosts, SpeedSchedule};
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of a simulated execution.
@@ -93,11 +99,26 @@ enum AttemptEnd {
     SilentDetected,
 }
 
+/// Draws a silent-error arrival time under `law`, mirroring
+/// [`SimRng::exponential`]'s contract: a non-positive rate yields `+∞`
+/// *without consuming a draw*, and the exponential law routes through
+/// `SimRng::exponential` itself — so the reference engine's draw stream
+/// under `ErrorLaw::Exponential` is bit-identical to the historical one.
+#[inline]
+fn silent_arrival(law: ErrorLaw, lambda: f64, rng: &mut SimRng) -> f64 {
+    match law {
+        ErrorLaw::Exponential => rng.exponential(lambda),
+        _ if lambda <= 0.0 => f64::INFINITY,
+        _ => law.inverse_survival(rng.uniform_open(), lambda),
+    }
+}
+
 /// Simulates one attempt of the pattern at `sigma`, metering time/energy.
 #[inline]
 fn run_attempt(
     cfg: &SimConfig,
     sigma: f64,
+    law: ErrorLaw,
     clock: &mut f64,
     meter: &mut EnergyMeter,
     rng: &mut SimRng,
@@ -107,7 +128,7 @@ fn run_attempt(
     let verify_t = cfg.costs.verification / sigma;
     let phase = work_t + verify_t;
     let t_fail = rng.exponential(cfg.rates.fail_stop);
-    let t_silent = rng.exponential(cfg.rates.silent);
+    let t_silent = silent_arrival(law, cfg.rates.silent, rng);
 
     if let Some(tr) = trace.as_deref_mut() {
         tr.record(Event::new(*clock, EventKind::WorkStart { speed: sigma }));
@@ -206,6 +227,23 @@ pub enum EngineError {
         /// `e^{−(λᶠ(W+V)+λˢW)/σ₂}`.
         success_probability: f64,
     },
+    /// The per-attempt success probability is not a number at all —
+    /// some configuration field (`w`, `sigma2`, a rate, a cost) is NaN
+    /// or infinite. Kept distinct from [`EngineError::NeverCompletes`]:
+    /// a NaN compares false against *every* threshold, so without this
+    /// variant a non-finite config would slip through the completeness
+    /// guard and poison every sampled statistic downstream.
+    NonFiniteSuccessProbability {
+        /// The non-finite per-attempt success probability.
+        success_probability: f64,
+    },
+    /// The requested error-law/schedule scenario is outside what the
+    /// selected engine can run (e.g. forcing the geometric fast path on
+    /// a non-memoryless law).
+    UnsupportedScenario {
+        /// Which eligibility rule failed.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -229,6 +267,16 @@ impl std::fmt::Display for EngineError {
                  {success_probability:.3e} at sigma2 would overrun the \
                  {MAX_ATTEMPTS}-execution cap"
             ),
+            EngineError::NonFiniteSuccessProbability {
+                success_probability,
+            } => write!(
+                f,
+                "per-attempt success probability is {success_probability} — \
+                 some configuration field is NaN or infinite"
+            ),
+            EngineError::UnsupportedScenario { reason } => {
+                write!(f, "unsupported scenario: {reason}")
+            }
         }
     }
 }
@@ -255,9 +303,18 @@ fn attempt_success_probability(cfg: &SimConfig, sigma: f64) -> f64 {
 /// and `MonteCarlo::run*` cannot panic on a validated config.
 ///
 /// # Errors
+/// [`EngineError::NonFiniteSuccessProbability`] when `q(σ₂)` is NaN or
+/// infinite (a non-finite configuration field), else
 /// [`EngineError::NeverCompletes`] when `1/q(σ₂) > MAX_ATTEMPTS/128`.
 pub fn ensure_completes(cfg: &SimConfig) -> Result<(), EngineError> {
     let q = attempt_success_probability(cfg, cfg.sigma2);
+    // Checked *before* the threshold: a NaN `q` compares false against
+    // the `< 128` guard below and would sail straight through it.
+    if !q.is_finite() {
+        return Err(EngineError::NonFiniteSuccessProbability {
+            success_probability: q,
+        });
+    }
     if q * f64::from(MAX_ATTEMPTS) < 128.0 {
         return Err(EngineError::NeverCompletes {
             success_probability: q,
@@ -266,13 +323,59 @@ pub fn ensure_completes(cfg: &SimConfig) -> Result<(), EngineError> {
     Ok(())
 }
 
-/// Simulates one pattern until it checkpoints successfully, optionally
-/// recording a trace.
+/// Scenario analogue of [`ensure_completes`]: rejects configurations
+/// whose per-attempt success probability at the *settled* retry speed
+/// (the schedule's last entry, or `σ₂` without a schedule) is
+/// non-finite or too small under the given inter-error law.
+///
+/// For the exponential law without a schedule this is the same bound as
+/// [`ensure_completes`]; non-memoryless laws replace the silent factor
+/// with the law's survival probability over the `W/σ` work sub-phase.
+///
+/// # Errors
+/// Same contract as [`ensure_completes`].
+pub fn ensure_scenario_completes(
+    cfg: &SimConfig,
+    law: ErrorLaw,
+    schedule: Option<&SpeedSchedule>,
+) -> Result<(), EngineError> {
+    let sigma = schedule.map_or(cfg.sigma2, SpeedSchedule::settled);
+    let q_fail = (-cfg.rates.fail_stop * (cfg.w + cfg.costs.verification) / sigma).exp();
+    let q_silent = law.survival(cfg.w / sigma, cfg.rates.silent);
+    let q = q_fail * q_silent;
+    if !q.is_finite() {
+        return Err(EngineError::NonFiniteSuccessProbability {
+            success_probability: q,
+        });
+    }
+    if q * f64::from(MAX_ATTEMPTS) < 128.0 {
+        return Err(EngineError::NeverCompletes {
+            success_probability: q,
+        });
+    }
+    Ok(())
+}
+
+/// Simulates one pattern until it checkpoints successfully under an
+/// arbitrary silent-error law and optional per-attempt speed schedule,
+/// optionally recording a trace.
+///
+/// This is the *scenario* engine: the generalization the closed-form
+/// fast paths cannot cover. With `ErrorLaw::Exponential` and no schedule
+/// it is bit-identical to [`simulate_pattern_traced`] (which delegates
+/// here). A schedule overrides the `σ₁`/`σ₂` speed rule with
+/// `schedule.speed_for_attempt(i)`; a non-memoryless law replaces the
+/// per-attempt exponential silent draw with an inverse-survival draw
+/// from a fresh renewal of the error process (rollback restores a
+/// pristine state, so attempts stay i.i.d. and the attempt count remains
+/// geometric — just not in a memoryless per-second hazard).
 ///
 /// # Panics
 /// After [`MAX_ATTEMPTS`] failed executions (success probability ≈ 0).
-pub fn simulate_pattern_traced(
+pub fn simulate_pattern_scenario_traced(
     cfg: &SimConfig,
+    law: ErrorLaw,
+    schedule: Option<&SpeedSchedule>,
     rng: &mut SimRng,
     mut trace: Option<&mut TraceRecorder>,
 ) -> PatternOutcome {
@@ -283,10 +386,10 @@ pub fn simulate_pattern_traced(
     let mut fail_stop = 0u32;
 
     loop {
-        let sigma = if attempts == 0 {
-            cfg.sigma1
-        } else {
-            cfg.sigma2
+        let sigma = match schedule {
+            Some(s) => s.speed_for_attempt(attempts),
+            None if attempts == 0 => cfg.sigma1,
+            None => cfg.sigma2,
         };
         assert!(
             attempts < MAX_ATTEMPTS,
@@ -297,7 +400,7 @@ pub fn simulate_pattern_traced(
             cfg.rates
         );
         attempts += 1;
-        match run_attempt(cfg, sigma, &mut clock, &mut meter, rng, &mut trace) {
+        match run_attempt(cfg, sigma, law, &mut clock, &mut meter, rng, &mut trace) {
             AttemptEnd::Success => break,
             AttemptEnd::FailStop => {
                 fail_stop += 1;
@@ -331,6 +434,31 @@ pub fn simulate_pattern_traced(
         silent_errors: silent,
         fail_stop_errors: fail_stop,
     }
+}
+
+/// Simulates one pattern until it checkpoints successfully under an
+/// arbitrary silent-error law and optional speed schedule.
+pub fn simulate_pattern_scenario(
+    cfg: &SimConfig,
+    law: ErrorLaw,
+    schedule: Option<&SpeedSchedule>,
+    rng: &mut SimRng,
+) -> PatternOutcome {
+    simulate_pattern_scenario_traced(cfg, law, schedule, rng, None)
+}
+
+/// Simulates one pattern until it checkpoints successfully, optionally
+/// recording a trace. Exponential silent errors, `σ₁`/`σ₂` speeds —
+/// the paper's baseline scenario.
+///
+/// # Panics
+/// After [`MAX_ATTEMPTS`] failed executions (success probability ≈ 0).
+pub fn simulate_pattern_traced(
+    cfg: &SimConfig,
+    rng: &mut SimRng,
+    trace: Option<&mut TraceRecorder>,
+) -> PatternOutcome {
+    simulate_pattern_scenario_traced(cfg, ErrorLaw::Exponential, None, rng, trace)
 }
 
 /// Simulates one pattern until it checkpoints successfully.
@@ -401,6 +529,9 @@ pub struct FastPattern {
     t_retry: f64,
     /// Extra energy per re-execution.
     e_retry: f64,
+    /// The single re-execution speed `σ₂` every retry runs at — what
+    /// [`AttemptLaw::retry_speed`] reports for every attempt index.
+    sigma_retry: f64,
     /// Success outcome (`n = 1`), precomputed: the common case by far.
     first_try: PatternOutcome,
 }
@@ -446,6 +577,7 @@ impl FastPattern {
             e_first,
             t_retry,
             e_retry,
+            sigma_retry: cfg.sigma2,
             first_try: PatternOutcome {
                 time: t_first,
                 energy: e_first,
@@ -694,6 +826,9 @@ pub struct MixedFastPattern {
     t_recovery: f64,
     /// Recovery energy appended to every fail-stop abort: `R·Pio`.
     e_recovery: f64,
+    /// The single re-execution speed `σ₂` every retry runs at — what
+    /// [`AttemptLaw::retry_speed`] reports for every attempt index.
+    sigma_retry: f64,
     /// Success outcome (`n = 1`), precomputed: the common case by far.
     first_try: PatternOutcome,
 }
@@ -761,6 +896,7 @@ impl MixedFastPattern {
             e_success_retry: phase(cfg.sigma2) * power_retry + cfg.costs.checkpoint * io,
             t_recovery: cfg.costs.recovery,
             e_recovery: cfg.costs.recovery * io,
+            sigma_retry: cfg.sigma2,
             first_try: PatternOutcome {
                 time: t_first,
                 energy: e_first,
@@ -1003,6 +1139,12 @@ pub(crate) trait AttemptLaw {
     fn success_run_len_ln(&self, ln_u: f64) -> u64;
     /// Completes a pattern whose first attempt failed.
     fn sample_failed_first(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome;
+    /// The speed a retry at 1-based `attempt_index ≥ 1` runs at. The
+    /// geometric fast paths are constant in the index (a single `σ₂` is
+    /// what makes the attempt count a two-stage geometric); per-attempt
+    /// schedules route to the scenario engine instead, and the runner
+    /// asserts this invariant when it picks a fast path.
+    fn retry_speed(&self, attempt_index: u32) -> f64;
 }
 
 impl AttemptLaw for FastPattern {
@@ -1018,6 +1160,10 @@ impl AttemptLaw for FastPattern {
     fn sample_failed_first(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome {
         FastPattern::sample_failed_first(self, draws)
     }
+    #[inline]
+    fn retry_speed(&self, _attempt_index: u32) -> f64 {
+        self.sigma_retry
+    }
 }
 
 impl AttemptLaw for MixedFastPattern {
@@ -1032,6 +1178,10 @@ impl AttemptLaw for MixedFastPattern {
     #[inline]
     fn sample_failed_first(&self, draws: &mut crate::rng::UniformStream) -> PatternOutcome {
         MixedFastPattern::sample_failed_first(self, draws)
+    }
+    #[inline]
+    fn retry_speed(&self, _attempt_index: u32) -> f64 {
+        self.sigma_retry
     }
 }
 
@@ -1445,5 +1595,144 @@ mod tests {
             failures += p.fail_stop_errors;
         }
         assert!(failures > 0, "λf(W+V)/σ ≈ 1.4 must produce aborts");
+    }
+
+    #[test]
+    fn non_finite_success_probability_is_rejected() {
+        // Regression: `q * MAX_ATTEMPTS < 128.0` is *false* when q is
+        // NaN (NaN compares false against everything), so before the
+        // explicit finiteness check a NaN config sailed through
+        // `ensure_completes` and was accepted by both samplers.
+        let mut c = cfg(ErrorRates::silent_only(1e-4).unwrap());
+        c.w = f64::NAN;
+        assert!(matches!(
+            ensure_completes(&c),
+            Err(EngineError::NonFiniteSuccessProbability { .. })
+        ));
+        assert!(matches!(
+            FastPattern::new(&c),
+            Err(EngineError::NonFiniteSuccessProbability { .. })
+        ));
+
+        let mut nan_speed = cfg(ErrorRates::new(1e-4, 5e-5).unwrap());
+        nan_speed.sigma2 = f64::NAN;
+        assert!(ensure_completes(&nan_speed).is_err());
+        assert!(MixedFastPattern::new(&nan_speed).is_err());
+
+        // +∞ hazard → q = 0 is *finite* and stays a NeverCompletes;
+        // −∞ work → q = +∞ is the non-finite rejection.
+        let mut inf_w = cfg(ErrorRates::silent_only(1e-4).unwrap());
+        inf_w.w = f64::NEG_INFINITY;
+        assert!(matches!(
+            ensure_completes(&inf_w),
+            Err(EngineError::NonFiniteSuccessProbability { .. })
+        ));
+
+        // Scenario variant shares the guard, for every law.
+        for law in [
+            ErrorLaw::Exponential,
+            ErrorLaw::Weibull { shape: 0.7 },
+            ErrorLaw::LogNormal { sigma: 1.2 },
+        ] {
+            assert!(matches!(
+                ensure_scenario_completes(&c, law, None),
+                Err(EngineError::NonFiniteSuccessProbability { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn scenario_exponential_is_bit_identical_to_reference() {
+        // The scenario engine with the exponential law and no schedule
+        // must reproduce the historical reference engine draw-for-draw.
+        let c = cfg(ErrorRates::new(2e-4, 8e-5).unwrap());
+        for seed in [1u64, 7, 1234, 98765] {
+            let reference = simulate_pattern(&c, &mut SimRng::new(seed));
+            let scenario =
+                simulate_pattern_scenario(&c, ErrorLaw::Exponential, None, &mut SimRng::new(seed));
+            assert_eq!(reference, scenario);
+            assert_eq!(
+                reference.time.to_bits(),
+                scenario.time.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(reference.energy.to_bits(), scenario.energy.to_bits());
+        }
+    }
+
+    #[test]
+    fn scenario_weibull_shape_one_matches_exponential() {
+        // Weibull with shape = 1 *is* the exponential law; the sampler
+        // special-cases it to the same −ln(u)/λ map, so outcomes agree
+        // bitwise on the same seed despite taking the generic draw path.
+        let c = cfg(ErrorRates::silent_only(2e-4).unwrap());
+        for seed in [3u64, 42, 777] {
+            let exp =
+                simulate_pattern_scenario(&c, ErrorLaw::Exponential, None, &mut SimRng::new(seed));
+            let wei = simulate_pattern_scenario(
+                &c,
+                ErrorLaw::Weibull { shape: 1.0 },
+                None,
+                &mut SimRng::new(seed),
+            );
+            assert_eq!(exp, wei, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scenario_schedule_speeds_are_applied_per_attempt() {
+        // Huge silent rate forces retries; a schedule (σ₁, s₂, s₃, s₃…)
+        // must yield exactly the per-attempt-speed time decomposition.
+        let mut c = cfg(ErrorRates::silent_only(1e-3).unwrap());
+        c.sigma2 = f64::NAN; // must never be consulted with a schedule
+        let schedule = SpeedSchedule::new(0.4, vec![0.6, 1.0]).unwrap();
+        let mut rng = SimRng::new(2024);
+        let mut saw_deep = false;
+        for _ in 0..300 {
+            let p = simulate_pattern_scenario(&c, ErrorLaw::Exponential, Some(&schedule), &mut rng);
+            assert!(p.time.is_finite());
+            let phase = |s: f64| (c.w + c.costs.verification) / s;
+            let n = p.attempts;
+            let mut expected = c.costs.checkpoint + f64::from(n - 1) * c.costs.recovery;
+            for i in 0..n {
+                expected += phase(schedule.speed_for_attempt(i));
+            }
+            assert!(
+                (p.time - expected).abs() < 1e-6,
+                "attempts {n}: {} vs {expected}",
+                p.time
+            );
+            saw_deep |= n > 3;
+        }
+        assert!(saw_deep, "λW/σ must push past the scheduled prefix");
+    }
+
+    #[test]
+    fn scenario_lognormal_runs_and_respects_recovery_accounting() {
+        let mut c = cfg(ErrorRates::silent_only(5e-4).unwrap());
+        c.sigma2 = 0.8;
+        let mut rng = SimRng::new(11);
+        let mut saw_retry = false;
+        for _ in 0..300 {
+            let p =
+                simulate_pattern_scenario(&c, ErrorLaw::LogNormal { sigma: 1.2 }, None, &mut rng);
+            assert_eq!(p.attempts, 1 + p.silent_errors);
+            assert!(p.time.is_finite() && p.energy.is_finite());
+            saw_retry |= p.attempts > 1;
+        }
+        assert!(saw_retry, "λW ≈ 1.4 must produce detected silent errors");
+    }
+
+    #[test]
+    fn fast_paths_report_a_constant_retry_speed() {
+        let mut c = cfg(ErrorRates::silent_only(1e-4).unwrap());
+        c.sigma2 = 0.8;
+        let fast = FastPattern::new(&c).unwrap();
+        assert_eq!(AttemptLaw::retry_speed(&fast, 1), 0.8);
+        assert_eq!(AttemptLaw::retry_speed(&fast, 999), 0.8);
+        c.rates = ErrorRates::new(1e-4, 5e-5).unwrap();
+        let mixed = MixedFastPattern::new(&c).unwrap();
+        assert_eq!(AttemptLaw::retry_speed(&mixed, 1), 0.8);
+        assert_eq!(AttemptLaw::retry_speed(&mixed, 2), 0.8);
     }
 }

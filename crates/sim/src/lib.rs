@@ -35,9 +35,10 @@ pub mod trace;
 
 pub use energy::EnergyMeter;
 pub use engine::{
-    ensure_completes, fast_path_eligible, simulate_application, simulate_pattern,
-    simulate_pattern_fast, AppOutcome, EngineError, FastPattern, MixedFastPattern, PatternOutcome,
-    SimConfig,
+    ensure_completes, ensure_scenario_completes, fast_path_eligible, simulate_application,
+    simulate_pattern, simulate_pattern_fast, simulate_pattern_scenario,
+    simulate_pattern_scenario_traced, AppOutcome, EngineError, FastPattern, MixedFastPattern,
+    PatternOutcome, SimConfig,
 };
 pub use events::{Event, EventKind};
 pub use histogram::Histogram;
@@ -51,8 +52,9 @@ pub use trace::{events_from_jsonl, events_to_jsonl, render_timeline, TraceRecord
 pub mod prelude {
     pub use crate::energy::EnergyMeter;
     pub use crate::engine::{
-        ensure_completes, fast_path_eligible, simulate_application, simulate_pattern,
-        simulate_pattern_fast, AppOutcome, EngineError, FastPattern, MixedFastPattern,
+        ensure_completes, ensure_scenario_completes, fast_path_eligible, simulate_application,
+        simulate_pattern, simulate_pattern_fast, simulate_pattern_scenario,
+        simulate_pattern_scenario_traced, AppOutcome, EngineError, FastPattern, MixedFastPattern,
         PatternOutcome, SimConfig,
     };
     pub use crate::events::{Event, EventKind};

@@ -29,14 +29,16 @@
 //! update per pattern, nor one sketch per chunk.
 
 use crate::engine::{
-    ensure_completes, fast_path_eligible, simulate_pattern, simulate_pattern_traced, AttemptLaw,
-    EngineError, FastPattern, MixedFastPattern, PatternOutcome, SimConfig,
+    ensure_completes, ensure_scenario_completes, fast_path_eligible, simulate_pattern,
+    simulate_pattern_scenario, simulate_pattern_scenario_traced, AttemptLaw, EngineError,
+    FastPattern, MixedFastPattern, PatternOutcome, SimConfig,
 };
 use crate::histogram::Histogram;
 use crate::rng::{SimRng, UniformStream};
 use crate::stats::Stats;
 use crate::trace::TraceRecorder;
 use rayon::prelude::*;
+use rexec_core::{ErrorLaw, SpeedSchedule};
 use rexec_obs::Shard;
 use serde::{Deserialize, Serialize};
 
@@ -250,7 +252,7 @@ pub enum Engine {
 }
 
 /// A resolved engine selection: the concrete sampler `run*` drives.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum Sampler {
     /// Exact per-attempt loop, one RNG stream per trial.
     Reference,
@@ -258,6 +260,14 @@ enum Sampler {
     Silent(FastPattern),
     /// Mixed fail-stop + silent fast path.
     Mixed(MixedFastPattern),
+    /// Per-attempt scenario loop (non-memoryless law and/or speed
+    /// schedule), one RNG stream per trial like the reference engine.
+    Scenario {
+        /// Silent inter-error law.
+        law: ErrorLaw,
+        /// Per-attempt speed schedule, when one overrides `σ₁`/`σ₂`.
+        schedule: Option<SpeedSchedule>,
+    },
 }
 
 /// Monte Carlo driver: replicates a pattern simulation `trials` times,
@@ -273,6 +283,11 @@ pub struct MonteCarlo {
     pub seed: u64,
     /// Engine selection (default [`Engine::Auto`]).
     pub engine: Engine,
+    /// Silent inter-error law (default exponential — the paper's model).
+    pub law: ErrorLaw,
+    /// Per-attempt speed schedule overriding the `σ₁`/`σ₂` rule
+    /// (default `None`).
+    pub schedule: Option<SpeedSchedule>,
 }
 
 impl MonteCarlo {
@@ -283,6 +298,8 @@ impl MonteCarlo {
             trials,
             seed,
             engine: Engine::Auto,
+            law: ErrorLaw::Exponential,
+            schedule: None,
         }
     }
 
@@ -290,6 +307,30 @@ impl MonteCarlo {
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Selects the silent inter-error law (builder style). Non-memoryless
+    /// laws route to the per-attempt scenario engine; forcing
+    /// [`Engine::FastPath`] on one fails at resolution with
+    /// [`EngineError::UnsupportedScenario`].
+    pub fn with_law(mut self, law: ErrorLaw) -> Self {
+        self.law = law;
+        self
+    }
+
+    /// Installs a per-attempt speed schedule (builder style). Schedules
+    /// route to the scenario engine; the schedule's `σ₁` and retry
+    /// speeds override `config.sigma1`/`config.sigma2`.
+    pub fn with_schedule(mut self, schedule: SpeedSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Whether this run is the paper's baseline scenario (memoryless
+    /// errors, single re-execution speed) — the domain where the
+    /// geometric fast paths are valid.
+    fn baseline_scenario(&self) -> bool {
+        self.law.is_memoryless() && self.schedule.is_none()
     }
 
     /// Resolves the engine selection into a concrete sampler.
@@ -301,8 +342,28 @@ impl MonteCarlo {
     ///
     /// # Errors
     /// [`EngineError::NeverCompletes`] for a degenerate config whose
-    /// per-attempt success probability at `σ₂` is ~0 (any engine).
+    /// per-attempt success probability at `σ₂` is ~0 (any engine),
+    /// [`EngineError::NonFiniteSuccessProbability`] when it is NaN or
+    /// infinite, and [`EngineError::UnsupportedScenario`] when
+    /// [`Engine::FastPath`] is forced on a non-memoryless law or a speed
+    /// schedule (the geometric closed forms require both memorylessness
+    /// and a single `σ₂`).
     fn resolve(&self) -> Result<Sampler, EngineError> {
+        if !self.baseline_scenario() {
+            return match self.engine {
+                Engine::FastPath => Err(EngineError::UnsupportedScenario {
+                    reason: "the geometric fast path requires a memoryless \
+                             (exponential) error law and a single re-execution speed",
+                }),
+                Engine::Auto | Engine::Reference => {
+                    ensure_scenario_completes(&self.config, self.law, self.schedule.as_ref())?;
+                    Ok(Sampler::Scenario {
+                        law: self.law,
+                        schedule: self.schedule.clone(),
+                    })
+                }
+            };
+        }
         match self.engine {
             Engine::Reference => {
                 ensure_completes(&self.config)?;
@@ -361,6 +422,24 @@ impl MonteCarlo {
             }
             Sampler::Silent(fp) => self.run_chunk_fast(fp, chunk_lo, lo, hi),
             Sampler::Mixed(fp) => self.run_chunk_fast(fp, chunk_lo, lo, hi),
+            Sampler::Scenario { law, schedule } => {
+                // Per-trial streams like the reference engine: thread
+                // determinism and range-partition replay are automatic.
+                let mut s = Summary::default();
+                let mut obs = ChunkObs {
+                    trials: hi - lo,
+                    ..ChunkObs::default()
+                };
+                for i in lo..hi {
+                    let mut rng = SimRng::for_trial(self.seed, i);
+                    let p =
+                        simulate_pattern_scenario(&self.config, *law, schedule.as_ref(), &mut rng);
+                    s.push(&p);
+                    obs.totals.push(&p);
+                    obs.record_attempts(p.attempts, 1);
+                }
+                (s, obs)
+            }
         }
     }
 
@@ -374,6 +453,15 @@ impl MonteCarlo {
         lo: u64,
         hi: u64,
     ) -> (Summary, ChunkObs) {
+        // The geometric closed forms are only valid with a single
+        // constant retry speed — the invariant the [`AttemptLaw`]
+        // per-attempt-index hook lets us state (schedules resolve to the
+        // scenario sampler instead).
+        debug_assert!(
+            fp.retry_speed(1).to_bits() == self.config.sigma2.to_bits()
+                && fp.retry_speed(2).to_bits() == self.config.sigma2.to_bits(),
+            "fast-path samplers must retry at the single sigma2"
+        );
         let mut s = Summary::default();
         let mut obs = ChunkObs {
             trials: hi - lo,
@@ -541,13 +629,15 @@ impl MonteCarlo {
     /// time/energy distributions (1 % relative resolution). Returns
     /// `(summary, time_histogram, energy_histogram)`.
     ///
-    /// Always uses the per-trial reference engine: distribution studies
-    /// want the historical bit-reproducible trial streams.
+    /// Always uses the per-trial reference/scenario engine: distribution
+    /// studies want the historical bit-reproducible trial streams (the
+    /// configured law and schedule are honoured — quantile studies of
+    /// scenario runs ride the same per-trial streams).
     ///
     /// # Errors
     /// [`EngineError::NeverCompletes`] for a degenerate config.
     pub fn run_with_histograms(&self) -> Result<(Summary, Histogram, Histogram), EngineError> {
-        ensure_completes(&self.config)?;
+        ensure_scenario_completes(&self.config, self.law, self.schedule.as_ref())?;
         const CHUNK: u64 = 256;
         let chunks: Vec<(u64, u64)> = (0..self.trials)
             .step_by(CHUNK as usize)
@@ -562,7 +652,12 @@ impl MonteCarlo {
                 let mut totals = Totals::default();
                 for i in start..end {
                     let mut rng = SimRng::for_trial(self.seed, i);
-                    let p = simulate_pattern(&self.config, &mut rng);
+                    let p = simulate_pattern_scenario(
+                        &self.config,
+                        self.law,
+                        self.schedule.as_ref(),
+                        &mut rng,
+                    );
                     s.push(&p);
                     totals.push(&p);
                     th.record(p.time);
@@ -631,13 +726,19 @@ impl MonteCarlo {
     /// # Errors
     /// [`EngineError::NeverCompletes`] for a degenerate config.
     pub fn run_with_trace(&self, capacity: usize) -> Result<(Summary, TraceRecorder), EngineError> {
-        ensure_completes(&self.config)?;
+        ensure_scenario_completes(&self.config, self.law, self.schedule.as_ref())?;
         let mut recorder = TraceRecorder::new(capacity);
         let mut s = Summary::default();
         let mut totals = Totals::default();
         for i in 0..self.trials {
             let mut rng = SimRng::for_trial(self.seed, i);
-            let p = simulate_pattern_traced(&self.config, &mut rng, Some(&mut recorder));
+            let p = simulate_pattern_scenario_traced(
+                &self.config,
+                self.law,
+                self.schedule.as_ref(),
+                &mut rng,
+                Some(&mut recorder),
+            );
             s.push(&p);
             totals.push(&p);
         }
@@ -1005,6 +1106,125 @@ mod tests {
             "time rel {:.4}, energy rel {:.4}",
             report.time_rel_error(),
             report.energy_rel_error()
+        );
+    }
+
+    fn weibull() -> ErrorLaw {
+        ErrorLaw::Weibull { shape: 0.7 }
+    }
+
+    #[test]
+    fn scenario_parallel_equals_sequential() {
+        let m = silent_model(2e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        let schedule = SpeedSchedule::new(0.4, vec![0.6, 1.0]).unwrap();
+        let variants: Vec<MonteCarlo> = vec![
+            MonteCarlo::new(cfg, 2000, 42).with_law(weibull()),
+            MonteCarlo::new(cfg, 2000, 42).with_law(ErrorLaw::LogNormal { sigma: 1.2 }),
+            MonteCarlo::new(cfg, 2000, 42).with_schedule(schedule.clone()),
+            MonteCarlo::new(mixed_config(), 2000, 42)
+                .with_law(weibull())
+                .with_schedule(schedule),
+        ];
+        for mc in variants {
+            let par = mc.run().unwrap();
+            let seq = mc.run_sequential().unwrap();
+            assert_eq!(par, seq, "law {:?} schedule {:?}", mc.law, mc.schedule);
+        }
+    }
+
+    #[test]
+    fn scenario_weibull_shape_one_is_bit_identical_to_reference() {
+        // shape = 1 Weibull *is* the exponential law, and the scenario
+        // engine shares the reference engine's per-trial streams — the
+        // whole summary must agree bitwise.
+        let m = silent_model(1e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        let reference = MonteCarlo::new(cfg, 2000, 7)
+            .with_engine(Engine::Reference)
+            .run()
+            .unwrap();
+        let scenario = MonteCarlo::new(cfg, 2000, 7)
+            .with_law(ErrorLaw::Weibull { shape: 1.0 })
+            .run()
+            .unwrap();
+        assert_eq!(reference, scenario);
+    }
+
+    #[test]
+    fn forced_fast_path_rejects_scenarios() {
+        let m = silent_model(1e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        let on_law = MonteCarlo::new(cfg, 64, 1)
+            .with_engine(Engine::FastPath)
+            .with_law(weibull());
+        assert!(matches!(
+            on_law.run(),
+            Err(EngineError::UnsupportedScenario { .. })
+        ));
+        let on_schedule = MonteCarlo::new(cfg, 64, 1)
+            .with_engine(Engine::FastPath)
+            .with_schedule(SpeedSchedule::two_speed(0.4, 0.8).unwrap());
+        assert!(matches!(
+            on_schedule.run(),
+            Err(EngineError::UnsupportedScenario { .. })
+        ));
+        // Auto degrades to the scenario engine instead of erroring.
+        assert!(MonteCarlo::new(cfg, 64, 1)
+            .with_law(weibull())
+            .run()
+            .is_ok());
+    }
+
+    #[test]
+    fn scenario_histograms_and_trace_honour_the_law() {
+        let m = silent_model(5e-4);
+        let cfg = SimConfig::from_silent_model(&m, 2764.0, 0.4, 0.8);
+        let mc = MonteCarlo::new(cfg, 2000, 3).with_law(weibull());
+        let (summary, th, _eh) = mc.run_with_histograms().unwrap();
+        assert_eq!(th.count(), summary.time.count());
+        // Same per-trial streams as run(): identical summaries.
+        assert_eq!(summary.time.mean(), mc.run().unwrap().time.mean());
+        let (traced, recorder) = mc.run_with_trace(1 << 16).unwrap();
+        assert_eq!(traced.time.count(), 2000);
+        assert!(!recorder.events().is_empty());
+        // Degenerate scenario configs are rejected up front, not mid-run.
+        let bad = SimConfig::from_silent_model(&silent_model(1.0), 700.0, 1.0, 1.0);
+        let bad_mc = MonteCarlo::new(bad, 16, 1).with_law(weibull());
+        assert!(bad_mc.run().is_err());
+        assert!(bad_mc.run_with_histograms().is_err());
+        assert!(bad_mc.run_with_trace(64).is_err());
+    }
+
+    #[test]
+    fn scheduled_runs_match_the_analytic_schedule_model() {
+        // Silent-only, 3-speed schedule: the sampled means must match
+        // the ScheduleModel prefix-sum closed forms.
+        use rexec_core::ScheduleModel;
+        let m = silent_model(2e-4);
+        let w = 2764.0;
+        let schedule = SpeedSchedule::new(0.4, vec![0.6, 1.0]).unwrap();
+        let model = ScheduleModel::new(m, schedule.clone());
+        let cfg = SimConfig::from_silent_model(&m, w, 0.4, 0.4);
+        let mc = MonteCarlo::new(cfg, 60_000, 17).with_schedule(schedule);
+        let summary = mc.run().unwrap();
+        assert!(
+            summary.time.contains(model.expected_time(w), 3.5),
+            "time: sampled {} vs analytic {}",
+            summary.time.mean(),
+            model.expected_time(w)
+        );
+        assert!(
+            summary.energy.contains(model.expected_energy(w), 3.5),
+            "energy: sampled {} vs analytic {}",
+            summary.energy.mean(),
+            model.expected_energy(w)
+        );
+        assert!(
+            summary.attempts.contains(model.expected_executions(w), 3.5),
+            "attempts: sampled {} vs analytic {}",
+            summary.attempts.mean(),
+            model.expected_executions(w)
         );
     }
 

@@ -108,10 +108,11 @@ usage: experiments [--out DIR] [--seed N] [--resume] [--quick]
   IDS          experiment ids to run (default: all), e.g.
                T-rho8 T-rho3 T-rho1.775 T-rho1.4 F1..F14 X-thm2 X-validity
                X-mc X-mc-mixed X-ablation X-pairs X-robust X-pareto
-               X-multiverif X-continuous X-heatmap
+               X-multiverif X-continuous X-heatmap X-laws
   --out        directory for artifacts + run manifest (default: results/)
   --seed       base seed for Monte Carlo experiments (default: 2024)
-  --quick      fast subset (tables, F4, X-thm2, X-validity) for smoke runs
+  --quick      fast subset (tables, F4, X-thm2, X-validity, X-laws) for
+               smoke runs
   --resume     re-verify sealed units from <out>/manifest.json, skip the
                intact ones and recompute only what is missing or corrupt
   --fault-plan deterministic fault injection, comma-separated:
